@@ -1,0 +1,1 @@
+examples/attrition_gauntlet.ml: Adversary Experiments Format List Lockss Repro_prelude

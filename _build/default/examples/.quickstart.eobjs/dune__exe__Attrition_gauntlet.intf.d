@@ -1,0 +1,1 @@
+examples/attrition_gauntlet.mli:

@@ -1,0 +1,1 @@
+examples/brute_force_demo.ml: Adversary Experiments Format List Lockss Repro_prelude

@@ -1,0 +1,1 @@
+examples/brute_force_demo.mli:

@@ -1,0 +1,1 @@
+examples/library_farm.ml: Array Config Format List Lockss Metrics Narses Peer Population Replica Repro_prelude

@@ -1,0 +1,1 @@
+examples/pipe_stoppage_demo.ml: Experiments Format Lockss Repro_prelude

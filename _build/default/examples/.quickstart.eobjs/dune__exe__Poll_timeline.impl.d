@@ -1,0 +1,1 @@
+examples/poll_timeline.ml: Config Format Lockss Metrics Population Repro_prelude Trace

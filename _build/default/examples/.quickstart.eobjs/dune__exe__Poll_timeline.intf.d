@@ -1,0 +1,1 @@
+examples/poll_timeline.mli:

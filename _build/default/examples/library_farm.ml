@@ -1,0 +1,86 @@
+(* Library-farm scenario: the workload the paper's introduction motivates.
+
+   A consortium of libraries preserves a journal collection. Midway
+   through the run one library suffers a catastrophic storage incident
+   (every AU replica corrupted at once — a failed RAID migration), and
+   shortly afterwards a regional outage cuts a third of the consortium
+   off the network for a month. We watch the damaged library audit and
+   repair itself back to health from the rest of the population.
+
+   Usage: dune exec examples/library_farm.exe *)
+
+module Duration = Repro_prelude.Duration
+module Engine = Narses.Engine
+open Lockss
+
+let cfg =
+  {
+    Config.default with
+    Config.loyal_peers = 20;
+    aus = 6;
+    quorum = 5;
+    max_disagree = 1;
+    outer_circle_size = 5;
+    reference_list_target = 10;
+    disk_mttf_years = 10.;
+  }
+
+let () =
+  let population = Population.create ~seed:2026 cfg in
+  let ctx = Population.ctx population in
+  let engine = Population.engine population in
+  let unlucky_library = 0 in
+  (* Month 8: catastrophic local storage incident at library 0. *)
+  let incident () =
+    let peer = ctx.Peer.peers.(unlucky_library) in
+    Array.iter
+      (fun st ->
+        for block = 0 to (cfg.Config.au_blocks / 8) - 1 do
+          let was_clean = Replica.damage st.Peer.replica ~block:(block * 8) ~version:666 in
+          if was_clean then
+            Metrics.on_replica_damaged ctx.Peer.metrics ~now:(Engine.now engine)
+        done)
+      peer.Peer.aus;
+    Format.printf "  [%a] storage incident: library %d lost blocks in all %d AUs@."
+      Duration.pp (Engine.now engine) unlucky_library cfg.Config.aus
+  in
+  ignore (Engine.schedule engine ~at:(Duration.of_months 8.) incident);
+  (* Month 9-10: a regional outage stops a third of the consortium. *)
+  let outage_start = Duration.of_months 9. in
+  let partition = Population.partition population in
+  let outage_victims = List.filteri (fun i _ -> i mod 3 = 0) (Population.loyal_nodes population) in
+  ignore
+    (Engine.schedule engine ~at:outage_start (fun () ->
+         List.iter (Narses.Partition.stop partition) outage_victims;
+         Format.printf "  [%a] regional outage: %d libraries offline@." Duration.pp
+           (Engine.now engine) (List.length outage_victims)));
+  ignore
+    (Engine.schedule engine
+       ~at:(outage_start +. Duration.of_months 1.)
+       (fun () ->
+         List.iter (Narses.Partition.restore partition) outage_victims;
+         Format.printf "  [%a] outage over, all libraries back online@." Duration.pp
+           (Engine.now engine)));
+  (* Quarterly damage census. *)
+  Format.printf "Consortium of %d libraries preserving %d journal-years each.@.@.timeline:@."
+    cfg.Config.loyal_peers cfg.Config.aus;
+  let rec census quarter () =
+    Format.printf "  [%a] damaged replicas in the consortium: %d@." Duration.pp
+      (Engine.now engine)
+      (Population.damaged_replicas population);
+    if quarter < 8 then
+      ignore (Engine.schedule_in engine ~after:(Duration.of_months 3.) (census (quarter + 1)))
+  in
+  ignore (Engine.schedule engine ~at:0. (census 0));
+  Population.run population ~until:(Duration.of_years 2.);
+  let s = Population.summary population in
+  Format.printf "@.after two years:@.%a@." Metrics.pp_summary s;
+  let unlucky_damaged =
+    Array.fold_left
+      (fun acc st -> if Replica.is_damaged st.Peer.replica then acc + 1 else acc)
+      0 ctx.Peer.peers.(unlucky_library).Peer.aus
+  in
+  Format.printf
+    "@.library %d's replicas still damaged: %d of %d — the consortium repaired it@.without \
+     any operator intervention or backup restore.@."
+    unlucky_library unlucky_damaged cfg.Config.aus

@@ -1,0 +1,28 @@
+(* Quickstart: run a small LOCKSS population for one simulated year with
+   storage damage and no adversary, then print the preservation metrics.
+
+   Usage: dune exec examples/quickstart.exe *)
+
+module Duration = Repro_prelude.Duration
+
+let () =
+  let cfg =
+    {
+      Lockss.Config.default with
+      Lockss.Config.loyal_peers = 25;
+      aus = 4;
+      quorum = 5;
+      max_disagree = 1;
+      outer_circle_size = 5;
+      reference_list_target = 12;
+    }
+  in
+  let population = Lockss.Population.create ~seed:7 cfg in
+  let horizon = Duration.of_years 1. in
+  Format.printf "Running %d peers x %d AUs for %a of simulated time...@." cfg.loyal_peers
+    cfg.aus Duration.pp horizon;
+  Lockss.Population.run population ~until:horizon;
+  let summary = Lockss.Population.summary population in
+  Format.printf "%a@." Lockss.Metrics.pp_summary summary;
+  Format.printf "replicas damaged right now: %d@."
+    (Lockss.Population.damaged_replicas population)

@@ -1,0 +1,1 @@
+lib/adversary/admission_flood.ml: Array Float List Lockss Narses Repro_prelude

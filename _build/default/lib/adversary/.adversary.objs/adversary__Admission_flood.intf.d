@@ -1,0 +1,1 @@
+lib/adversary/admission_flood.mli: Lockss Narses

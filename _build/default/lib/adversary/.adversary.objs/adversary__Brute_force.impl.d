@@ -1,0 +1,1 @@
+lib/adversary/brute_force.ml: Array Effort Format Hashtbl List Lockss Narses Repro_prelude

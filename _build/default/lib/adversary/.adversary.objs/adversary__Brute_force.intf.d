@@ -1,0 +1,1 @@
+lib/adversary/brute_force.mli: Format Lockss Narses

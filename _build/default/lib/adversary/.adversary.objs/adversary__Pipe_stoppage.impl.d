@@ -1,0 +1,1 @@
+lib/adversary/pipe_stoppage.ml: Float List Lockss Narses Repro_prelude

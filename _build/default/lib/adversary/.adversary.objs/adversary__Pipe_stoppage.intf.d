@@ -1,0 +1,1 @@
+lib/adversary/pipe_stoppage.mli: Lockss

@@ -1,0 +1,1 @@
+lib/adversary/reciprocity.ml: Array Effort Float Hashtbl List Lockss Narses Repro_prelude

@@ -1,0 +1,1 @@
+lib/adversary/reciprocity.mli: Lockss

@@ -1,0 +1,1 @@
+lib/adversary/subversion.ml: Array Effort Float Format Hashtbl List Lockss Narses Repro_prelude

@@ -1,0 +1,1 @@
+lib/adversary/subversion.mli: Format Lockss Narses

@@ -1,0 +1,1 @@
+lib/adversary/vote_flood.ml: Array Effort List Lockss Narses Repro_prelude

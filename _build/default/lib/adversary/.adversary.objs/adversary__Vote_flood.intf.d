@@ -1,0 +1,1 @@
+lib/adversary/vote_flood.mli: Lockss Narses

@@ -1,0 +1,96 @@
+module Engine = Narses.Engine
+module Rng = Repro_prelude.Rng
+module Duration = Repro_prelude.Duration
+
+(* Adversary identities start far above any loyal node index. *)
+let first_fresh_identity = 1_000_000
+
+type t = {
+  population : Lockss.Population.t;
+  rng : Rng.t;
+  minions : Narses.Topology.node array;
+  coverage : float;
+  attack_duration : float;
+  recuperation : float;
+  period : float;  (* seconds between garbage invitations per victim-AU *)
+  mutable next_identity : int;
+  mutable sent : int;
+}
+
+let fresh_identity t =
+  let id = t.next_identity in
+  t.next_identity <- id + 1;
+  id
+
+(* One victim-AU lane: send garbage at the configured rate while the
+   current attack window lasts. *)
+let rec lane t ~victim ~au ~window_end () =
+  let ctx = Lockss.Population.ctx t.population in
+  let engine = Lockss.Population.engine t.population in
+  let now = Engine.now engine in
+  if now < window_end then begin
+    let minion = t.minions.(Rng.int t.rng (Array.length t.minions)) in
+    let msg =
+      {
+        Lockss.Message.identity = fresh_identity t;
+        au;
+        payload = Lockss.Message.Garbage { claimed_bytes = 1024 };
+      }
+    in
+    Narses.Net.send ctx.Lockss.Peer.net ~src:minion ~dst:victim
+      ~bytes:(Lockss.Message.wire_bytes ctx.Lockss.Peer.cfg msg)
+      msg;
+    t.sent <- t.sent + 1;
+    (* Jitter the next shot so lanes stay desynchronized. *)
+    let delay = Rng.uniform t.rng ~lo:(0.5 *. t.period) ~hi:(1.5 *. t.period) in
+    ignore (Engine.schedule_in engine ~after:delay (lane t ~victim ~au ~window_end))
+  end
+
+let rec begin_cycle t () =
+  let engine = Lockss.Population.engine t.population in
+  let now = Engine.now engine in
+  let loyal = Lockss.Population.loyal_nodes t.population in
+  let count =
+    max 1 (int_of_float (Float.round (t.coverage *. float_of_int (List.length loyal))))
+  in
+  let victims = Rng.sample t.rng count loyal in
+  let window_end = now +. t.attack_duration in
+  let ctx = Lockss.Population.ctx t.population in
+  let aus = ctx.Lockss.Peer.cfg.Lockss.Config.aus in
+  List.iter
+    (fun victim ->
+      for au = 0 to aus - 1 do
+        let start = Rng.uniform t.rng ~lo:0. ~hi:t.period in
+        ignore (Engine.schedule_in engine ~after:start (lane t ~victim ~au ~window_end))
+      done)
+    victims;
+  ignore
+    (Engine.schedule_in engine
+       ~after:(t.attack_duration +. t.recuperation)
+       (begin_cycle t))
+
+let attach population ~minions ~coverage ~attack_duration ~recuperation
+    ~invitations_per_victim_au_per_day =
+  if coverage <= 0. || coverage > 1. then
+    invalid_arg "Admission_flood.attach: coverage must be in (0,1]";
+  if minions = [] then invalid_arg "Admission_flood.attach: needs at least one minion";
+  if invitations_per_victim_au_per_day <= 0. then
+    invalid_arg "Admission_flood.attach: rate must be positive";
+  let t =
+    {
+      population;
+      rng = Lockss.Population.split_rng population;
+      minions = Array.of_list minions;
+      coverage;
+      attack_duration;
+      recuperation;
+      period = Duration.day /. invitations_per_victim_au_per_day;
+      next_identity = first_fresh_identity;
+      sent = 0;
+    }
+  in
+  let engine = Lockss.Population.engine population in
+  ignore (Engine.schedule engine ~at:(Engine.now engine) (begin_cycle t));
+  t
+
+let invitations_sent t = t.sent

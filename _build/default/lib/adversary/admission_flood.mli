@@ -1,0 +1,34 @@
+(** The admission-control adversary of Section 7.3.
+
+    "The admission control adversary aims to reduce the likelihood of a
+    victim admitting a loyal poll request by triggering that victim's
+    refractory period as often as possible. This adversary sends cheap
+    garbage invitations to varying fractions of the peer population for
+    varying periods of time separated by a fixed recuperation period of
+    30 days. The adversary sends his invitations using poller addresses
+    that are unknown to the victims."
+
+    The attack is effortless: garbage invitations carry no provable
+    effort, so no adversary effort is charged. Victims pay for nothing
+    except the invitations that survive the random-drop filter: one
+    consideration plus one failing effort-verification each — and, much
+    more importantly, their refractory period is retriggered, shutting
+    out loyal unknown/in-debt pollers. *)
+
+type t
+
+(** [attach population ~minions ~coverage ~attack_duration ~recuperation
+    ~invitations_per_victim_au_per_day] starts the repeating attack.
+    [minions] must name extra (non-loyal) nodes of the population. Every
+    invitation uses a fresh, never-before-seen identity. *)
+val attach :
+  Lockss.Population.t ->
+  minions:Narses.Topology.node list ->
+  coverage:float ->
+  attack_duration:float ->
+  recuperation:float ->
+  invitations_per_victim_au_per_day:float ->
+  t
+
+(** [invitations_sent t] counts garbage invitations transmitted. *)
+val invitations_sent : t -> int

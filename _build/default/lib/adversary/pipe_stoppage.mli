@@ -1,0 +1,30 @@
+(** The pipe-stoppage (network-level DDoS) adversary of Section 7.2.
+
+    "Each attack consists of a period of pipe stoppage, which lasts
+    between 1 and 180 days, followed by a 30-day recuperation period
+    during which all communication is restored; this pattern is repeated
+    for the entire experiment, affecting a different random subset of the
+    population in each iteration."
+
+    This adversary is {e effortless}: it costs the attacker nothing
+    measurable in protocol terms and it never touches the protocol — it
+    only drives the {!Narses.Partition} under the victims' network
+    links. *)
+
+type t
+
+(** [attach population ~coverage ~attack_duration ~recuperation] starts
+    the repeating attack cycle at time 0. [coverage] ∈ (0, 1] is the
+    fraction of loyal peers silenced each iteration. *)
+val attach :
+  Lockss.Population.t ->
+  coverage:float ->
+  attack_duration:float ->
+  recuperation:float ->
+  t
+
+(** [cycles t] counts completed stoppage periods, for tests. *)
+val cycles : t -> int
+
+(** [currently_stopped t] is the number of loyal nodes silenced now. *)
+val currently_stopped : t -> int

@@ -1,0 +1,45 @@
+(** The grade-recovery (reciprocity-gaming) adversary sketched — but not
+    evaluated — in the last paragraph of Section 7.4:
+
+    "an adversary whose minions may be in either even or credit grade.
+    This adversary polls a victim only after he has supplied that victim
+    with a vote, then defects in any of the ways described above. He then
+    recovers his grade at the victim by supplying an appropriate number
+    of valid votes in succession. ... This attack requires the victim to
+    invite minions into polls and is thus rate-limited enough that it is
+    less effective than brute force. It is also further limited by the
+    decay of first-hand reputation toward the debt grade. We leave the
+    details for an extended version of this paper."
+
+    We implement the omitted experiment. Minions are compromised loyal
+    peers. Their voter role plays scrupulously honest (every vote valid,
+    every repair served) so victims grade them up and keep inviting
+    them; their nominations push fellow minions into victims' discovery.
+    Their poller role defects: whenever the insider-information oracle
+    shows an even/credit grade at a victim, the minion solicits a vote
+    with full effort and discards it unevaluated (the REMAINING
+    defection), burning the grade it earned.
+
+    The paper's claim to verify: this is {e less} effective than the
+    brute-force adversary, because the attack rate is capped by how often
+    victims happen to invite minions to vote. *)
+
+type t
+
+(** [attach population ~fraction ~attempts_per_victim_au_per_day] makes
+    [fraction] of the loyal peers minions. The attempt rate bounds how
+    often each (minion-eligible victim, AU) lane checks its oracle. *)
+val attach :
+  Lockss.Population.t ->
+  fraction:float ->
+  attempts_per_victim_au_per_day:float ->
+  t
+
+val minion_count : t -> int
+
+(** [defections t] counts votes extracted and discarded unevaluated. *)
+val defections : t -> int
+
+(** [honest_votes t] counts valid votes minions supplied to rebuild
+    grades. *)
+val honest_votes : t -> int

@@ -1,0 +1,57 @@
+(** The content-subversion (stealth) adversary of the prior LOCKSS
+    protocol paper [29], which this paper's redesign claims to retain
+    resistance against.
+
+    The adversary controls a fraction of the {e loyal} population
+    ("compromised libraries"). Its minions keep their peers' honest
+    poller role — calling polls, building reputation — but their voter
+    role is malign: they coordinate (total information awareness) and,
+    when enough of them have been invited into the same poll, they all
+    vote that the target block has the adversary's version and serve
+    corrupt "repairs", trying to make an honest poller overwrite good
+    content. Their votes also nominate only fellow minions, biasing the
+    victim's reference list for future polls.
+
+    Two coordination strategies bracket the [29] design space:
+
+    - {!Aggressive}: vote corrupt in every honest poll reached. Unless
+      the minions dominate a poll's quorum this yields inconclusive
+      polls — loud {e alarms}, not corruption.
+    - {!Patient}: attack only on evidence that co-invited minions alone
+      can form a landslide bloc. Desynchronized solicitation spreads
+      invitations over weeks, so an early-invited minion must commit its
+      vote before later co-invitations are known: the evidence rarely
+      accumulates and the adversary mostly {e lurks}.
+
+    The defenses that blunt it are exactly the retained ones: bimodal
+    landslide outcomes (partial infiltration triggers alarms instead of
+    silent corruption), random sampling of a reference list refreshed
+    with friend bias, and poll-rate limitation. *)
+
+type strategy = Aggressive | Patient
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+type t
+
+(** [attach population ~fraction ~strategy] compromises
+    [fraction × loyal] peers (chosen at random) from time 0. Their
+    replicas are counted as corrupt for preservation purposes only when
+    an honest peer installs the adversary's version. *)
+val attach : Lockss.Population.t -> fraction:float -> strategy:strategy -> t
+
+(** Counters. *)
+val minion_count : t -> int
+
+val corrupt_votes : t -> int
+
+(** [corrupt_repairs t] counts corrupt repair payloads served. *)
+val corrupt_repairs : t -> int
+
+(** [minion_nodes t] lists the compromised peers (for tests). *)
+val minion_nodes : t -> Narses.Topology.node list
+
+(** [corrupted_replicas t] counts honest peers' replicas currently
+    holding the adversary's content version — the subversion adversary's
+    actual success measure. *)
+val corrupted_replicas : t -> int

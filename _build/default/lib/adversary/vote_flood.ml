@@ -1,0 +1,81 @@
+module Engine = Narses.Engine
+module Rng = Repro_prelude.Rng
+module Duration = Repro_prelude.Duration
+
+(* Yet another identity space, disjoint from the other adversaries'. *)
+let first_identity = 3_000_000
+
+type t = {
+  population : Lockss.Population.t;
+  rng : Rng.t;
+  minions : Narses.Topology.node array;
+  period : float;
+  mutable next_identity : int;
+  mutable sent : int;
+}
+
+let bogus_vote t ~identity =
+  {
+    Lockss.Vote.voter = identity;
+    nonce = Rng.bits64 t.rng;
+    proof = Effort.Proof.forged ~claimed_cost:1.0;
+    snapshot = [];
+    nominations = [];
+    bogus = true;
+  }
+
+let rec lane t ~victim ~au () =
+  let ctx = Lockss.Population.ctx t.population in
+  let engine = Lockss.Population.engine t.population in
+  let identity = t.next_identity in
+  t.next_identity <- identity + 1;
+  let minion = t.minions.(Rng.int t.rng (Array.length t.minions)) in
+  let msg =
+    {
+      Lockss.Message.identity;
+      au;
+      payload =
+        Lockss.Message.Vote_msg
+          {
+            (* A guessed poll id: real ids are per-poller counters, so
+               collisions with an open poll are essentially impossible,
+               and even a collision fails the per-candidate match. *)
+            poll_id = Rng.int t.rng 1_000_000;
+            vote = bogus_vote t ~identity;
+          };
+    }
+  in
+  Narses.Net.send ctx.Lockss.Peer.net ~src:minion ~dst:victim
+    ~bytes:(Lockss.Message.wire_bytes ctx.Lockss.Peer.cfg msg)
+    msg;
+  t.sent <- t.sent + 1;
+  let delay = Rng.uniform t.rng ~lo:(0.5 *. t.period) ~hi:(1.5 *. t.period) in
+  ignore (Engine.schedule_in engine ~after:delay (lane t ~victim ~au))
+
+let attach population ~minions ~votes_per_victim_au_per_day =
+  if minions = [] then invalid_arg "Vote_flood.attach: needs at least one minion";
+  if votes_per_victim_au_per_day <= 0. then
+    invalid_arg "Vote_flood.attach: rate must be positive";
+  let t =
+    {
+      population;
+      rng = Lockss.Population.split_rng population;
+      minions = Array.of_list minions;
+      period = Duration.day /. votes_per_victim_au_per_day;
+      next_identity = first_identity;
+      sent = 0;
+    }
+  in
+  let engine = Lockss.Population.engine population in
+  let ctx = Lockss.Population.ctx population in
+  let aus = ctx.Lockss.Peer.cfg.Lockss.Config.aus in
+  List.iter
+    (fun victim ->
+      for au = 0 to aus - 1 do
+        let start = Rng.uniform t.rng ~lo:0. ~hi:t.period in
+        ignore (Engine.schedule_in engine ~after:start (lane t ~victim ~au))
+      done)
+    (Lockss.Population.loyal_nodes population);
+  t
+
+let votes_sent t = t.sent

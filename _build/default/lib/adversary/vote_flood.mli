@@ -1,0 +1,24 @@
+(** The vote-flood adversary of Section 5.1.
+
+    "A vote flood adversary would seek to supply as many bogus votes as
+    possible hoping to exhaust loyal pollers' resources in useless but
+    expensive proofs of invalidity. [It] is hamstrung by the fact that
+    votes can be supplied only in response to an invitation by the
+    putative victim poller, and pollers solicit votes at a fixed rate.
+    Unsolicited votes are ignored."
+
+    Minions spray unsolicited Vote messages (bogus hashes, forged effort
+    proofs, random poll ids) at the victims. The defense is structural:
+    a vote that matches no open solicitation of an active poll is
+    discarded before any verification work, so the flood consumes
+    nothing but the victims' inbound bandwidth. *)
+
+type t
+
+val attach :
+  Lockss.Population.t ->
+  minions:Narses.Topology.node list ->
+  votes_per_victim_au_per_day:float ->
+  t
+
+val votes_sent : t -> int

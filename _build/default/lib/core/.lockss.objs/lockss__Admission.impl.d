@@ -1,0 +1,1 @@
+lib/core/admission.ml: Config Grade Hashtbl Ids Introductions Known_peers Repro_prelude

@@ -1,0 +1,1 @@
+lib/core/admission.mli: Config Grade Ids Introductions Known_peers Repro_prelude

@@ -1,0 +1,1 @@
+lib/core/config.ml: Effort Float Narses Repro_prelude

@@ -1,0 +1,1 @@
+lib/core/content.ml: Array Bytes Char Effort List Repro_prelude String

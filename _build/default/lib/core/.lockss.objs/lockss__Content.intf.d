@@ -1,0 +1,1 @@
+lib/core/content.mli: Effort Repro_prelude

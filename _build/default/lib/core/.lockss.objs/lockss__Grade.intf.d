@@ -1,0 +1,1 @@
+lib/core/grade.mli: Format

@@ -1,0 +1,1 @@
+lib/core/introductions.ml: Ids List

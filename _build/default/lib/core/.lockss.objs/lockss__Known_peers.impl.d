@@ -1,0 +1,1 @@
+lib/core/known_peers.ml: Grade Hashtbl Ids List

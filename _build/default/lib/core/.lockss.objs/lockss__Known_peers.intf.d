@@ -1,0 +1,1 @@
+lib/core/known_peers.mli: Grade Ids

@@ -1,0 +1,1 @@
+lib/core/message.ml: Config Effort Format Ids Vote

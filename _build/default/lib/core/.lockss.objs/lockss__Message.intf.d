@@ -1,0 +1,1 @@
+lib/core/message.mli: Config Effort Format Ids Vote

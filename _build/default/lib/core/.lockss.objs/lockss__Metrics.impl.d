@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Float Format Hashtbl Ids Repro_prelude

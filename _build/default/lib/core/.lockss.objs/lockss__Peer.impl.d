@@ -1,0 +1,1 @@
+lib/core/peer.ml: Admission Array Config Effort Grade Hashtbl Ids Known_peers List Message Metrics Narses Reference_list Replica Repro_prelude Trace Vote

@@ -1,0 +1,1 @@
+lib/core/peer.mli: Admission Config Effort Hashtbl Ids Known_peers Message Metrics Narses Reference_list Replica Repro_prelude Trace Vote

@@ -1,0 +1,1 @@
+lib/core/poller.ml: Admission Config Effort Float Ids Int64 Introductions Known_peers List Message Metrics Narses Peer Reference_list Replica Repro_prelude Tally Trace Vote

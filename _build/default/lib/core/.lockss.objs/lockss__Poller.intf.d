@@ -1,0 +1,1 @@
+lib/core/poller.mli: Ids Peer Vote

@@ -1,0 +1,1 @@
+lib/core/population.ml: Admission Array Config Effort Float Grade Hashtbl Known_peers List Message Metrics Narses Peer Poller Reference_list Replica Repro_prelude Trace Voter

@@ -1,0 +1,1 @@
+lib/core/population.mli: Config Ids Message Metrics Narses Peer Repro_prelude Trace

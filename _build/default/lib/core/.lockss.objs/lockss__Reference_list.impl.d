@@ -1,0 +1,1 @@
+lib/core/reference_list.ml: Ids List Repro_prelude

@@ -1,0 +1,1 @@
+lib/core/reference_list.mli: Ids Repro_prelude

@@ -1,0 +1,1 @@
+lib/core/replica.ml: Hashtbl Ids List

@@ -1,0 +1,1 @@
+lib/core/tally.ml: Ids List Replica Vote

@@ -1,0 +1,1 @@
+lib/core/vote.ml: Effort Ids List

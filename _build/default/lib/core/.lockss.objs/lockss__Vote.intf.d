@@ -1,0 +1,1 @@
+lib/core/vote.mli: Effort Ids

@@ -1,0 +1,1 @@
+lib/core/voter.ml: Admission Config Effort Float Hashtbl Ids Known_peers List Message Metrics Narses Peer Reference_list Replica Repro_prelude Trace Vote

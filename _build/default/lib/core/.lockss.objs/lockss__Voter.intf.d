@@ -1,0 +1,1 @@
+lib/core/voter.mli: Effort Ids Narses Peer

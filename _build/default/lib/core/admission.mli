@@ -1,0 +1,42 @@
+(** Voter-side admission control for poll invitations (one instance per
+    peer per AU).
+
+    Combines the paper's three mechanisms ahead of any expensive
+    processing: a rigid rate limit for unknown/in-debt pollers (one
+    admission per {e refractory period}), random drops biased against
+    unknown identities (0.90) over in-debt ones (0.80), an at-most-one-
+    per-refractory-period limit for known even/credit peers, and
+    introduction bypass. Everything it rejects costs the victim nothing —
+    that is the point of the filter. *)
+
+type drop_reason =
+  | Refractory  (** an unknown/in-debt invitation during the refractory period *)
+  | Random_drop  (** lost the admission coin flip *)
+  | Known_rate_limited  (** this even/credit peer already used its slot *)
+
+type decision =
+  | Admitted of [ `Known of Grade.t | `Unknown | `Introduced ]
+  | Dropped of drop_reason
+
+type t
+
+val create : Config.t -> t
+
+(** [introductions t] is the per-AU introduction store consulted (and
+    consumed) by {!consider}; discovery fills it. *)
+val introductions : t -> Introductions.t
+
+(** [consider t ~rng ~now ~known ~identity] decides an invitation's fate
+    and updates the refractory / rate-limit state accordingly. [known] is
+    this AU's known-peers list (for the effective grade). When admission
+    control is disabled in the configuration, everything is admitted. *)
+val consider :
+  t ->
+  rng:Repro_prelude.Rng.t ->
+  now:float ->
+  known:Known_peers.t ->
+  identity:Ids.Identity.t ->
+  decision
+
+(** [in_refractory t ~now] exposes the refractory state for tests. *)
+val in_refractory : t -> now:float -> bool

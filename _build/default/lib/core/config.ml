@@ -1,0 +1,163 @@
+module Duration = Repro_prelude.Duration
+
+type t = {
+  loyal_peers : int;
+  aus : int;
+  au_blocks : int;
+  block_bytes : int;
+  friends_count : int;
+  quorum : int;
+  max_disagree : int;
+  inner_circle_factor : int;
+  outer_circle_size : int;
+  reference_list_target : int;
+  inter_poll_interval : float;
+  inner_window_fraction : float;
+  outer_window_fraction : float;
+  max_solicit_attempts : int;
+  ack_timeout : float;
+  proof_timeout : float;
+  vote_allowance : float;
+  vote_timeout_slack : float;
+  admission_control_enabled : bool;
+  refractory_period : float;
+  drop_unknown : float;
+  drop_debt : float;
+  grade_decay_period : float;
+  introductions_enabled : bool;
+  max_outstanding_introductions : int;
+  effort_balancing_enabled : bool;
+  intro_effort_fraction : float;
+  effort_margin : float;
+  desynchronized : bool;
+  adaptive_acceptance : bool;
+  operator_response_time : float;
+  frivolous_repair_prob : float;
+  max_repair_attempts : int;
+  repair_timeout : float;
+  nominations_per_vote : int;
+  capacity : float;
+  background_load : float;
+  cost : Effort.Cost_model.t;
+  disk_mttf_years : float;
+  aus_per_disk : int;
+  network_model : Narses.Net.model;
+  au_coverage : float;
+  reads_per_replica_per_day : float;
+}
+
+let default =
+  {
+    loyal_peers = 100;
+    aus = 50;
+    au_blocks = 512;
+    block_bytes = 1_000_000;
+    friends_count = 5;
+    quorum = 10;
+    max_disagree = 3;
+    inner_circle_factor = 2;
+    outer_circle_size = 10;
+    reference_list_target = 30;
+    inter_poll_interval = Duration.of_months 3.;
+    inner_window_fraction = 0.55;
+    outer_window_fraction = 0.80;
+    max_solicit_attempts = 10;
+    ack_timeout = Duration.of_days 2.;
+    proof_timeout = Duration.of_days 2.;
+    vote_allowance = Duration.of_days 5.;
+    vote_timeout_slack = Duration.of_days 2.;
+    admission_control_enabled = true;
+    refractory_period = Duration.of_days 1.;
+    drop_unknown = 0.90;
+    drop_debt = 0.80;
+    grade_decay_period = Duration.of_months 6.;
+    introductions_enabled = true;
+    max_outstanding_introductions = 8;
+    effort_balancing_enabled = true;
+    intro_effort_fraction = 0.20;
+    effort_margin = 1.10;
+    desynchronized = true;
+    adaptive_acceptance = false;
+    operator_response_time = 0.;
+    frivolous_repair_prob = 0.05;
+    max_repair_attempts = 3;
+    repair_timeout = Duration.of_days 1.;
+    nominations_per_vote = 6;
+    capacity = 1.0;
+    background_load = 0.;
+    cost = Effort.Cost_model.default;
+    disk_mttf_years = 5.0;
+    aus_per_disk = 50;
+    network_model = Narses.Net.Delay_only;
+    au_coverage = 1.0;
+    reads_per_replica_per_day = 0.;
+  }
+
+let au_bytes t = t.au_blocks * t.block_bytes
+
+let vote_proof_cost t =
+  let block_hash = Effort.Cost_model.hash_seconds t.cost ~bytes:t.block_bytes in
+  (* Cover the poller's cost to hash one block (bogus-vote detection) and
+     to verify this very proof. *)
+  let verify = block_hash /. t.cost.Effort.Cost_model.mbf_verify_speedup in
+  t.effort_margin *. (block_hash +. verify)
+
+let vote_work t =
+  Effort.Cost_model.hash_seconds t.cost ~bytes:(au_bytes t) +. vote_proof_cost t
+
+let solicitation_effort t =
+  (* The voter's side of one solicitation: verifying the poller's proofs
+     and producing the vote. The poller must provably exceed it. *)
+  let voter_cost = vote_work t in
+  let verify_poller_proofs =
+    (* The voter verifies intro + remaining proofs; verification cost is
+       proportional to the proof size, i.e. to this very quantity — solve
+       the fixed point approximately with the speedup factor. *)
+    voter_cost /. t.cost.Effort.Cost_model.mbf_verify_speedup
+  in
+  t.effort_margin *. (voter_cost +. verify_poller_proofs)
+
+let intro_effort t = t.intro_effort_fraction *. solicitation_effort t
+let remaining_effort t = (1. -. t.intro_effort_fraction) *. solicitation_effort t
+
+let validate t =
+  let check cond msg = if not cond then invalid_arg ("Config: " ^ msg) in
+  check (t.loyal_peers > 0) "loyal_peers must be positive";
+  check (t.aus > 0) "aus must be positive";
+  check (t.au_blocks > 0) "au_blocks must be positive";
+  check (t.block_bytes > 0) "block_bytes must be positive";
+  check (t.quorum > 0) "quorum must be positive";
+  check (t.max_disagree >= 0) "max_disagree must be non-negative";
+  check (t.max_disagree * 2 < t.quorum) "landslide margin must be under half the quorum";
+  check (t.inner_circle_factor >= 1) "inner_circle_factor must be at least 1";
+  check
+    (t.inner_circle_factor * t.quorum <= t.loyal_peers - 1)
+    "inner circle cannot exceed the available peers";
+  check (t.inter_poll_interval > 0.) "inter_poll_interval must be positive";
+  check
+    (t.inner_window_fraction > 0. && t.inner_window_fraction < 1.)
+    "inner_window_fraction must be in (0,1)";
+  check
+    (t.outer_window_fraction > t.inner_window_fraction && t.outer_window_fraction < 1.)
+    "outer_window_fraction must lie between inner window and 1";
+  check (t.drop_unknown >= 0. && t.drop_unknown <= 1.) "drop_unknown must be a probability";
+  check (t.drop_debt >= 0. && t.drop_debt <= 1.) "drop_debt must be a probability";
+  check (t.drop_unknown >= t.drop_debt) "unknown peers must be dropped at least as often";
+  check
+    (t.intro_effort_fraction > 0. && t.intro_effort_fraction < 1.)
+    "intro_effort_fraction must be in (0,1)";
+  check (t.effort_margin >= 1.) "effort_margin must be at least 1";
+  check (t.capacity > 0.) "capacity must be positive";
+  check (t.disk_mttf_years > 0.) "disk_mttf_years must be positive";
+  check (t.aus_per_disk > 0) "aus_per_disk must be positive";
+  check (t.refractory_period > 0.) "refractory_period must be positive";
+  check (t.vote_allowance > 0.) "vote_allowance must be positive";
+  check (t.reads_per_replica_per_day >= 0.) "reads rate must be non-negative";
+  check
+    (t.background_load >= 0. && t.background_load < 1.)
+    "background_load must be in [0,1)";
+  check (t.au_coverage > 0. && t.au_coverage <= 1.) "au_coverage must be in (0,1]";
+  check
+    (int_of_float (Float.round (t.au_coverage *. float_of_int t.loyal_peers))
+     > t.inner_circle_factor * t.quorum)
+    "au_coverage must leave each AU more holders than an inner circle"

@@ -1,0 +1,124 @@
+(** Protocol and simulation parameters.
+
+    {!default} matches Section 6.3 of the paper: quorum 10, landslide
+    margin 3 disagreeing votes, 3-month inter-poll interval, 1-day
+    refractory period, drop probabilities 0.90 (unknown) / 0.80 (in-debt),
+    0.5-GByte AUs, 50 AUs per disk, introductory effort at 20 % of the
+    poller's total provable effort.
+
+    The ablation switches ([admission_control_enabled],
+    [introductions_enabled], [effort_balancing_enabled], [desynchronized])
+    default to the paper's design and exist so the bench harness can
+    demonstrate what each defense buys. *)
+
+type t = {
+  (* Population and content *)
+  loyal_peers : int;  (** size of the loyal population (paper: 100) *)
+  aus : int;  (** AUs preserved by every peer (paper: 50–600) *)
+  au_blocks : int;  (** content blocks per AU *)
+  block_bytes : int;  (** bytes per block; AU size = blocks × bytes *)
+  friends_count : int;  (** static operator-maintained friends per peer *)
+  (* Poll structure *)
+  quorum : int;  (** minimum inner-circle votes for a valid poll *)
+  max_disagree : int;  (** landslide margin: at most this many dissenters *)
+  inner_circle_factor : int;  (** invite factor × quorum inner voters *)
+  outer_circle_size : int;  (** discovery solicitations per poll *)
+  reference_list_target : int;  (** reference-list size kept after updates *)
+  inter_poll_interval : float;  (** seconds between poll conclusions *)
+  (* Poll phase layout, as fractions of the inter-poll interval *)
+  inner_window_fraction : float;  (** inner-circle solicitation window *)
+  outer_window_fraction : float;  (** end of outer-circle window *)
+  max_solicit_attempts : int;  (** retries per reluctant inner voter *)
+  (* Per-exchange timers *)
+  ack_timeout : float;  (** poller waits this long for PollAck *)
+  proof_timeout : float;  (** voter waits this long for PollProof *)
+  vote_allowance : float;  (** voter must finish its vote within this *)
+  vote_timeout_slack : float;  (** poller's extra patience beyond allowance *)
+  (* Admission control *)
+  admission_control_enabled : bool;
+  refractory_period : float;  (** paper: 1 day *)
+  drop_unknown : float;  (** paper: 0.90 *)
+  drop_debt : float;  (** paper: 0.80 *)
+  grade_decay_period : float;  (** one grade step toward debt per period *)
+  introductions_enabled : bool;
+  max_outstanding_introductions : int;
+  (* Effort balancing *)
+  effort_balancing_enabled : bool;
+  intro_effort_fraction : float;  (** paper: 0.20 *)
+  effort_margin : float;  (** requester invests this factor over supplier *)
+  (* Desynchronization *)
+  desynchronized : bool;
+  (* Section 9 extension: modulate poll acceptance by recent busyness *)
+  adaptive_acceptance : bool;
+      (** When on, a voter accepts an admitted invitation with probability
+          falling in its schedule backlog, raising the marginal cost of
+          loading it further (the paper's future-work suggestion). *)
+  (* Repair behaviour *)
+  operator_response_time : float;
+      (** how long after an inconclusive-poll alarm a human operator
+          audits the AU against the publisher out-of-band and restores
+          the replica; <= 0 disables the operator model (alarms are
+          counted but unanswered). *)
+  frivolous_repair_prob : float;  (** per-poll probability of a frivolous repair *)
+  max_repair_attempts : int;
+  repair_timeout : float;  (** poller's patience per repair request *)
+  (* Discovery *)
+  nominations_per_vote : int;
+  (* Resources *)
+  capacity : float;  (** over-provisioning factor, reference-PC units *)
+  background_load : float;
+      (** fraction of each peer's capacity pre-committed to lower
+          "layers" of AUs, reproducing the paper's layering technique:
+          "layer n is a simulation of 50 AUs on peers already running a
+          realistic workload of 50(n-1) AUs". 0 disables. *)
+  cost : Effort.Cost_model.t;
+  (* Storage damage *)
+  disk_mttf_years : float;  (** mean years between block failures per disk *)
+  aus_per_disk : int;  (** paper: 50 *)
+  (* Network fidelity *)
+  network_model : Narses.Net.model;
+      (** the paper uses [Delay_only]; [Shared_bottleneck] adds
+          first-order congestion as a fidelity ablation *)
+  (* Collection diversity *)
+  au_coverage : float;
+      (** fraction of peers holding each AU. 1.0 is the paper's setup
+          ("all peers have replicas of all AUs; we do not yet simulate
+          the diversity of local collections"); lower values implement
+          that deferred diversity — every AU keeps at least an inner
+          circle's worth of holders. *)
+  (* Local readers *)
+  reads_per_replica_per_day : float;
+      (** rate of local-patron reads per (peer, AU); each read of a
+          damaged replica is an access failure. 0 disables the process
+          (the paper's metric is the time-averaged damaged fraction,
+          which reader sampling estimates empirically). *)
+}
+
+val default : t
+
+(** [au_bytes t] is the size of one AU replica. *)
+val au_bytes : t -> int
+
+(** [vote_work t] is the reference cost for a voter to produce one vote:
+    hashing its AU replica plus generating the vote's effort proof. *)
+val vote_work : t -> float
+
+(** [vote_proof_cost t] is the provable effort a vote must carry: enough
+    to cover the poller hashing one block plus proof verification. *)
+val vote_proof_cost : t -> float
+
+(** [solicitation_effort t] is the total provable effort a poller must
+    supply across Poll and PollProof for one solicitation. It exceeds, by
+    [effort_margin], the voter's cost to verify it and produce the
+    requested vote. *)
+val solicitation_effort : t -> float
+
+(** [intro_effort t] is the introductory share carried by the Poll
+    message; [remaining_effort t] is the balance carried by PollProof. *)
+val intro_effort : t -> float
+
+val remaining_effort : t -> float
+
+(** [validate t] raises [Invalid_argument] describing the first
+    inconsistent field combination, if any. *)
+val validate : t -> unit

@@ -1,0 +1,23 @@
+type t = Debt | Even | Credit
+
+let equal a b =
+  match (a, b) with
+  | Debt, Debt | Even, Even | Credit, Credit -> true
+  | (Debt | Even | Credit), _ -> false
+
+let pp ppf g =
+  Format.pp_print_string ppf
+    (match g with Debt -> "debt" | Even -> "even" | Credit -> "credit")
+
+let raise_grade = function Debt -> Even | Even -> Credit | Credit -> Credit
+let lower = function Credit -> Even | Even -> Debt | Debt -> Debt
+
+let rec decayed g ~steps =
+  if steps <= 0 then g
+  else begin
+    match g with
+    | Debt -> Debt
+    | Even | Credit -> decayed (lower g) ~steps:(steps - 1)
+  end
+
+let rank = function Debt -> 0 | Even -> 1 | Credit -> 2

@@ -1,0 +1,30 @@
+(** First-hand reputation grades.
+
+    "The entry holds a reputation grade for the peer, which is one of
+    three values: debt, even, or credit. ... Entries in the known-peers
+    list decay with time toward the debt grade."
+
+    A grade assigned by peer [P] to peer [Q] summarises the vote balance
+    between them: [Debt] means Q has supplied P fewer votes than P has
+    supplied Q; [Credit] the opposite; [Even] means they are square. *)
+
+type t = Debt | Even | Credit
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [raise_grade g] moves one step toward credit: debt→even, even→credit,
+    credit→credit. Applied by a poller to a voter that supplied a valid
+    vote (and repairs), and symmetric cases. *)
+val raise_grade : t -> t
+
+(** [lower t] moves one step toward debt: credit→even, even→debt,
+    debt→debt. Applied by a voter to a poller it has just supplied a vote
+    to. *)
+val lower : t -> t
+
+(** [decayed g ~steps] applies [steps] decay steps toward debt. *)
+val decayed : t -> steps:int -> t
+
+(** [rank g] orders grades: debt 0, even 1, credit 2. *)
+val rank : t -> int

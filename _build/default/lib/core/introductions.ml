@@ -1,0 +1,32 @@
+type t = {
+  max_outstanding : int;
+  mutable pairs : (Ids.Identity.t * Ids.Identity.t) list;  (* introducer, introducee *)
+}
+
+let create ~max_outstanding =
+  if max_outstanding < 0 then invalid_arg "Introductions.create: negative cap";
+  { max_outstanding; pairs = [] }
+
+let outstanding t = List.length t.pairs
+
+let add t ~introducer ~introducee =
+  let exists = List.mem (introducer, introducee) t.pairs in
+  if (not exists) && outstanding t < t.max_outstanding then
+    t.pairs <- (introducer, introducee) :: t.pairs
+
+let consume t ~introducee =
+  (* Honour the oldest outstanding introduction of this peer; pairs are
+     kept newest-first. *)
+  let matching = List.filter (fun (_, b) -> Ids.Identity.equal b introducee) t.pairs in
+  match List.rev matching with
+  | [] -> false
+  | (introducer, _) :: _ ->
+    t.pairs <-
+      List.filter
+        (fun (a, b) ->
+          (not (Ids.Identity.equal a introducer)) && not (Ids.Identity.equal b introducee))
+        t.pairs;
+    true
+
+let forget_introducer t introducer =
+  t.pairs <- List.filter (fun (a, _) -> not (Ids.Identity.equal a introducer)) t.pairs

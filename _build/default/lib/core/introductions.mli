@@ -1,0 +1,32 @@
+(** Outstanding peer introductions, per AU.
+
+    "A poll invitation from an introduced peer is treated as if coming
+    from a known peer with an even grade. This unobstructed admission
+    consumes the introduction in such a way that at most one introduction
+    is honored per (validly voting) introducer, and unused introductions
+    do not accumulate. Specifically, when consuming the introduction of
+    peer B by peer A for AU X, all other introductions of other
+    introducees by peer A for AU X are forgotten, as are all introductions
+    of peer B for X by other introducers. Furthermore, introductions by
+    peers who have entered and left the reference list are also removed,
+    and the maximum number of outstanding introductions is capped." *)
+
+type t
+
+val create : max_outstanding:int -> t
+
+(** [add t ~introducer ~introducee] records an introduction; ignored when
+    the cap is reached or the pair already exists. *)
+val add : t -> introducer:Ids.Identity.t -> introducee:Ids.Identity.t -> unit
+
+(** [consume t ~introducee] honours an outstanding introduction of
+    [introducee], if any: returns [true] and removes (a) all introductions
+    by the same introducer and (b) all other introductions of
+    [introducee]. *)
+val consume : t -> introducee:Ids.Identity.t -> bool
+
+(** [forget_introducer t introducer] drops all introductions by a peer
+    (e.g. one that left the reference list). *)
+val forget_introducer : t -> Ids.Identity.t -> unit
+
+val outstanding : t -> int

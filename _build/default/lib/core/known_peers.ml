@@ -1,0 +1,40 @@
+type entry = { mutable grade : Grade.t; mutable updated : float }
+type t = { decay_period : float; entries : (Ids.Identity.t, entry) Hashtbl.t }
+
+let create ~decay_period =
+  if decay_period <= 0. then invalid_arg "Known_peers.create: decay period";
+  { decay_period; entries = Hashtbl.create 32 }
+
+let decay_steps t entry ~now =
+  if now <= entry.updated then 0
+  else int_of_float ((now -. entry.updated) /. t.decay_period)
+
+let effective t entry ~now = Grade.decayed entry.grade ~steps:(decay_steps t entry ~now)
+
+let grade t ~now identity =
+  match Hashtbl.find_opt t.entries identity with
+  | None -> None
+  | Some entry -> Some (effective t entry ~now)
+
+let update t ~now identity f ~if_unknown =
+  match Hashtbl.find_opt t.entries identity with
+  | None -> Hashtbl.replace t.entries identity { grade = if_unknown; updated = now }
+  | Some entry ->
+    entry.grade <- f (effective t entry ~now);
+    entry.updated <- now
+
+let raise_grade t ~now identity =
+  update t ~now identity Grade.raise_grade ~if_unknown:Grade.Even
+
+let lower t ~now identity = update t ~now identity Grade.lower ~if_unknown:Grade.Debt
+
+let punish t ~now:_ identity = Hashtbl.remove t.entries identity
+
+let set t ~now identity grade =
+  Hashtbl.replace t.entries identity { grade; updated = now }
+
+let known t identity = Hashtbl.mem t.entries identity
+
+let entries t ~now =
+  Hashtbl.fold (fun id entry acc -> (id, effective t entry ~now) :: acc) t.entries []
+  |> List.sort compare

@@ -1,0 +1,45 @@
+(** Per-AU known-peers list with first-hand reputation.
+
+    "Each peer P maintains a known-peers list, separately for each AU it
+    preserves. The list contains an entry for every peer that P has
+    encountered in the past ... Entries decay with time toward the debt
+    grade."
+
+    Decay is applied lazily: an entry's effective grade at time [now] has
+    one step toward debt applied per elapsed [decay_period] since the last
+    explicit update. *)
+
+type t
+
+val create : decay_period:float -> t
+
+(** [grade t ~now identity] is the effective grade, or [None] for a peer
+    never encountered (an {e unknown} peer — treated more harshly than a
+    known in-debt peer by admission control). *)
+val grade : t -> now:float -> Ids.Identity.t -> Grade.t option
+
+(** [raise_grade t ~now identity] records a reciprocation (e.g. the peer
+    supplied a valid vote): one step toward credit from the current
+    effective grade. Unknown peers enter at [Even] (debt raised once). *)
+val raise_grade : t -> now:float -> Ids.Identity.t -> unit
+
+(** [lower t ~now identity] records a consumption (e.g. we supplied the
+    peer a vote): one step toward debt. Unknown peers enter at [Debt]. *)
+val lower : t -> now:float -> Ids.Identity.t -> unit
+
+(** [punish t ~now identity] records misbehaviour by forgetting the peer
+    entirely: a misbehaver is treated as {e unknown} from then on, which
+    admission control drops harder (0.90) than a known in-debt peer
+    (0.80) — whitewashing by deserting buys nothing. *)
+val punish : t -> now:float -> Ids.Identity.t -> unit
+
+(** [set t ~now identity grade] forces an entry (used to seed adversary
+    identities with a debt grade, and in tests). *)
+val set : t -> now:float -> Ids.Identity.t -> Grade.t -> unit
+
+(** [known t identity] ignores decay and reports whether the peer was ever
+    encountered. *)
+val known : t -> Ids.Identity.t -> bool
+
+(** [entries t ~now] lists (identity, effective grade) pairs. *)
+val entries : t -> now:float -> (Ids.Identity.t * Grade.t) list

@@ -1,0 +1,37 @@
+type payload =
+  | Poll of { poll_id : int; intro : Effort.Proof.t }
+  | Poll_ack of { poll_id : int; accepted : bool }
+  | Poll_proof of { poll_id : int; remaining : Effort.Proof.t; nonce : int64 }
+  | Vote_msg of { poll_id : int; vote : Vote.t }
+  | Repair_request of { poll_id : int; block : int }
+  | Repair of { poll_id : int; block : int; version : int }
+  | Evaluation_receipt of { poll_id : int; receipt : int64 * int64 }
+  | Garbage of { claimed_bytes : int }
+
+type t = { identity : Ids.Identity.t; au : Ids.Au_id.t; payload : payload }
+
+let wire_bytes (cfg : Config.t) msg =
+  match msg.payload with
+  | Poll _ -> 1024
+  | Poll_ack _ -> 128
+  | Poll_proof _ -> 1024
+  | Vote_msg { vote; _ } -> Vote.wire_bytes vote ~blocks:cfg.Config.au_blocks
+  | Repair_request _ -> 128
+  | Repair _ -> cfg.Config.block_bytes + 128
+  | Evaluation_receipt _ -> 128
+  | Garbage { claimed_bytes } -> claimed_bytes
+
+let pp ppf msg =
+  let kind =
+    match msg.payload with
+    | Poll _ -> "Poll"
+    | Poll_ack { accepted; _ } -> if accepted then "PollAck+" else "PollAck-"
+    | Poll_proof _ -> "PollProof"
+    | Vote_msg _ -> "Vote"
+    | Repair_request _ -> "RepairRequest"
+    | Repair _ -> "Repair"
+    | Evaluation_receipt _ -> "EvaluationReceipt"
+    | Garbage _ -> "Garbage"
+  in
+  Format.fprintf ppf "%s from %a on %a" kind Ids.Identity.pp msg.identity Ids.Au_id.pp
+    msg.au

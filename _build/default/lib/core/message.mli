@@ -1,0 +1,32 @@
+(** Protocol messages (Figure 1 of the paper) plus attack traffic.
+
+    Every message claims a sender {e identity}; the network layer reveals
+    only the source {e node}, and loyal peers cannot tell a masquerading
+    adversary from a loyal peer (adversary capability: masquerading,
+    unconstrained identities). Replies are routed to the source node. *)
+
+type payload =
+  | Poll of { poll_id : int; intro : Effort.Proof.t }
+      (** invitation to vote; carries introductory effort *)
+  | Poll_ack of { poll_id : int; accepted : bool }
+      (** acceptance (resources reserved) or refusal *)
+  | Poll_proof of { poll_id : int; remaining : Effort.Proof.t; nonce : int64 }
+      (** balance of the poller's effort plus the vote nonce *)
+  | Vote_msg of { poll_id : int; vote : Vote.t }
+  | Repair_request of { poll_id : int; block : int }
+  | Repair of { poll_id : int; block : int; version : int }
+      (** block content; version 0 is the publisher content *)
+  | Evaluation_receipt of { poll_id : int; receipt : int64 * int64 }
+      (** proof that the poller evaluated the vote *)
+  | Garbage of { claimed_bytes : int }
+      (** attack filler: an ostensible invitation with no valid content *)
+
+type t = { identity : Ids.Identity.t; au : Ids.Au_id.t; payload : payload }
+
+(** [wire_bytes cfg msg] is the message's network size, used for
+    serialisation delay. Votes scale with the AU block count; repairs with
+    the block size. *)
+val wire_bytes : Config.t -> t -> int
+
+(** [pp ppf msg] prints a compact trace form. *)
+val pp : Format.formatter -> t -> unit

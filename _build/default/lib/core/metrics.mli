@@ -1,0 +1,84 @@
+(** Metrics collection for the four evaluation measures of Section 6.1.
+
+    - {e access failure probability}: fraction of all replicas damaged,
+      averaged over all time points — a time-weighted integral of the
+      damaged-replica count.
+    - {e delay ratio}: mean time between successful polls under attack
+      over the same without attack — this module reports the mean gap;
+      the experiment harness forms the ratio between paired runs.
+    - {e coefficient of friction}: loyal effort per successful poll under
+      attack over the same without attack — ditto.
+    - {e cost ratio}: total adversary effort over total defender effort
+      during the attack. *)
+
+type t
+
+type poll_outcome =
+  | Success  (** quorate, landslide outcome, receipts sent *)
+  | Inquorate  (** too few votes obtained by evaluation time *)
+  | Alarmed  (** no landslide: inconclusive-poll alarm raised *)
+
+(** [create ~replicas ~start] begins collection over a system holding
+    [replicas] (peer, AU) replicas in total. *)
+val create : replicas:int -> start:float -> t
+
+(** Replica damage-state transitions (only transitions, not every event). *)
+val on_replica_damaged : t -> now:float -> unit
+
+val on_replica_repaired : t -> now:float -> unit
+
+(** [on_poll_concluded t ~peer ~au ~now outcome] records a poll's end at
+    its caller. *)
+val on_poll_concluded :
+  t -> peer:Ids.Identity.t -> au:Ids.Au_id.t -> now:float -> poll_outcome -> unit
+
+(** [successes_of t peer] counts the peer's successful polls so far
+    (across all its AUs) — used by churn experiments to compare newcomer
+    and incumbent audit rates. *)
+val successes_of : t -> Ids.Identity.t -> int
+
+(** Effort accounting, in reference-CPU seconds. *)
+val charge_loyal : t -> float -> unit
+
+val charge_adversary : t -> float -> unit
+
+(** Counters. *)
+val on_invitation_considered : t -> unit
+
+val on_invitation_dropped : t -> unit
+val on_repair : t -> unit
+val on_vote_supplied : t -> unit
+
+(** [on_read t ~failed] records a local patron access; [failed] when the
+    replica read was damaged. *)
+val on_read : t -> failed:bool -> unit
+
+type summary = {
+  horizon : float;  (** simulated seconds covered *)
+  replicas : int;
+  access_failure_probability : float;
+  polls_succeeded : int;
+  polls_inquorate : int;
+  polls_alarmed : int;
+  mean_success_gap : float;
+      (** mean time between successful polls at a peer on an AU; [infinity]
+          when fewer than two successes were observed anywhere *)
+  loyal_effort : float;
+  adversary_effort : float;
+  effort_per_successful_poll : float;  (** [infinity] with zero successes *)
+  invitations_considered : int;
+  invitations_dropped : int;
+  repairs : int;
+  votes_supplied : int;
+  reads : int;
+  reads_failed : int;
+  empirical_read_failure : float;
+      (** fraction of reads that hit damaged content; [nan] with no
+          reads. An unbiased estimator of [access_failure_probability]. *)
+}
+
+(** [finalize t ~now] closes the integrals at [now] and summarises. *)
+val finalize : t -> now:float -> summary
+
+(** [pp_summary ppf s] prints a multi-line human-readable report. *)
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,125 @@
+type candidate_status =
+  | Not_invited
+  | Awaiting_ack of Narses.Engine.event_id
+  | Awaiting_vote of Narses.Engine.event_id
+  | Voted
+  | Failed
+
+type candidate = {
+  cand_identity : Ids.Identity.t;
+  inner : bool;
+  mutable attempts : int;
+  mutable status : candidate_status;
+  mutable cand_nonce : int64;
+}
+
+type poll_phase = Soliciting | Repairing | Concluded
+
+type poll = {
+  poll_id : int;
+  poll_au : Ids.Au_id.t;
+  started_at : float;
+  inner_deadline : float;
+  outer_deadline : float;
+  mutable candidates : candidate list;
+  mutable votes : (candidate * Vote.t) list;
+  mutable nominations : Ids.Identity.t list;
+  mutable phase : poll_phase;
+  mutable pending_repairs : (int * Ids.Identity.t list) list;
+  mutable repair_timer : Narses.Engine.event_id option;
+  mutable repair_attempts : int;
+  mutable alarmed : bool;
+}
+
+type voter_state =
+  | Awaiting_proof of Narses.Engine.event_id
+  | Computing
+  | Voted_waiting_receipt of Narses.Engine.event_id
+  | Closed
+
+type voter_session = {
+  vs_poller : Ids.Identity.t;
+  vs_poller_node : Narses.Topology.node;
+  vs_au : Ids.Au_id.t;
+  vs_poll_id : int;
+  mutable vs_reservation : Effort.Task_schedule.reservation option;
+  mutable vs_finish : float;
+  mutable vs_nonce : int64;
+  mutable vs_vote : Vote.t option;
+  mutable vs_state : voter_state;
+}
+
+type au_state = {
+  au : Ids.Au_id.t;
+  held : bool;
+  replica : Replica.t;
+  known : Known_peers.t;
+  admission : Admission.t;
+  reference : Reference_list.t;
+  mutable current_poll : poll option;
+}
+
+type t = {
+  node : Narses.Topology.node;
+  identity : Ids.Identity.t;
+  friends : Ids.Identity.t list;
+  schedule : Effort.Task_schedule.t;
+  rng : Repro_prelude.Rng.t;
+  aus : au_state array;
+  mutable poll_counter : int;
+  voter_sessions : (Ids.Identity.t * Ids.Au_id.t * int, voter_session) Hashtbl.t;
+  mutable active : bool;
+}
+
+type ctx = {
+  engine : Narses.Engine.t;
+  net : Message.t Narses.Net.t;
+  cfg : Config.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
+  peers : t array;
+  identity_nodes : (Ids.Identity.t, Narses.Topology.node) Hashtbl.t;
+}
+
+let au_state peer au = peer.aus.(au)
+
+let node_of_identity ctx identity =
+  if identity >= 0 && identity < Array.length ctx.peers then identity
+  else begin
+    match Hashtbl.find_opt ctx.identity_nodes identity with
+    | Some node -> node
+    | None -> invalid_arg "Peer.node_of_identity: unknown identity"
+  end
+
+let register_identity ctx identity node = Hashtbl.replace ctx.identity_nodes identity node
+
+let fresh_poll_id peer =
+  peer.poll_counter <- peer.poll_counter + 1;
+  peer.poll_counter
+
+let send ctx ~from ~to_node msg =
+  let bytes = Message.wire_bytes ctx.cfg msg in
+  Narses.Net.send ctx.net ~src:from.node ~dst:to_node ~bytes msg
+
+let charge_and_delay ctx peer ~work =
+  Metrics.charge_loyal ctx.metrics work;
+  let now = Narses.Engine.now ctx.engine in
+  let _, finish = Effort.Task_schedule.reserve_unchecked peer.schedule ~now ~work in
+  finish
+
+let charge ctx ~work = Metrics.charge_loyal ctx.metrics work
+
+let session_key session = (session.vs_poller, session.vs_au, session.vs_poll_id)
+
+let fallback_identities peer st ~now =
+  let known_good =
+    Known_peers.entries st.known ~now
+    |> List.filter_map (fun (id, grade) ->
+           match grade with
+           | Grade.Debt -> None
+           | Grade.Even | Grade.Credit ->
+             if Ids.Identity.equal id peer.identity then None else Some id)
+  in
+  (* Friends come from the per-AU reference list, which was filtered to
+     holders of the AU at bootstrap. *)
+  List.sort_uniq Ids.Identity.compare (known_good @ Reference_list.friends st.reference)

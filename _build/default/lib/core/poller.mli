@@ -1,0 +1,43 @@
+(** Poller-side protocol logic: the poll state machine.
+
+    A poll runs for one inter-poll interval: inner-circle solicitations
+    spread over the first window (desynchronization), outer-circle
+    (discovery) solicitations over the second, then vote evaluation, the
+    repair exchange for any landslide-disagreeing blocks, receipts, and
+    the reference-list update. The next poll on the AU is scheduled at a
+    fixed rate regardless of outcome — rate limitation means a peer never
+    backs off nor speeds up in response to adversity. *)
+
+(** [start_poll ctx peer st] begins a poll on [st]'s AU now and schedules
+    the following poll one inter-poll interval out. If a previous poll on
+    the AU is somehow still active, the new one is skipped (the fixed-rate
+    clock still ticks). *)
+val start_poll : Peer.ctx -> Peer.t -> Peer.au_state -> unit
+
+val on_poll_ack :
+  Peer.ctx ->
+  Peer.t ->
+  identity:Ids.Identity.t ->
+  au:Ids.Au_id.t ->
+  poll_id:int ->
+  accepted:bool ->
+  unit
+
+val on_vote :
+  Peer.ctx ->
+  Peer.t ->
+  identity:Ids.Identity.t ->
+  au:Ids.Au_id.t ->
+  poll_id:int ->
+  vote:Vote.t ->
+  unit
+
+val on_repair :
+  Peer.ctx ->
+  Peer.t ->
+  identity:Ids.Identity.t ->
+  au:Ids.Au_id.t ->
+  poll_id:int ->
+  block:int ->
+  version:int ->
+  unit

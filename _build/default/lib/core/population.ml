@@ -1,0 +1,296 @@
+module Engine = Narses.Engine
+module Rng = Repro_prelude.Rng
+module Duration = Repro_prelude.Duration
+
+type t = {
+  cfg : Config.t;
+  ctx : Peer.ctx;
+  topology : Narses.Topology.t;
+  partition : Narses.Partition.t;
+  rng : Rng.t;
+  extra : Narses.Topology.node list;
+}
+
+let rec dispatch ctx peer ~src (msg : Message.t) =
+  if not peer.Peer.active then ()
+  else begin
+    dispatch_active ctx peer ~src msg
+  end
+
+and dispatch_active ctx peer ~src (msg : Message.t) =
+  let identity = msg.Message.identity and au = msg.Message.au in
+  match msg.Message.payload with
+  | Message.Poll { poll_id; intro } ->
+    Voter.on_poll ctx peer ~src ~identity ~au ~poll_id ~intro
+  | Message.Poll_ack { poll_id; accepted } ->
+    Poller.on_poll_ack ctx peer ~identity ~au ~poll_id ~accepted
+  | Message.Poll_proof { poll_id; remaining; nonce } ->
+    Voter.on_poll_proof ctx peer ~identity ~au ~poll_id ~remaining ~nonce
+  | Message.Vote_msg { poll_id; vote } -> Poller.on_vote ctx peer ~identity ~au ~poll_id ~vote
+  | Message.Repair_request { poll_id; block } ->
+    Voter.on_repair_request ctx peer ~identity ~au ~poll_id ~block
+  | Message.Repair { poll_id; block; version } ->
+    Poller.on_repair ctx peer ~identity ~au ~poll_id ~block ~version
+  | Message.Evaluation_receipt { poll_id; receipt } ->
+    Voter.on_receipt ctx peer ~identity ~au ~poll_id ~receipt
+  | Message.Garbage _ -> Voter.on_garbage ctx peer ~identity ~au
+
+let all_identities cfg = List.init cfg.Config.loyal_peers (fun i -> i)
+
+(* Which peers hold which AUs. Full coverage is the paper's setup; lower
+   coverage assigns each AU a random holder subset that is always larger
+   than an inner circle, so polls remain possible. *)
+let assign_holdings cfg rng ~loyal =
+  let aus = cfg.Config.aus in
+  let holding = Array.make_matrix loyal aus (cfg.Config.au_coverage >= 1.) in
+  if cfg.Config.au_coverage < 1. then begin
+    let holders_per_au =
+      max
+        ((cfg.Config.inner_circle_factor * cfg.Config.quorum) + 1)
+        (int_of_float (Float.round (cfg.Config.au_coverage *. float_of_int loyal)))
+    in
+    let everyone = List.init loyal (fun i -> i) in
+    for au = 0 to aus - 1 do
+      List.iter
+        (fun peer -> holding.(peer).(au) <- true)
+        (Rng.sample rng holders_per_au everyone)
+    done
+  end;
+  holding
+
+let make_peer cfg rng holding node =
+  let peer_rng = Rng.split rng in
+  let others = List.filter (fun i -> i <> node) (all_identities cfg) in
+  let friends = Rng.sample peer_rng cfg.Config.friends_count others in
+  let aus =
+    Array.init cfg.Config.aus (fun au ->
+        let held = holding.(node).(au) in
+        let holders = List.filter (fun id -> holding.(id).(au)) others in
+        let au_friends = List.filter (fun id -> holding.(id).(au)) friends in
+        let initial = Rng.sample peer_rng cfg.Config.reference_list_target holders in
+        let known = Known_peers.create ~decay_period:cfg.Config.grade_decay_period in
+        (* Bootstrap reciprocity: the initial reference list models peers
+           learned while crawling the publisher together, so they start on
+           an even footing rather than as strangers. *)
+        List.iter
+          (fun id -> Known_peers.set known ~now:0. id Grade.Even)
+          (au_friends @ initial);
+        {
+          Peer.au;
+          held;
+          replica = Replica.create ~au ~blocks:cfg.Config.au_blocks;
+          known;
+          admission = Admission.create cfg;
+          reference =
+            Reference_list.create ~target:cfg.Config.reference_list_target
+              ~friends:au_friends ~initial;
+          current_poll = None;
+        })
+  in
+  {
+    Peer.node;
+    identity = node;
+    friends;
+    schedule = Effort.Task_schedule.create ~capacity:cfg.Config.capacity;
+    rng = peer_rng;
+    aus;
+    poll_counter = 0;
+    voter_sessions = Hashtbl.create 64;
+    active = true;
+  }
+
+let held_aus (peer : Peer.t) =
+  Array.to_list peer.Peer.aus
+  |> List.filter_map (fun (st : Peer.au_state) ->
+         if st.Peer.held then Some st.Peer.au else None)
+
+let schedule_damage_process t (peer : Peer.t) =
+  let cfg = t.cfg in
+  match Array.of_list (held_aus peer) with
+  | [||] -> ()
+  | held ->
+    let disks =
+      float_of_int (Array.length held) /. float_of_int cfg.Config.aus_per_disk
+    in
+    let mttf_seconds = Duration.of_years cfg.Config.disk_mttf_years in
+    let mean_interarrival = mttf_seconds /. Float.max disks 1e-9 in
+    let rng = Rng.split peer.Peer.rng in
+    let rec schedule_next () =
+      let delay = Rng.exponential rng ~mean:mean_interarrival in
+      ignore
+        (Engine.schedule_in t.ctx.Peer.engine ~after:delay (fun () ->
+             let au = Rng.pick rng held in
+             let block = Rng.int rng cfg.Config.au_blocks in
+             let version = 1 + Rng.int rng 1_000_000 in
+             let st = Peer.au_state peer au in
+             let was_clean = Replica.damage st.Peer.replica ~block ~version in
+             if was_clean then
+               Metrics.on_replica_damaged t.ctx.Peer.metrics
+                 ~now:(Engine.now t.ctx.Peer.engine);
+             schedule_next ()))
+    in
+    schedule_next ()
+
+let schedule_reader_process t (peer : Peer.t) =
+  let cfg = t.cfg in
+  let rate = cfg.Config.reads_per_replica_per_day in
+  match Array.of_list (held_aus peer) with
+  | [||] -> ()
+  | held ->
+    if rate > 0. then begin
+      let mean = Duration.day /. rate /. float_of_int (Array.length held) in
+      let rng = Rng.split peer.Peer.rng in
+      let rec schedule_next () =
+        let delay = Rng.exponential rng ~mean in
+        ignore
+          (Engine.schedule_in t.ctx.Peer.engine ~after:delay (fun () ->
+               let au = Rng.pick rng held in
+               let st = Peer.au_state peer au in
+               Metrics.on_read t.ctx.Peer.metrics
+                 ~failed:(Replica.is_damaged st.Peer.replica);
+               schedule_next ()))
+      in
+      schedule_next ()
+    end
+
+let schedule_background_load t (peer : Peer.t) =
+  let cfg = t.cfg in
+  let fraction = cfg.Config.background_load in
+  if fraction > 0. then begin
+    (* Book the lower layers' work in hourly slices so the schedule stays
+       realistically contended rather than blocked solid. *)
+    let period = Duration.hour in
+    let work = fraction *. period *. cfg.Config.capacity in
+    let rec book () =
+      let now = Engine.now t.ctx.Peer.engine in
+      ignore (Effort.Task_schedule.reserve_unchecked peer.Peer.schedule ~now ~work);
+      ignore (Engine.schedule_in t.ctx.Peer.engine ~after:period book)
+    in
+    book ()
+  end
+
+let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
+  Config.validate cfg;
+  if dormant < 0 then invalid_arg "Population.create: dormant must be non-negative";
+  let rng = Rng.create seed in
+  let engine = Engine.create () in
+  let loyal = cfg.Config.loyal_peers + dormant in
+  let nodes = loyal + extra_nodes in
+  let topology = Narses.Topology.create ~rng:(Rng.split rng) ~nodes in
+  let partition = Narses.Partition.create ~nodes in
+  let net = Narses.Net.create ~model:cfg.Config.network_model ~engine ~topology ~partition () in
+  let holding = assign_holdings cfg (Rng.split rng) ~loyal in
+  let replicas =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun acc h -> if h then acc + 1 else acc) acc row)
+      0 holding
+  in
+  let metrics = Metrics.create ~replicas ~start:0. in
+  let peers = Array.init loyal (make_peer cfg rng holding) in
+  let ctx =
+    {
+      Peer.engine;
+      net;
+      cfg;
+      metrics;
+      trace = Trace.create ();
+      peers;
+      identity_nodes = Hashtbl.create 64;
+    }
+  in
+  (* Dormant peers (indices after the initially-active population) join
+     later through {!activate}. *)
+  for i = cfg.Config.loyal_peers to loyal - 1 do
+    peers.(i).Peer.active <- false
+  done;
+  let t =
+    {
+      cfg;
+      ctx;
+      topology;
+      partition;
+      rng;
+      extra = List.init extra_nodes (fun i -> loyal + i);
+    }
+  in
+  Array.iter
+    (fun peer -> Narses.Net.register net peer.Peer.node (dispatch ctx peer))
+    peers;
+  (* Start every (peer, AU) poll clock at a random phase so the population
+     begins desynchronized, and attach each peer's damage process. *)
+  Array.iter
+    (fun peer ->
+      if peer.Peer.active then begin
+        Array.iter
+          (fun (st : Peer.au_state) ->
+            if st.Peer.held then begin
+              let phase =
+                Rng.uniform peer.Peer.rng ~lo:0. ~hi:cfg.Config.inter_poll_interval
+              in
+              ignore
+                (Engine.schedule engine ~at:phase (fun () -> Poller.start_poll ctx peer st))
+            end)
+          peer.Peer.aus;
+        schedule_damage_process t peer;
+        schedule_reader_process t peer;
+        schedule_background_load t peer
+      end)
+    peers;
+  t
+
+let ctx t = t.ctx
+let trace t = t.ctx.Peer.trace
+let engine t = t.ctx.Peer.engine
+let topology t = t.topology
+let partition t = t.partition
+let split_rng t = Rng.split t.rng
+let loyal_nodes t =
+  Array.to_list t.ctx.Peer.peers
+  |> List.filter_map (fun p -> if p.Peer.active then Some p.Peer.node else None)
+let extra_nodes t = t.extra
+
+let seed_debt_identities t ids =
+  Array.iter
+    (fun peer ->
+      Array.iter
+        (fun st ->
+          List.iter (fun id -> Known_peers.set st.Peer.known ~now:0. id Grade.Debt) ids)
+        peer.Peer.aus)
+    t.ctx.Peer.peers
+
+let damaged_replicas t =
+  Array.fold_left
+    (fun acc peer ->
+      Array.fold_left
+        (fun acc st -> if Replica.is_damaged st.Peer.replica then acc + 1 else acc)
+        acc peer.Peer.aus)
+    0 t.ctx.Peer.peers
+
+let activate t ~node =
+  let peer = t.ctx.Peer.peers.(node) in
+  if not peer.Peer.active then begin
+    peer.Peer.active <- true;
+    let engine = t.ctx.Peer.engine in
+    let now = Engine.now engine in
+    Array.iter
+      (fun (st : Peer.au_state) ->
+        if st.Peer.held then begin
+          let phase =
+            Rng.uniform peer.Peer.rng ~lo:0. ~hi:t.cfg.Config.inter_poll_interval
+          in
+          ignore
+            (Engine.schedule engine ~at:(now +. phase) (fun () ->
+                 Poller.start_poll t.ctx peer st))
+        end)
+      peer.Peer.aus;
+    schedule_damage_process t peer
+  end
+
+let default_handler t node ~src msg = dispatch t.ctx t.ctx.Peer.peers.(node) ~src msg
+
+let dormant_nodes t =
+  Array.to_list t.ctx.Peer.peers
+  |> List.filter_map (fun p -> if p.Peer.active then None else Some p.Peer.node)
+
+let run t ~until = Engine.run_until t.ctx.Peer.engine ~limit:until
+let summary t = Metrics.finalize t.ctx.Peer.metrics ~now:(Engine.now t.ctx.Peer.engine)

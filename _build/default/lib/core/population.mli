@@ -1,0 +1,65 @@
+(** Builds and drives a whole simulated deployment.
+
+    Wires the network, the loyal peer population, the storage-damage
+    process, and the initial (randomly phased) poll schedule; adversary
+    modules attach to the exposed context and extra nodes before {!run}.
+
+    Loyal peers occupy nodes [0 .. loyal_peers-1] and use their node index
+    as their identity; [extra_nodes] adds adversary minion nodes after
+    them. *)
+
+type t
+
+(** [create ?seed ?extra_nodes ?dormant cfg] validates [cfg] and builds
+    the deployment. Equal seeds give bit-identical runs. [dormant] peers
+    are created in addition to [cfg.loyal_peers] but stay inactive —
+    ignoring all traffic and calling no polls — until {!activate}d; they
+    model the churn of new loyal peers joining over time (the paper's
+    Section 9). *)
+val create : ?seed:int -> ?extra_nodes:int -> ?dormant:int -> Config.t -> t
+
+val ctx : t -> Peer.ctx
+
+(** [trace t] is the protocol event stream; subscribe before {!run}. *)
+val trace : t -> Trace.t
+val engine : t -> Narses.Engine.t
+val topology : t -> Narses.Topology.t
+val partition : t -> Narses.Partition.t
+
+(** [split_rng t] derives an independent random stream (for adversary
+    modules) without perturbing the population's own streams. *)
+val split_rng : t -> Repro_prelude.Rng.t
+
+(** [loyal_nodes t] lists the currently active loyal peers. *)
+val loyal_nodes : t -> Narses.Topology.node list
+
+(** [dormant_nodes t] lists loyal peers that have not joined yet. *)
+val dormant_nodes : t -> Narses.Topology.node list
+
+(** [activate t ~node] brings a dormant peer online now: it starts
+    calling polls (random phase) and suffering storage damage, and begins
+    answering protocol traffic. Idempotent. *)
+val activate : t -> node:Narses.Topology.node -> unit
+
+val extra_nodes : t -> Narses.Topology.node list
+
+(** [seed_debt_identities t ids] makes every loyal peer already know each
+    identity in [ids] with a debt grade on every AU — the paper's
+    conservative initialisation for the brute-force adversary. *)
+val seed_debt_identities : t -> Ids.Identity.t list -> unit
+
+(** [default_handler t node] is the node's normal protocol dispatch;
+    adversaries that compromise a loyal peer (subversion) re-register a
+    handler of their own and delegate the honest-looking parts to it. *)
+val default_handler :
+  t -> Narses.Topology.node -> src:Narses.Topology.node -> Message.t -> unit
+
+(** [damaged_replicas t] counts replicas currently deviating from the
+    publisher content (for tests and progress reporting). *)
+val damaged_replicas : t -> int
+
+(** [run t ~until] executes the simulation up to absolute time [until]. *)
+val run : t -> until:float -> unit
+
+(** [summary t] finalises metrics at the current simulation time. *)
+val summary : t -> Metrics.summary

@@ -1,0 +1,42 @@
+module Rng = Repro_prelude.Rng
+
+type t = {
+  target : int;
+  friends : Ids.Identity.t list;
+  mutable members : Ids.Identity.t list;
+}
+
+let dedup ids = List.sort_uniq Ids.Identity.compare ids
+
+let create ~target ~friends ~initial =
+  if target <= 0 then invalid_arg "Reference_list.create: target must be positive";
+  { target; friends; members = dedup (initial @ friends) }
+
+let members t = t.members
+let friends t = t.friends
+let size t = List.length t.members
+let mem t identity = List.exists (Ids.Identity.equal identity) t.members
+let insert t identity = if not (mem t identity) then t.members <- identity :: t.members
+
+let remove t identity =
+  t.members <- List.filter (fun m -> not (Ids.Identity.equal m identity)) t.members
+
+let sample t ~rng ~count ~excluding =
+  let eligible =
+    List.filter (fun m -> not (List.exists (Ids.Identity.equal m) excluding)) t.members
+  in
+  Rng.sample rng count eligible
+
+let nominate t ~rng ~count = Rng.sample rng count t.members
+
+let update t ~rng ~voted ~agreeing_outer ~fallback =
+  List.iter (remove t) voted;
+  List.iter (insert t) agreeing_outer;
+  (* Friend bias: a few friends re-enter with every poll. *)
+  let friend_sample = Rng.sample rng (max 1 (List.length t.friends / 2)) t.friends in
+  List.iter (insert t) friend_sample;
+  if size t < t.target then begin
+    let missing = t.target - size t in
+    let candidates = List.filter (fun c -> not (mem t c)) fallback in
+    List.iter (insert t) (Rng.sample rng missing candidates)
+  end

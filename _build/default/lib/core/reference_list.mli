@@ -1,0 +1,53 @@
+(** Per-AU reference list: the population a poller samples voters from.
+
+    "The reference list contains mostly peers that have agreed with the
+    poller in recent polls on the AU, and a few peers from its static
+    friends list." At poll conclusion the poller "updates its reference
+    list by removing all voters whose votes determined the poll outcome
+    and by inserting all agreeing outer-circle voters and some peers from
+    the friends list". Removal churns the sample so an adversary cannot
+    park identities in it; friend insertion (friend bias) guarantees a
+    trusted trickle. *)
+
+type t
+
+(** [create ~target ~friends ~initial] seeds the list with [initial]
+    (bootstrap: peers learned from the publisher) plus friends; [target]
+    is the size {!update} tops back up to. *)
+val create : target:int -> friends:Ids.Identity.t list -> initial:Ids.Identity.t list -> t
+
+val members : t -> Ids.Identity.t list
+
+(** [friends t] is the static friend set supplied at creation (already
+    filtered to peers that hold the AU). *)
+val friends : t -> Ids.Identity.t list
+val size : t -> int
+val mem : t -> Ids.Identity.t -> bool
+
+(** [sample t ~rng ~count ~excluding] draws up to [count] distinct members
+    uniformly, never drawing from [excluding]. *)
+val sample :
+  t -> rng:Repro_prelude.Rng.t -> count:int -> excluding:Ids.Identity.t list ->
+  Ids.Identity.t list
+
+(** [nominate t ~rng ~count] is the random subset a voter includes in its
+    Vote message. *)
+val nominate : t -> rng:Repro_prelude.Rng.t -> count:int -> Ids.Identity.t list
+
+(** [update t ~rng ~voted ~agreeing_outer ~fallback] applies the
+    poll-conclusion rule: remove [voted], insert [agreeing_outer] and a
+    friend sample, then top up toward the target from [fallback] (peers
+    known to preserve the AU) if discovery alone left the list short. *)
+val update :
+  t ->
+  rng:Repro_prelude.Rng.t ->
+  voted:Ids.Identity.t list ->
+  agreeing_outer:Ids.Identity.t list ->
+  fallback:Ids.Identity.t list ->
+  unit
+
+(** [insert t identity] adds a member idempotently. *)
+val insert : t -> Ids.Identity.t -> unit
+
+(** [remove t identity] deletes a member if present. *)
+val remove : t -> Ids.Identity.t -> unit

@@ -1,0 +1,42 @@
+(** A peer's local replica of one archival unit.
+
+    Content is modelled symbolically: every block of the publisher's AU
+    has version [0]; storage damage rewrites a block to a non-zero
+    version. The replica therefore only stores its {e deviations} from the
+    publisher version (a sparse table), which keeps simulating
+    half-gigabyte AUs cheap while preserving everything the protocol can
+    observe — whether two replicas' hashes agree block by block, and which
+    blocks need repair. The {e cost} of hashing full replicas is charged
+    separately through the cost model. *)
+
+type t
+
+(** [create ~au ~blocks] is a pristine replica (all blocks version 0). *)
+val create : au:Ids.Au_id.t -> blocks:int -> t
+
+val au : t -> Ids.Au_id.t
+val block_count : t -> int
+
+(** [version t block] is the stored version of [block]
+    (0 = publisher's). *)
+val version : t -> int -> int
+
+(** [is_damaged t] holds when any block deviates from the publisher
+    version. *)
+val is_damaged : t -> bool
+
+val damaged_blocks : t -> (int * int) list
+
+(** [damage t ~block ~version] overwrites [block] with a corrupt
+    [version] (non-zero); returns [true] when the replica transitioned
+    from clean to damaged. *)
+val damage : t -> block:int -> version:int -> bool
+
+(** [write t ~block ~version] installs a repair payload; version 0
+    restores the publisher content. Returns [true] when the replica
+    transitioned from damaged to clean. *)
+val write : t -> block:int -> version:int -> bool
+
+(** [snapshot t] is the damaged-block list at this instant, detached from
+    future mutation — what a vote captures. *)
+val snapshot : t -> (int * int) list

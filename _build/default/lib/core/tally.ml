@@ -1,0 +1,41 @@
+type block_outcome =
+  | Landslide_agree
+  | Landslide_disagree of Ids.Identity.t list
+  | Inconclusive
+
+let classify ~votes ~block ~poller_version ~max_disagree =
+  match votes with
+  | [] -> invalid_arg "Tally.classify: no votes"
+  | _ :: _ ->
+    let total = List.length votes in
+    let dissenters =
+      List.filter (fun v -> not (Vote.agrees_on v ~block ~poller_version)) votes
+    in
+    let disagreeing = List.length dissenters in
+    let agreeing = total - disagreeing in
+    if disagreeing <= max_disagree then Landslide_agree
+    else if agreeing <= max_disagree then
+      Landslide_disagree (List.map (fun (v : Vote.t) -> v.Vote.voter) dissenters)
+    else Inconclusive
+
+let blocks_to_inspect ~poller_damage ~votes =
+  let add acc (block, _version) = block :: acc in
+  let from_poller = List.fold_left add [] poller_damage in
+  let from_votes =
+    List.fold_left
+      (fun acc (v : Vote.t) ->
+        if v.Vote.bogus then 0 :: acc else List.fold_left add acc v.Vote.snapshot)
+      [] votes
+  in
+  List.sort_uniq compare (from_poller @ from_votes)
+
+let agrees_overall ~votes ~poller ~max_disagree =
+  let blocks = blocks_to_inspect ~poller_damage:(Replica.damaged_blocks poller) ~votes in
+  List.for_all
+    (fun block ->
+      match
+        classify ~votes ~block ~poller_version:(Replica.version poller block) ~max_disagree
+      with
+      | Landslide_agree -> true
+      | Landslide_disagree _ | Inconclusive -> false)
+    blocks

@@ -1,0 +1,35 @@
+(** Vote tallying: landslide classification per content block.
+
+    With a quorum of inner-circle votes, each block is either a landslide
+    agreement with the poller (at most [max_disagree] dissenters — audit
+    passes), a landslide disagreement (at most [max_disagree] supporters —
+    the poller's block is presumed damaged and repaired from a
+    dissenter), or inconclusive (an alarm requiring a human operator; the
+    bimodal "win or lose by a landslide" design from the prior protocol).
+
+    Since undamaged replicas agree everywhere, only blocks damaged at the
+    poller or mentioned in some vote's snapshot need inspecting; the rest
+    of the AU is landslide agreement by construction. *)
+
+type block_outcome =
+  | Landslide_agree
+  | Landslide_disagree of Ids.Identity.t list
+      (** dissenting voters, candidates to supply the repair *)
+  | Inconclusive
+
+(** [classify ~votes ~block ~poller_version ~max_disagree] tallies one
+    block. [votes] must be non-empty. *)
+val classify :
+  votes:Vote.t list -> block:int -> poller_version:int -> max_disagree:int ->
+  block_outcome
+
+(** [blocks_to_inspect ~poller_damage ~votes] is the sorted union of block
+    indices where any replica involved deviates from the publisher
+    version. Bogus votes force inspection of block 0 (where their garbage
+    is detected at one block-hash of cost). *)
+val blocks_to_inspect : poller_damage:(int * int) list -> votes:Vote.t list -> int list
+
+(** [agrees_overall ~votes ~poller ~max_disagree] holds when every
+    inspected block is a landslide agreement — the poll outcome for an
+    undamaged poller among honest voters. *)
+val agrees_overall : votes:Vote.t list -> poller:Replica.t -> max_disagree:int -> bool

@@ -1,0 +1,96 @@
+type event =
+  | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
+  | Solicitation_sent of {
+      poller : Ids.Identity.t;
+      voter : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+      attempt : int;
+    }
+  | Invitation_dropped of {
+      voter : Ids.Identity.t;
+      claimed : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      reason : Admission.drop_reason;
+    }
+  | Invitation_refused of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t }
+  | Invitation_accepted of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t }
+  | Vote_sent of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int }
+  | Evaluation_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; votes : int }
+  | Repair_applied of {
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      block : int;
+      version : int;
+      clean : bool;
+    }
+  | Poll_concluded of {
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+      outcome : Metrics.poll_outcome;
+    }
+
+type t = { mutable subscribers : (time:float -> event -> unit) list }
+
+let create () = { subscribers = [] }
+let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let emit t ~now thunk =
+  match t.subscribers with
+  | [] -> ()
+  | subscribers ->
+    let event = thunk () in
+    List.iter (fun f -> f ~time:now event) subscribers
+
+let pp_event ppf = function
+  | Poll_started { poller; au; poll_id; inner_candidates } ->
+    Format.fprintf ppf "poll %d started by %a on %a (%d inner candidates)" poll_id
+      Ids.Identity.pp poller Ids.Au_id.pp au inner_candidates
+  | Solicitation_sent { poller; voter; au; poll_id; attempt } ->
+    Format.fprintf ppf "poll %d: %a solicits %a on %a (attempt %d)" poll_id
+      Ids.Identity.pp poller Ids.Identity.pp voter Ids.Au_id.pp au attempt
+  | Invitation_dropped { voter; claimed; au; reason } ->
+    let reason =
+      match reason with
+      | Admission.Refractory -> "refractory"
+      | Admission.Random_drop -> "random drop"
+      | Admission.Known_rate_limited -> "per-peer rate limit"
+    in
+    Format.fprintf ppf "%a drops invitation claimed by %a on %a (%s)" Ids.Identity.pp
+      voter Ids.Identity.pp claimed Ids.Au_id.pp au reason
+  | Invitation_refused { voter; poller; au } ->
+    Format.fprintf ppf "%a refuses %a on %a (busy)" Ids.Identity.pp voter Ids.Identity.pp
+      poller Ids.Au_id.pp au
+  | Invitation_accepted { voter; poller; au } ->
+    Format.fprintf ppf "%a accepts %a on %a" Ids.Identity.pp voter Ids.Identity.pp poller
+      Ids.Au_id.pp au
+  | Vote_sent { voter; poller; au; poll_id } ->
+    Format.fprintf ppf "poll %d: %a votes for %a on %a" poll_id Ids.Identity.pp voter
+      Ids.Identity.pp poller Ids.Au_id.pp au
+  | Evaluation_started { poller; au; poll_id; votes } ->
+    Format.fprintf ppf "poll %d: %a evaluates %d votes on %a" poll_id Ids.Identity.pp
+      poller votes Ids.Au_id.pp au
+  | Repair_applied { poller; au; block; version; clean } ->
+    Format.fprintf ppf "%a repairs %a block %d to version %d%s" Ids.Identity.pp poller
+      Ids.Au_id.pp au block version
+      (if clean then " (replica clean)" else "")
+  | Poll_concluded { poller; au; poll_id; outcome } ->
+    let outcome =
+      match outcome with
+      | Metrics.Success -> "success"
+      | Metrics.Inquorate -> "inquorate"
+      | Metrics.Alarmed -> "ALARM"
+    in
+    Format.fprintf ppf "poll %d: %a concludes on %a: %s" poll_id Ids.Identity.pp poller
+      Ids.Au_id.pp au outcome
+
+let recorder ?(capacity = 65_536) t =
+  let recorded = ref [] in
+  let count = ref 0 in
+  subscribe t (fun ~time event ->
+      if !count < capacity then begin
+        recorded := (time, event) :: !recorded;
+        incr count
+      end);
+  fun () -> List.rev !recorded

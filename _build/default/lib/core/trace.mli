@@ -1,0 +1,61 @@
+(** Structured protocol event tracing.
+
+    A lightweight observer registry the protocol code emits typed events
+    into. With no subscribers the cost is one list check per event, so
+    production runs pay nothing; tools subscribe to watch poll
+    lifecycles, admission decisions and repairs as they happen (see
+    [examples/poll_timeline.ml]). *)
+
+type event =
+  | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
+  | Solicitation_sent of {
+      poller : Ids.Identity.t;
+      voter : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+      attempt : int;
+    }
+  | Invitation_dropped of {
+      voter : Ids.Identity.t;
+      claimed : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      reason : Admission.drop_reason;
+    }
+  | Invitation_refused of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t }
+      (** admitted but refused: schedule or adaptive-acceptance pushback *)
+  | Invitation_accepted of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t }
+  | Vote_sent of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int }
+  | Evaluation_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; votes : int }
+  | Repair_applied of {
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      block : int;
+      version : int;
+      clean : bool;  (** replica fully clean after this repair *)
+    }
+  | Poll_concluded of {
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+      outcome : Metrics.poll_outcome;
+    }
+
+type t
+
+val create : unit -> t
+
+(** [subscribe t f] adds an observer called synchronously on every event
+    with the current simulated time. *)
+val subscribe : t -> (time:float -> event -> unit) -> unit
+
+(** [emit t ~now event] notifies subscribers; free when there are none.
+    The [event] is a thunk so construction is also skipped unobserved. *)
+val emit : t -> now:float -> (unit -> event) -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+(** [recorder ?capacity t] subscribes a bounded in-memory recorder and
+    returns a function producing the (time, event) list captured so far,
+    oldest first; recording stops silently at [capacity] (default
+    65536). *)
+val recorder : ?capacity:int -> t -> unit -> (float * event) list

@@ -1,0 +1,17 @@
+type t = {
+  voter : Ids.Identity.t;
+  nonce : int64;
+  proof : Effort.Proof.t;
+  snapshot : (int * int) list;
+  nominations : Ids.Identity.t list;
+  bogus : bool;
+}
+
+let version t block =
+  match List.assoc_opt block t.snapshot with None -> 0 | Some v -> v
+
+let agrees_on t ~block ~poller_version =
+  (not t.bogus) && version t block = poller_version
+
+let expected_receipt t = Effort.Proof.byproduct t.proof
+let wire_bytes t ~blocks = (20 * blocks) + 256 + (8 * List.length t.nominations)

@@ -1,0 +1,36 @@
+(** Votes: per-block content hashes bound to a poller nonce.
+
+    A real vote is the sequence of running hashes of (nonce ‖ AU) at each
+    block boundary. Symbolically, a vote is determined by the nonce and
+    the voter's replica state at hashing time, so we carry the replica's
+    damaged-block snapshot: block [b] of the vote "hashes equal" to the
+    poller's replica exactly when both sides hold the same version of [b].
+    Bogus votes (garbage hashes, the voter-desertion attack) are flagged
+    explicitly; the poller detects them at the cost of hashing one block,
+    which is what the vote's effort proof must cover. *)
+
+type t = {
+  voter : Ids.Identity.t;
+  nonce : int64;  (** echo of the poller's PollProof nonce *)
+  proof : Effort.Proof.t;
+      (** vote effort; its byproduct is the expected evaluation receipt *)
+  snapshot : (int * int) list;  (** voter's damaged blocks at vote time *)
+  nominations : Ids.Identity.t list;  (** discovery: reference-list sample *)
+  bogus : bool;  (** garbage hashes instead of real ones *)
+}
+
+(** [version t block] is the content version the vote attests for
+    [block]. *)
+val version : t -> int -> int
+
+(** [agrees_on t ~block ~poller_version] holds when the vote's hash for
+    [block] matches the poller's; always false for bogus votes. *)
+val agrees_on : t -> block:int -> poller_version:int -> bool
+
+(** [expected_receipt t] is the byproduct the poller can only learn by
+    evaluating the vote. *)
+val expected_receipt : t -> int64 * int64
+
+(** [wire_bytes t ~blocks] estimates the vote's network size: one 20-byte
+    running hash per block plus framing. *)
+val wire_bytes : t -> blocks:int -> int

@@ -1,0 +1,276 @@
+module Engine = Narses.Engine
+module Task_schedule = Effort.Task_schedule
+module Proof = Effort.Proof
+module Cost_model = Effort.Cost_model
+module Rng = Repro_prelude.Rng
+
+let find_session peer ~identity ~au ~poll_id =
+  Hashtbl.find_opt peer.Peer.voter_sessions (identity, au, poll_id)
+
+let close_session (peer : Peer.t) (session : Peer.voter_session) =
+  session.Peer.vs_state <- Peer.Closed;
+  Hashtbl.remove peer.Peer.voter_sessions (Peer.session_key session)
+
+(* Cost, to this peer, of admitting one invitation for consideration:
+   session establishment plus schedule lookup and bookkeeping. *)
+let consideration_cost (cfg : Config.t) =
+  cfg.Config.cost.Effort.Cost_model.consideration_seconds
+  +. cfg.Config.cost.Effort.Cost_model.session_setup_seconds
+
+let intro_verify_cost (cfg : Config.t) =
+  Cost_model.mbf_verify_seconds cfg.Config.cost ~generation_cost:(Config.intro_effort cfg)
+
+let remaining_verify_cost (cfg : Config.t) =
+  Cost_model.mbf_verify_seconds cfg.Config.cost
+    ~generation_cost:(Config.remaining_effort cfg)
+
+let reply ctx (peer : Peer.t) ~to_node ~au payload =
+  Peer.send ctx ~from:peer ~to_node
+    { Message.identity = peer.Peer.identity; au; payload }
+
+let on_proof_timeout ctx (peer : Peer.t) (session : Peer.voter_session) () =
+  match session.Peer.vs_state with
+  | Peer.Awaiting_proof _ ->
+    (* Reservation attack or a stopped pipe: release the slot and hold the
+       poller's desertion against it. *)
+    let now = Engine.now ctx.Peer.engine in
+    (match session.Peer.vs_reservation with
+    | Some r -> Task_schedule.cancel peer.Peer.schedule ~now r
+    | None -> ());
+    let st = Peer.au_state peer session.Peer.vs_au in
+    Known_peers.punish st.Peer.known ~now session.Peer.vs_poller;
+    close_session peer session
+  | Peer.Computing | Peer.Voted_waiting_receipt _ | Peer.Closed -> ()
+
+let on_receipt_timeout ctx (peer : Peer.t) (session : Peer.voter_session) () =
+  match session.Peer.vs_state with
+  | Peer.Voted_waiting_receipt _ ->
+    let now = Engine.now ctx.Peer.engine in
+    let st = Peer.au_state peer session.Peer.vs_au in
+    Known_peers.punish st.Peer.known ~now session.Peer.vs_poller;
+    close_session peer session
+  | Peer.Awaiting_proof _ | Peer.Computing | Peer.Closed -> ()
+
+let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
+  let cfg = ctx.Peer.cfg in
+  let st = Peer.au_state peer au in
+  let now = Engine.now ctx.Peer.engine in
+  if not st.Peer.held then ()  (* we do not preserve this AU *)
+  else
+  match
+    Admission.consider st.Peer.admission ~rng:peer.Peer.rng ~now ~known:st.Peer.known
+      ~identity
+  with
+  | Admission.Dropped reason ->
+    Metrics.on_invitation_dropped ctx.Peer.metrics;
+    Trace.emit ctx.Peer.trace ~now (fun () ->
+        Trace.Invitation_dropped
+          { voter = peer.Peer.identity; claimed = identity; au; reason })
+  | Admission.Admitted _ ->
+    Metrics.on_invitation_considered ctx.Peer.metrics;
+    Peer.charge ctx ~work:(consideration_cost cfg);
+    let effort_ok =
+      if not cfg.Config.effort_balancing_enabled then true
+      else begin
+        Peer.charge ctx ~work:(intro_verify_cost cfg);
+        Proof.meets intro ~required:(Config.intro_effort cfg)
+      end
+    in
+    if not effort_ok then Known_peers.punish st.Peer.known ~now identity
+    else if Hashtbl.mem peer.Peer.voter_sessions (identity, au, poll_id) then
+      (* Duplicate invitation for a live session: ignore. *)
+      ()
+    else if
+      (* Section 9 extension (off by default): the busier the peer already
+         is, the less likely it accepts — so an attacker must spend ever
+         more effort for each additional unit of the victim's time. *)
+      cfg.Config.adaptive_acceptance
+      &&
+      let recent = Task_schedule.recent_work peer.Peer.schedule ~now in
+      (* Busyness = the decayed work accepted recently versus one day of
+         this peer's compute. *)
+      let day_capacity = 86_400. *. cfg.Config.capacity in
+      let load = Float.min 1. (recent /. day_capacity) in
+      Rng.bernoulli peer.Peer.rng load
+    then begin
+      Trace.emit ctx.Peer.trace ~now (fun () ->
+          Trace.Invitation_refused { voter = peer.Peer.identity; poller = identity; au });
+      reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = false })
+    end
+    else begin
+      let work = Config.vote_work cfg in
+      let deadline =
+        if cfg.Config.desynchronized then now +. cfg.Config.vote_allowance
+        else
+          (* Ablation: the pre-desynchronization protocol [28] needed the
+             quorum computed in lock-step, so a voter can only accept if it
+             is free to start right away — queued work means refusal. *)
+          now +. (1.05 *. work /. cfg.Config.capacity)
+      in
+      match Task_schedule.reserve peer.Peer.schedule ~now ~work ~deadline with
+      | None ->
+        Trace.emit ctx.Peer.trace ~now (fun () ->
+            Trace.Invitation_refused { voter = peer.Peer.identity; poller = identity; au });
+        reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = false })
+      | Some (reservation, finish) ->
+        let session =
+          {
+            Peer.vs_poller = identity;
+            vs_poller_node = src;
+            vs_au = au;
+            vs_poll_id = poll_id;
+            vs_reservation = Some reservation;
+            vs_finish = finish;
+            vs_nonce = 0L;
+            vs_vote = None;
+            vs_state = Peer.Closed (* replaced below *);
+          }
+        in
+        let timeout =
+          Engine.schedule_in ctx.Peer.engine ~after:cfg.Config.proof_timeout
+            (on_proof_timeout ctx peer session)
+        in
+        session.Peer.vs_state <- Peer.Awaiting_proof timeout;
+        Hashtbl.replace peer.Peer.voter_sessions (identity, au, poll_id) session;
+        Trace.emit ctx.Peer.trace ~now (fun () ->
+            Trace.Invitation_accepted { voter = peer.Peer.identity; poller = identity; au });
+        reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = true })
+    end
+
+let deliver_vote ctx (peer : Peer.t) (session : Peer.voter_session) () =
+  match session.Peer.vs_state with
+  | Peer.Computing ->
+    let cfg = ctx.Peer.cfg in
+    let st = Peer.au_state peer session.Peer.vs_au in
+    let now = Engine.now ctx.Peer.engine in
+    Peer.charge ctx ~work:(Config.vote_work cfg);
+    Metrics.on_vote_supplied ctx.Peer.metrics;
+    session.Peer.vs_reservation <- None;
+    let proof = Proof.generate ~rng:peer.Peer.rng ~cost:(Config.vote_proof_cost cfg) in
+    let nominations =
+      Reference_list.nominate st.Peer.reference ~rng:peer.Peer.rng
+        ~count:cfg.Config.nominations_per_vote
+      |> List.filter (fun id -> not (Ids.Identity.equal id session.Peer.vs_poller))
+    in
+    let vote =
+      {
+        Vote.voter = peer.Peer.identity;
+        nonce = session.Peer.vs_nonce;
+        proof;
+        snapshot = Replica.snapshot st.Peer.replica;
+        nominations;
+        bogus = false;
+      }
+    in
+    session.Peer.vs_vote <- Some vote;
+    (* The vote balance changes the moment we supply the vote: the poller
+       has now consumed one, so its standing drops a step toward debt. A
+       valid receipt later merely settles the exchange; a missing or bad
+       one costs the poller its entry entirely. *)
+    Known_peers.lower st.Peer.known ~now session.Peer.vs_poller;
+    (* The receipt arrives after the poller's evaluation phase, up to a
+       full poll duration away. *)
+    let timeout =
+      Engine.schedule_in ctx.Peer.engine ~after:cfg.Config.inter_poll_interval
+        (on_receipt_timeout ctx peer session)
+    in
+    session.Peer.vs_state <- Peer.Voted_waiting_receipt timeout;
+    Trace.emit ctx.Peer.trace ~now (fun () ->
+        Trace.Vote_sent
+          {
+            voter = peer.Peer.identity;
+            poller = session.Peer.vs_poller;
+            au = session.Peer.vs_au;
+            poll_id = session.Peer.vs_poll_id;
+          });
+    reply ctx peer ~to_node:session.Peer.vs_poller_node ~au:session.Peer.vs_au
+      (Message.Vote_msg { poll_id = session.Peer.vs_poll_id; vote })
+  | Peer.Awaiting_proof _ | Peer.Voted_waiting_receipt _ | Peer.Closed -> ()
+
+let on_poll_proof ctx (peer : Peer.t) ~identity ~au ~poll_id ~remaining ~nonce =
+  match find_session peer ~identity ~au ~poll_id with
+  | None -> ()
+  | Some session ->
+    (match session.Peer.vs_state with
+    | Peer.Awaiting_proof timeout ->
+      let cfg = ctx.Peer.cfg in
+      let now = Engine.now ctx.Peer.engine in
+      Engine.cancel ctx.Peer.engine timeout;
+      let effort_ok =
+        if not cfg.Config.effort_balancing_enabled then true
+        else begin
+          Peer.charge ctx ~work:(remaining_verify_cost cfg);
+          Proof.meets remaining ~required:(Config.remaining_effort cfg)
+        end
+      in
+      if not effort_ok then begin
+        let st = Peer.au_state peer au in
+        (match session.Peer.vs_reservation with
+        | Some r -> Task_schedule.cancel peer.Peer.schedule ~now r
+        | None -> ());
+        Known_peers.punish st.Peer.known ~now identity;
+        close_session peer session
+      end
+      else begin
+        session.Peer.vs_nonce <- nonce;
+        session.Peer.vs_state <- Peer.Computing;
+        let at = Float.max session.Peer.vs_finish now in
+        ignore (Engine.schedule ctx.Peer.engine ~at (deliver_vote ctx peer session))
+      end
+    | Peer.Computing | Peer.Voted_waiting_receipt _ | Peer.Closed -> ())
+
+let on_repair_request ctx (peer : Peer.t) ~identity ~au ~poll_id ~block =
+  match find_session peer ~identity ~au ~poll_id with
+  | None -> ()
+  | Some session ->
+    (match session.Peer.vs_state with
+    | Peer.Voted_waiting_receipt _ | Peer.Computing ->
+      let cfg = ctx.Peer.cfg in
+      let st = Peer.au_state peer au in
+      (* Serving a repair: fetch and hash one block. *)
+      Peer.charge ctx
+        ~work:(Cost_model.hash_seconds cfg.Config.cost ~bytes:cfg.Config.block_bytes);
+      let version = Replica.version st.Peer.replica block in
+      reply ctx peer ~to_node:session.Peer.vs_poller_node ~au
+        (Message.Repair { poll_id; block; version })
+    | Peer.Awaiting_proof _ | Peer.Closed -> ())
+
+let on_receipt ctx (peer : Peer.t) ~identity ~au ~poll_id ~receipt =
+  match find_session peer ~identity ~au ~poll_id with
+  | None -> ()
+  | Some session ->
+    (match session.Peer.vs_state with
+    | Peer.Voted_waiting_receipt timeout ->
+      Engine.cancel ctx.Peer.engine timeout;
+      let now = Engine.now ctx.Peer.engine in
+      let st = Peer.au_state peer au in
+      let valid =
+        match session.Peer.vs_vote with
+        | None -> false
+        | Some vote -> Proof.receipt_matches vote.Vote.proof ~receipt
+      in
+      if not valid then Known_peers.punish st.Peer.known ~now identity;
+      close_session peer session
+    | Peer.Awaiting_proof _ | Peer.Computing | Peer.Closed -> ())
+
+let on_garbage ctx (peer : Peer.t) ~identity ~au =
+  let cfg = ctx.Peer.cfg in
+  let st = Peer.au_state peer au in
+  let now = Engine.now ctx.Peer.engine in
+  match
+    Admission.consider st.Peer.admission ~rng:peer.Peer.rng ~now ~known:st.Peer.known
+      ~identity
+  with
+  | Admission.Dropped _ -> Metrics.on_invitation_dropped ctx.Peer.metrics
+  | Admission.Admitted _ ->
+    (* The garbage got through the cheap filters; rejecting it costs one
+       consideration plus one (failing) introductory-effort check. *)
+    Metrics.on_invitation_considered ctx.Peer.metrics;
+    Peer.charge ctx ~work:(consideration_cost cfg);
+    if cfg.Config.effort_balancing_enabled then Peer.charge ctx ~work:(intro_verify_cost cfg);
+    (* Do not learn fresh garbage identities: an entry would carry a debt
+       grade, which is treated more leniently than "unknown" — and the
+       adversary has unlimited identities, so remembering them would only
+       grow the table without bound. *)
+    if Known_peers.known st.Peer.known identity then
+      Known_peers.punish st.Peer.known ~now identity

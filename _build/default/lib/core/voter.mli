@@ -1,0 +1,52 @@
+(** Voter-side protocol logic.
+
+    Handles Poll (through admission control and the task schedule),
+    PollProof (effort verification, then the reserved vote computation),
+    RepairRequest (committed voters must supply a small number of
+    repairs), EvaluationReceipt (grade settlement), and Garbage attack
+    traffic. Every handler charges the victim's true cost, which is what
+    the attrition experiments measure. *)
+
+(** [on_poll ctx peer ~src ~identity ~au ~poll_id ~intro] processes a poll
+    invitation claimed by [identity] arriving from node [src]. *)
+val on_poll :
+  Peer.ctx ->
+  Peer.t ->
+  src:Narses.Topology.node ->
+  identity:Ids.Identity.t ->
+  au:Ids.Au_id.t ->
+  poll_id:int ->
+  intro:Effort.Proof.t ->
+  unit
+
+val on_poll_proof :
+  Peer.ctx ->
+  Peer.t ->
+  identity:Ids.Identity.t ->
+  au:Ids.Au_id.t ->
+  poll_id:int ->
+  remaining:Effort.Proof.t ->
+  nonce:int64 ->
+  unit
+
+val on_repair_request :
+  Peer.ctx ->
+  Peer.t ->
+  identity:Ids.Identity.t ->
+  au:Ids.Au_id.t ->
+  poll_id:int ->
+  block:int ->
+  unit
+
+val on_receipt :
+  Peer.ctx ->
+  Peer.t ->
+  identity:Ids.Identity.t ->
+  au:Ids.Au_id.t ->
+  poll_id:int ->
+  receipt:int64 * int64 ->
+  unit
+
+(** [on_garbage ctx peer ~identity ~au] processes attack filler: it costs
+    the victim at most one admission consideration. *)
+val on_garbage : Peer.ctx -> Peer.t -> identity:Ids.Identity.t -> au:Ids.Au_id.t -> unit

@@ -1,0 +1,1 @@
+lib/effort/cost_model.ml:

@@ -1,0 +1,1 @@
+lib/effort/mbf.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/effort/proof.ml: Int64 Repro_prelude

@@ -1,0 +1,1 @@
+lib/effort/proof.mli: Repro_prelude

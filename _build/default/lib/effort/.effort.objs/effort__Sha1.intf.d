@@ -1,0 +1,1 @@
+lib/effort/sha1.mli:

@@ -1,0 +1,1 @@
+lib/effort/task_schedule.ml: Float

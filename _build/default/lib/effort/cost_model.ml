@@ -1,0 +1,19 @@
+type t = {
+  hash_bytes_per_second : float;
+  mbf_verify_speedup : float;
+  session_setup_seconds : float;
+  consideration_seconds : float;
+}
+
+let default =
+  {
+    hash_bytes_per_second = 4.0e6;
+    mbf_verify_speedup = 5.0;
+    session_setup_seconds = 0.05;
+    consideration_seconds = 0.02;
+  }
+
+let hash_seconds t ~bytes = float_of_int bytes /. t.hash_bytes_per_second
+
+let mbf_verify_seconds t ~generation_cost =
+  generation_cost /. t.mbf_verify_speedup

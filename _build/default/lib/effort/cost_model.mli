@@ -1,0 +1,39 @@
+(** Cost model for primitive operations.
+
+    The paper "set all costs of primitive operations (hashing, encryption,
+    L1 cache and RAM accesses, etc.) to match the capabilities of a
+    low-cost PC". We express every cost as compute-seconds on that
+    reference PC; a peer's {!Task_schedule} then divides by its capacity
+    factor, which is how over-provisioning is modelled.
+
+    Memory-bound-function (MBF) effort is also denominated in reference
+    seconds: the paper argues MBF cost spreads are narrow across machines,
+    so a single rate is a faithful model. *)
+
+type t = {
+  hash_bytes_per_second : float;
+      (** Throughput of hashing AU content: low-priority disk fetch plus
+          SHA-1 on a 2005 low-cost PC (~4 MB/s effective). *)
+  mbf_verify_speedup : float;
+      (** Verifying an MBF proof is this factor cheaper than generating
+          it. Memory-bound verification is bounded but not free; the
+          paper sizes drop probabilities and introductory effort so that
+          verification of eventually-admitted invitations stays affordable,
+          which implies a modest speedup. *)
+  session_setup_seconds : float;
+      (** Anonymous Diffie-Hellman + TLS session establishment. *)
+  consideration_seconds : float;
+      (** Admitting one poll invitation for consideration: session setup,
+          schedule lookup, bookkeeping. *)
+}
+
+(** Reference low-cost PC, circa the paper's deployment. *)
+val default : t
+
+(** [hash_seconds t ~bytes] is the reference cost of hashing [bytes] of AU
+    content. *)
+val hash_seconds : t -> bytes:int -> float
+
+(** [mbf_verify_seconds t ~generation_cost] is the reference cost of
+    verifying a proof that took [generation_cost] to produce. *)
+val mbf_verify_seconds : t -> generation_cost:float -> float

@@ -1,0 +1,66 @@
+type table = { mask : int; cells : int64 array }
+
+(* The same splitmix64 scrambler the simulator's RNG uses; here it makes
+   the table incompressible and drives walk seeding. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make_table ~seed ~size_log2 =
+  if size_log2 < 8 || size_log2 > 28 then
+    invalid_arg "Mbf.make_table: size_log2 must be in [8, 28]";
+  let size = 1 lsl size_log2 in
+  let state = ref (Int64.of_int seed) in
+  let cells =
+    Array.init size (fun _ ->
+        state := Int64.add !state 0x9E3779B97F4A7C15L;
+        mix !state)
+  in
+  { mask = size - 1; cells }
+
+type proof = { path_length : int; digests : int64 array; byproduct : int64 }
+
+let index table v = Int64.to_int (Int64.logand v (Int64.of_int table.mask))
+
+(* One walk: each step reads the cell the previous value points at — a
+   dependent access chain that defeats prefetching. *)
+let walk table ~nonce ~path ~path_length =
+  let digest = ref (mix (Int64.logxor nonce (Int64.of_int (path * 0x1F123BB5)))) in
+  for _ = 1 to path_length do
+    let cell = table.cells.(index table !digest) in
+    digest := mix (Int64.logxor !digest cell)
+  done;
+  !digest
+
+let combine digests =
+  Array.fold_left (fun acc d -> mix (Int64.logxor acc d)) 0x2545F4914F6CDD1DL digests
+
+let generate table ~nonce ~paths ~path_length =
+  if paths <= 0 then invalid_arg "Mbf.generate: paths must be positive";
+  if path_length <= 0 then invalid_arg "Mbf.generate: path_length must be positive";
+  let digests = Array.init paths (fun path -> walk table ~nonce ~path ~path_length) in
+  { path_length; digests; byproduct = combine digests }
+
+let paths p = Array.length p.digests
+let byproduct p = p.byproduct
+
+let verify table ~nonce ~sample p =
+  let total = Array.length p.digests in
+  let sample = min (max sample 1) total in
+  (* Deterministic sample seeded by the nonce: prover cannot predict which
+     paths will be checked before committing to the digests. *)
+  let state = ref (mix nonce) in
+  let ok = ref (Int64.equal p.byproduct (combine p.digests)) in
+  for _ = 1 to sample do
+    state := mix (Int64.add !state 0x9E3779B97F4A7C15L);
+    let path = Int64.to_int (Int64.rem (Int64.shift_right_logical !state 1) (Int64.of_int total)) in
+    let expected = walk table ~nonce ~path ~path_length:p.path_length in
+    if not (Int64.equal expected p.digests.(path)) then ok := false
+  done;
+  !ok
+
+let forge ~paths =
+  if paths <= 0 then invalid_arg "Mbf.forge: paths must be positive";
+  let digests = Array.init paths (fun i -> mix (Int64.of_int (i + 12345))) in
+  { path_length = 1; digests; byproduct = combine digests }

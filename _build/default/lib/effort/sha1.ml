@@ -1,0 +1,114 @@
+(* RFC 3174, implemented over int32 words. The context is functional: a
+   buffered tail plus the chaining state after each full 64-byte block. *)
+
+type ctx = {
+  h0 : int32;
+  h1 : int32;
+  h2 : int32;
+  h3 : int32;
+  h4 : int32;
+  pending : string;  (* < 64 bytes awaiting a full block *)
+  length : int64;  (* total bytes absorbed *)
+}
+
+type digest = string
+
+let init () =
+  {
+    h0 = 0x67452301l;
+    h1 = 0xEFCDAB89l;
+    h2 = 0x98BADCFEl;
+    h3 = 0x10325476l;
+    h4 = 0xC3D2E1F0l;
+    pending = "";
+    length = 0L;
+  }
+
+let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let compress ctx block offset =
+  let w = Array.make 80 0l in
+  for i = 0 to 15 do
+    let b j = Int32.of_int (Char.code block.[offset + (4 * i) + j]) in
+    w.(i) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for i = 16 to 79 do
+    w.(i) <- rotl32 (Int32.logxor (Int32.logxor w.(i - 3) w.(i - 8)) (Int32.logxor w.(i - 14) w.(i - 16))) 1
+  done;
+  let a = ref ctx.h0
+  and b = ref ctx.h1
+  and c = ref ctx.h2
+  and d = ref ctx.h3
+  and e = ref ctx.h4 in
+  for i = 0 to 79 do
+    let f, k =
+      if i < 20 then
+        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
+      else if i < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
+      else if i < 60 then
+        ( Int32.logor
+            (Int32.logand !b !c)
+            (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
+          0x8F1BBCDCl )
+      else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
+    in
+    let temp = Int32.add (Int32.add (Int32.add (Int32.add (rotl32 !a 5) f) !e) k) w.(i) in
+    e := !d;
+    d := !c;
+    c := rotl32 !b 30;
+    b := !a;
+    a := temp
+  done;
+  {
+    ctx with
+    h0 = Int32.add ctx.h0 !a;
+    h1 = Int32.add ctx.h1 !b;
+    h2 = Int32.add ctx.h2 !c;
+    h3 = Int32.add ctx.h3 !d;
+    h4 = Int32.add ctx.h4 !e;
+  }
+
+let feed ctx s =
+  let data = ctx.pending ^ s in
+  let len = String.length data in
+  let blocks = len / 64 in
+  let ctx = ref { ctx with length = Int64.add ctx.length (Int64.of_int (String.length s)) } in
+  for i = 0 to blocks - 1 do
+    ctx := compress !ctx data (i * 64)
+  done;
+  { !ctx with pending = String.sub data (blocks * 64) (len - (blocks * 64)) }
+
+let finalize ctx =
+  let bit_length = Int64.mul ctx.length 8L in
+  let pad_len =
+    let tail = (Int64.to_int ctx.length + 1 + 8) mod 64 in
+    if tail = 0 then 1 + 8 else 1 + 8 + (64 - tail)
+  in
+  let padding = Bytes.make (pad_len - 8) '\x00' in
+  Bytes.set padding 0 '\x80';
+  let length_bytes = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set length_bytes i
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_length (8 * (7 - i))) 0xFFL)))
+  done;
+  let final = feed ctx (Bytes.to_string padding ^ Bytes.to_string length_bytes) in
+  assert (final.pending = "");
+  let out = Bytes.create 20 in
+  List.iteri
+    (fun word_index word ->
+      for j = 0 to 3 do
+        Bytes.set out
+          ((4 * word_index) + j)
+          (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word (8 * (3 - j))) 0xFFl)))
+      done)
+    [ final.h0; final.h1; final.h2; final.h3; final.h4 ];
+  Bytes.to_string out
+
+let peek ctx = finalize ctx
+let digest s = finalize (feed (init ()) s)
+
+let to_hex d =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c)) (List.init (String.length d) (String.get d)))

@@ -1,0 +1,36 @@
+(** SHA-1, from scratch (RFC 3174).
+
+    The protocol's votes are running SHA-1 hashes of (nonce ‖ AU) at each
+    block boundary. The simulator models content symbolically and charges
+    hashing through the cost model, but the hash itself is not assumed —
+    this module implements it, and {!Content} uses it to run the real
+    vote-hashing pipeline over small in-memory AUs in tests and
+    demonstrations.
+
+    SHA-1 is used here exactly as the 2005 paper used it: as a collision-
+    resistant content digest inside a research prototype. Do not use it
+    for new security designs. *)
+
+type digest = string
+(** 20 raw bytes. *)
+
+(** [digest s] is the SHA-1 digest of [s]. *)
+val digest : string -> digest
+
+(** [to_hex d] prints a digest as 40 lowercase hex characters. *)
+val to_hex : digest -> string
+
+(** Streaming interface: votes hash a nonce followed by content blocks,
+    emitting the running digest at each block boundary. *)
+type ctx
+
+val init : unit -> ctx
+
+(** [feed ctx s] absorbs bytes; returns [ctx] for chaining (the context
+    is functional — feeding does not mutate prior snapshots). *)
+val feed : ctx -> string -> ctx
+
+(** [peek ctx] is the digest of everything fed so far — the "running
+    hash" a vote records at a block boundary — without finalising the
+    stream. *)
+val peek : ctx -> digest

@@ -1,0 +1,51 @@
+type reservation = { work : float; mutable live : bool }
+
+type t = {
+  capacity : float;
+  mutable queue_end : float;
+  mutable ewma_work : float;
+  mutable ewma_updated : float;
+}
+
+(* One day: the busyness horizon adaptive acceptance judges over. *)
+let ewma_tau = 86_400.
+
+let create ~capacity =
+  if capacity <= 0. then invalid_arg "Task_schedule.create: capacity must be positive";
+  { capacity; queue_end = 0.; ewma_work = 0.; ewma_updated = 0. }
+
+let note_work t ~now work =
+  let dt = Float.max 0. (now -. t.ewma_updated) in
+  t.ewma_work <- (t.ewma_work *. exp (-.dt /. ewma_tau)) +. work;
+  t.ewma_updated <- now
+
+let recent_work t ~now =
+  let dt = Float.max 0. (now -. t.ewma_updated) in
+  t.ewma_work *. exp (-.dt /. ewma_tau)
+
+let capacity t = t.capacity
+let backlog_end t ~now = Float.max t.queue_end now
+
+let completion_time t ~now ~work = backlog_end t ~now +. (work /. t.capacity)
+
+let can_accept t ~now ~work ~deadline = completion_time t ~now ~work <= deadline
+
+let reserve_unchecked t ~now ~work =
+  let finish = completion_time t ~now ~work in
+  t.queue_end <- finish;
+  note_work t ~now work;
+  ({ work; live = true }, finish)
+
+let reserve t ~now ~work ~deadline =
+  if can_accept t ~now ~work ~deadline then Some (reserve_unchecked t ~now ~work)
+  else None
+
+let cancel t ~now r =
+  if r.live then begin
+    r.live <- false;
+    (* Free the capacity the unexecuted work held, but never rewind the
+       queue behind the present. *)
+    t.queue_end <- Float.max now (t.queue_end -. (r.work /. t.capacity))
+  end
+
+let reserved_work t ~now = Float.max 0. ((t.queue_end -. now) *. t.capacity)

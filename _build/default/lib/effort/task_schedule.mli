@@ -1,0 +1,61 @@
+(** Per-peer schedule of committed compute effort.
+
+    "To prevent over-commitment, peers maintain a task schedule of their
+    promises to perform effort, both to generate votes for others and to
+    call their own polls. If the effort of computing the vote solicited by
+    an incoming Poll message cannot be accommodated in the schedule, the
+    invitation is refused."
+
+    The schedule is a FIFO work queue on a single simulated CPU running at
+    [capacity] reference-seconds of work per second of simulated time
+    (capacity > 1 models over-provisioning). A reservation for [work]
+    reference-seconds made at time [now] completes at
+    [max now (backlog end) + work / capacity]; it is accepted only when
+    that completion time meets the caller's deadline.
+
+    Reservations can be cancelled, modelling the paper's *reservation
+    attack*: the slot was denied to other requesters while it was held.
+    Cancellation frees capacity for future requests but does not pull in
+    completion times already quoted — exactly the damage the attack
+    inflicts. *)
+
+type t
+type reservation
+
+(** [create ~capacity] is an idle schedule; [capacity] must be positive. *)
+val create : capacity:float -> t
+
+val capacity : t -> float
+
+(** [backlog_end t ~now] is the time at which all currently reserved work
+    completes (= [now] when idle). *)
+val backlog_end : t -> now:float -> float
+
+(** [can_accept t ~now ~work ~deadline] tests feasibility without
+    reserving. *)
+val can_accept : t -> now:float -> work:float -> deadline:float -> bool
+
+(** [reserve t ~now ~work ~deadline] appends [work] to the queue if it can
+    complete by [deadline]; returns the reservation and its completion
+    time. *)
+val reserve :
+  t -> now:float -> work:float -> deadline:float -> (reservation * float) option
+
+(** [reserve_unchecked t ~now ~work] appends work regardless of any
+    deadline (used for a peer's own polls, which it always schedules) and
+    returns the completion time. *)
+val reserve_unchecked : t -> now:float -> work:float -> reservation * float
+
+(** [cancel t ~now r] releases the reservation's not-yet-executed work;
+    cancelling twice, or after the work already ran, has no further
+    effect. *)
+val cancel : t -> now:float -> reservation -> unit
+
+(** [reserved_work t ~now] is the work still queued ahead of an arrival at
+    [now], in reference seconds. *)
+val reserved_work : t -> now:float -> float
+
+(** [recent_work t ~now] is an exponentially-decayed total of the work
+    accepted by this schedule — the peer's "recent busyness" with a
+    one-day time constant, used by the adaptive-acceptance extension. *)
+val recent_work : t -> now:float -> float

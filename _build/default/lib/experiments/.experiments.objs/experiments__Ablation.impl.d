@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Adversary List Lockss Narses Report Repro_prelude Scenario

@@ -1,0 +1,1 @@
+lib/experiments/ablation.mli: Repro_prelude Scenario

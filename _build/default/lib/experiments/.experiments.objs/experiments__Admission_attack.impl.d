@@ -1,0 +1,1 @@
+lib/experiments/admission_attack.ml: List Report Repro_prelude Scenario

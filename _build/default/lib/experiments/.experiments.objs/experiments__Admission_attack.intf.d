@@ -1,0 +1,1 @@
+lib/experiments/admission_attack.mli: Repro_prelude Scenario

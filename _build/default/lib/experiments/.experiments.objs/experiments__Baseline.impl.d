@@ -1,0 +1,1 @@
+lib/experiments/baseline.ml: List Lockss Printf Report Repro_prelude Scenario

@@ -1,0 +1,1 @@
+lib/experiments/effort_attack.mli: Adversary Repro_prelude Scenario

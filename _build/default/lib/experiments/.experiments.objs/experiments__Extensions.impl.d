@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Adversary List Lockss Narses Report Repro_prelude Scenario

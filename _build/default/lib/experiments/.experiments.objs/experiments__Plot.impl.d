@@ -1,0 +1,1 @@
+lib/experiments/plot.ml: Admission_attack Baseline Buffer Filename Fun List Printf Repro_prelude Stoppage String

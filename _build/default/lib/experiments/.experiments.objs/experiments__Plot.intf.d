@@ -1,0 +1,1 @@
+lib/experiments/plot.mli: Admission_attack Baseline Stoppage

@@ -1,0 +1,1 @@
+lib/experiments/reciprocity_attack.ml: Adversary List Lockss Report Repro_prelude Scenario

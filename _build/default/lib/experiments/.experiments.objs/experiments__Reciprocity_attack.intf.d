@@ -1,0 +1,1 @@
+lib/experiments/reciprocity_attack.mli: Repro_prelude Scenario

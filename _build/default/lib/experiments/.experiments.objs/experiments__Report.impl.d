@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Float Printf Repro_prelude

@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Adversary Float List Lockss Repro_prelude

@@ -1,0 +1,1 @@
+lib/experiments/stoppage.ml: List Report Repro_prelude Scenario

@@ -1,0 +1,1 @@
+lib/experiments/stoppage.mli: Repro_prelude Scenario

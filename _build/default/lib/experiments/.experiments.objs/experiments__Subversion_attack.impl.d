@@ -1,0 +1,1 @@
+lib/experiments/subversion_attack.ml: Adversary Format List Lockss Report Repro_prelude Scenario

@@ -1,0 +1,1 @@
+lib/experiments/subversion_attack.mli: Adversary Repro_prelude Scenario

@@ -1,0 +1,128 @@
+module Duration = Repro_prelude.Duration
+module Table = Repro_prelude.Table
+
+type row = {
+  group : string;
+  variant : string;
+  polls_succeeded : int;
+  polls_failed : int;
+  access_failure : float;
+  friction : float;
+  cost_ratio : float;
+}
+
+let row_of ~group ~variant ~baseline summary =
+  let c = Scenario.ratios ~baseline ~attack:summary in
+  {
+    group;
+    variant;
+    polls_succeeded = summary.Lockss.Metrics.polls_succeeded;
+    polls_failed =
+      summary.Lockss.Metrics.polls_inquorate + summary.Lockss.Metrics.polls_alarmed;
+    access_failure = summary.Lockss.Metrics.access_failure_probability;
+    friction = c.Scenario.friction;
+    cost_ratio = c.Scenario.cost_ratio;
+  }
+
+(* Each group runs a paper-design configuration and variants against the
+   same attack; the group's first row is the paper design itself. *)
+let group ~scale ~group:name ~attack variants =
+  match variants with
+  | [] -> []
+  | (_, baseline_cfg) :: _ ->
+    let baseline = Scenario.run_avg ~cfg:baseline_cfg scale attack in
+    List.map
+      (fun (variant, cfg) ->
+        let summary =
+          if cfg == baseline_cfg then baseline else Scenario.run_avg ~cfg scale attack
+        in
+        row_of ~group:name ~variant ~baseline summary)
+      variants
+
+let run ?(scale = Scenario.bench) () =
+  let cfg = Scenario.config scale in
+  let flood =
+    Scenario.Admission_flood
+      {
+        coverage = 1.0;
+        duration = Duration.of_years scale.Scenario.years;
+        recuperation = Duration.of_days 30.;
+        rate = 4.;
+      }
+  in
+  let intro_attack =
+    Scenario.Brute_force
+      { strategy = Adversary.Brute_force.Intro; rate = 5.; identities = 50 }
+  in
+  let desync_group =
+    (* Contention stress: constrained capacity, no adversary needed. *)
+    let loaded = { cfg with Lockss.Config.capacity = 0.003 } in
+    group ~scale ~group:"desynchronization" ~attack:Scenario.No_attack
+      [
+        ("individual solicitation (paper)", loaded);
+        ("synchronous quorum", { loaded with Lockss.Config.desynchronized = false });
+      ]
+  in
+  let introductions_group =
+    group ~scale ~group:"introductions" ~attack:flood
+      [
+        ("introductions on (paper)", cfg);
+        ("introductions off", { cfg with Lockss.Config.introductions_enabled = false });
+      ]
+  in
+  let effort_group =
+    group ~scale ~group:"effort balancing" ~attack:intro_attack
+      [
+        ("effort balancing on (paper)", cfg);
+        ( "effort balancing off",
+          { cfg with Lockss.Config.effort_balancing_enabled = false } );
+      ]
+  in
+  let refractory_group =
+    group ~scale ~group:"refractory period" ~attack:flood
+      [
+        ("1 day (paper)", cfg);
+        ( "6 hours",
+          { cfg with Lockss.Config.refractory_period = Duration.of_days 0.25 } );
+        ("4 days", { cfg with Lockss.Config.refractory_period = Duration.of_days 4. });
+      ]
+  in
+  let drops_group =
+    group ~scale ~group:"drop probabilities" ~attack:flood
+      [
+        ("0.90 / 0.80 (paper)", cfg);
+        ( "0.50 / 0.40",
+          { cfg with Lockss.Config.drop_unknown = 0.5; drop_debt = 0.4 } );
+        ("no admission control", { cfg with Lockss.Config.admission_control_enabled = false });
+      ]
+  in
+  let network_group =
+    group ~scale ~group:"network model" ~attack:Scenario.No_attack
+      [
+        ("delay-only (paper)", cfg);
+        ( "shared-bottleneck congestion",
+          { cfg with Lockss.Config.network_model = Narses.Net.Shared_bottleneck } );
+      ]
+  in
+  desync_group @ introductions_group @ effort_group @ refractory_group @ drops_group
+  @ network_group
+
+let to_table rows =
+  let table =
+    Table.create
+      [ "ablation"; "variant"; "polls ok"; "polls failed"; "access failure"; "friction"; "cost ratio" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.group;
+          r.variant;
+          string_of_int r.polls_succeeded;
+          string_of_int r.polls_failed;
+          Report.sci r.access_failure;
+          Report.ratio r.friction;
+          Report.ratio r.cost_ratio;
+        ])
+    rows;
+  table

@@ -1,0 +1,32 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    Each ablation disables or re-parameterises one defense and re-runs the
+    attack it guards against, demonstrating what the mechanism buys:
+
+    - {e desynchronization} against scheduling contention (the failure
+      mode of the pre-[28] protocol under load);
+    - {e introductions} against the admission-flood adversary (discovery
+      starvation);
+    - {e effort balancing} against the brute-force INTRO deserter (free
+      resource waste);
+    - {e refractory period length} against the admission flood (the
+      paper's Section 9 parameter study);
+    - {e drop probabilities} for unknown/in-debt pollers;
+    - {e network model}: the paper's delay-only Narses model versus a
+      shared-bottleneck congestion model — validating that the choice
+      does not change the results. *)
+
+type row = {
+  group : string;  (** which ablation this row belongs to *)
+  variant : string;  (** human-readable variant label *)
+  polls_succeeded : int;
+  polls_failed : int;
+  access_failure : float;
+  friction : float;  (** vs the paper-design baseline of the same group *)
+  cost_ratio : float;
+}
+
+(** [run ?scale ()] executes all ablation groups and returns their rows. *)
+val run : ?scale:Scenario.scale -> unit -> row list
+
+val to_table : row list -> Repro_prelude.Table.t

@@ -1,0 +1,37 @@
+(** Figures 6, 7 and 8: the admission-control (Sybil garbage-invitation)
+    adversary.
+
+    The adversary floods a [coverage] fraction of the population with
+    cheap garbage invitations from never-seen identities for [duration],
+    recuperates 30 days, and repeats. Every admitted invitation
+    retriggers the victim's refractory period, shutting out loyal
+    unknown/in-debt pollers.
+
+    Shape targets: access failure (Fig. 6) and delay ratio (Fig. 7)
+    barely move even at full coverage for the whole experiment; the
+    coefficient of friction (Fig. 8) rises with duration, up to ≈ +33 %
+    at full coverage and 2-year duration, because loyal pollers burn
+    introductory efforts that refractory victims summarily drop. *)
+
+type point = {
+  coverage : float;
+  duration : float;
+  access_failure : float;
+  delay_ratio : float;
+  friction : float;
+}
+
+val default_durations : float list
+val default_coverages : float list
+
+val sweep :
+  ?scale:Scenario.scale ->
+  ?durations:float list ->
+  ?coverages:float list ->
+  ?rate:float ->
+  unit ->
+  point list
+
+val fig6_table : point list -> Repro_prelude.Table.t
+val fig7_table : point list -> Repro_prelude.Table.t
+val fig8_table : point list -> Repro_prelude.Table.t

@@ -1,0 +1,40 @@
+(** Figure 2: baseline access-failure probability, no attack.
+
+    "Mean access failure probability for increasing inter-poll intervals
+    at variable mean times between storage failure (from 1 to 5 years per
+    disk), absent an attack. We show results for collection sizes of 50
+    and of 600 AUs."
+
+    Shape targets: access failure grows with the inter-poll interval and
+    with the damage rate; the small and large collections track each
+    other; at the default operating point (3 months, 5 disk-years) the
+    probability is of order 10⁻⁴–10⁻³. *)
+
+type point = {
+  interval : float;  (** inter-poll interval, seconds *)
+  mttf_years : float;  (** mean time between block failures per disk *)
+  collection : int;  (** AUs per peer *)
+  access_failure : float;
+  afp_min : float;  (** across-run minimum (Fig. 2's variance bars) *)
+  afp_max : float;
+}
+
+val default_intervals : float list
+val default_mttfs : float list
+
+(** [collections scale] is the pair of collection sizes swept: the
+    scale's own AU count and 3× it (the paper's 50 vs 600 contrast,
+    proportionally). *)
+val collections : Scenario.scale -> int list
+
+(** [sweep ?scale ?intervals ?mttfs ?collections ()] runs the grid. *)
+val sweep :
+  ?scale:Scenario.scale ->
+  ?intervals:float list ->
+  ?mttfs:float list ->
+  ?collections:int list ->
+  unit ->
+  point list
+
+(** [to_table points] renders the figure's data as rows. *)
+val to_table : point list -> Repro_prelude.Table.t

@@ -1,0 +1,38 @@
+(** Table 1: the brute-force effortful adversary and its defection
+    strategies.
+
+    The adversary continuously sends valid-introductory-effort
+    invitations from in-debt identities (schedule oracle in hand) and
+    defects after the Poll (INTRO), after the PollProof (REMAINING), or
+    not at all (NONE). For each strategy and for a small and a large
+    collection, the paper reports the coefficient of friction, the cost
+    ratio, the delay ratio and the access-failure probability.
+
+    Shape targets: NONE (full participation) has the lowest cost ratio
+    (≈ 1 — behaving loyally is the attacker's optimum); friction is
+    highest for the strategies that make victims compute whole votes
+    (REMAINING, NONE ≈ 2.5–2.6) and lower for INTRO (≈ 1.4); delay ratio
+    stays ≈ 1.1 and access failure within ~25 % of baseline for all
+    strategies. *)
+
+type row = {
+  strategy : Adversary.Brute_force.strategy;
+  collection : int;  (** AUs per peer *)
+  friction : float;
+  cost_ratio : float;
+  delay_ratio : float;
+  access_failure : float;
+}
+
+(** [sweep ?scale ?collections ?rate ?identities ()] runs all three
+    strategies for each collection size (default: the scale's AU count
+    and 3× it, the paper's 50 vs 600 contrast). *)
+val sweep :
+  ?scale:Scenario.scale ->
+  ?collections:int list ->
+  ?rate:float ->
+  ?identities:int ->
+  unit ->
+  row list
+
+val to_table : row list -> Repro_prelude.Table.t

@@ -1,0 +1,123 @@
+module Duration = Repro_prelude.Duration
+
+let write_file ~dir ~name content =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+(* Group [points] by [key] (insertion-ordered), one gnuplot index per
+   group: a title comment, data lines, then the double blank line gnuplot
+   uses as an index separator. *)
+let dat ~series_of ~line points =
+  let buf = Buffer.create 1024 in
+  let seen = ref [] in
+  let keys =
+    List.filter_map
+      (fun p ->
+        let k = series_of p in
+        if List.mem k !seen then None
+        else begin
+          seen := k :: !seen;
+          Some k
+        end)
+      points
+  in
+  List.iter
+    (fun key ->
+      Buffer.add_string buf (Printf.sprintf "# series %s\n" key);
+      List.iter
+        (fun p -> if series_of p = key then Buffer.add_string buf (line p))
+        points;
+      Buffer.add_string buf "\n\n")
+    keys;
+  (Buffer.contents buf, keys)
+
+let gp ~name ~title ~ylabel ~logy ~keys =
+  let plots =
+    List.mapi
+      (fun i key ->
+        Printf.sprintf "'%s.dat' index %d with linespoints title '%s'" name i key)
+      keys
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "set terminal png size 800,560";
+      Printf.sprintf "set output '%s.png'" name;
+      Printf.sprintf "set title '%s'" title;
+      "set xlabel 'attack duration (days)'";
+      Printf.sprintf "set ylabel '%s'" ylabel;
+      "set logscale x";
+      (if logy then "set logscale y" else "unset logscale y");
+      "set key left top";
+      "plot " ^ String.concat ", \\\n     " plots;
+      "";
+    ]
+
+let coverage_series coverage = Printf.sprintf "%.0f%%" (100. *. coverage)
+
+let write_duration_figure ~dir ~name ~title ~ylabel ~logy points ~series_of ~x ~y =
+  let content, keys =
+    dat points ~series_of ~line:(fun p -> Printf.sprintf "%g %g\n" (x p) (y p))
+  in
+  write_file ~dir ~name:(name ^ ".dat") content;
+  write_file ~dir ~name:(name ^ ".gp") (gp ~name ~title ~ylabel ~logy ~keys)
+
+let write_stoppage ~dir points =
+  let series_of (p : Stoppage.point) = coverage_series p.Stoppage.coverage in
+  let x (p : Stoppage.point) = Duration.to_days p.Stoppage.duration in
+  write_duration_figure ~dir ~name:"fig3" ~title:"Access failure under pipe stoppage"
+    ~ylabel:"access failure probability" ~logy:true points ~series_of ~x
+    ~y:(fun p -> p.Stoppage.access_failure);
+  write_duration_figure ~dir ~name:"fig4" ~title:"Delay ratio under pipe stoppage"
+    ~ylabel:"delay ratio" ~logy:true points ~series_of ~x
+    ~y:(fun p -> p.Stoppage.delay_ratio);
+  write_duration_figure ~dir ~name:"fig5" ~title:"Coefficient of friction under pipe stoppage"
+    ~ylabel:"coefficient of friction" ~logy:true points ~series_of ~x
+    ~y:(fun p -> p.Stoppage.friction)
+
+let write_admission ~dir points =
+  let series_of (p : Admission_attack.point) =
+    coverage_series p.Admission_attack.coverage
+  in
+  let x (p : Admission_attack.point) = Duration.to_days p.Admission_attack.duration in
+  write_duration_figure ~dir ~name:"fig6" ~title:"Access failure under admission flood"
+    ~ylabel:"access failure probability" ~logy:true points ~series_of ~x
+    ~y:(fun p -> p.Admission_attack.access_failure);
+  write_duration_figure ~dir ~name:"fig7" ~title:"Delay ratio under admission flood"
+    ~ylabel:"delay ratio" ~logy:true points ~series_of ~x
+    ~y:(fun p -> p.Admission_attack.delay_ratio);
+  write_duration_figure ~dir ~name:"fig8"
+    ~title:"Coefficient of friction under admission flood" ~ylabel:"coefficient of friction"
+    ~logy:true points ~series_of ~x
+    ~y:(fun p -> p.Admission_attack.friction)
+
+let write_baseline ~dir points =
+  let series_of (p : Baseline.point) =
+    Printf.sprintf "MTTF %gy, %d AUs" p.Baseline.mttf_years p.Baseline.collection
+  in
+  let content, keys =
+    dat points ~series_of ~line:(fun (p : Baseline.point) ->
+        Printf.sprintf "%g %g\n" (Duration.to_months p.Baseline.interval)
+          p.Baseline.access_failure)
+  in
+  write_file ~dir ~name:"fig2.dat" content;
+  let script =
+    String.concat "\n"
+      [
+        "set terminal png size 800,560";
+        "set output 'fig2.png'";
+        "set title 'Baseline access failure vs inter-poll interval'";
+        "set xlabel 'inter-poll interval (months)'";
+        "set ylabel 'access failure probability'";
+        "set logscale y";
+        "set key left top";
+        "plot "
+        ^ String.concat ", \\\n     "
+            (List.mapi
+               (fun i key ->
+                 Printf.sprintf "'fig2.dat' index %d with linespoints title '%s'" i key)
+               keys);
+        "";
+      ]
+  in
+  write_file ~dir ~name:"fig2.gp" script

@@ -1,0 +1,70 @@
+module Duration = Repro_prelude.Duration
+module Table = Repro_prelude.Table
+
+type row = {
+  fraction : float;
+  defections : int;
+  honest_votes : int;
+  friction : float;
+  cost_ratio : float;
+  delay_ratio : float;
+}
+
+let sweep ?(scale = Scenario.bench) ?(fractions = [ 0.1; 0.2; 0.3 ]) ?(rate = 5.) () =
+  let cfg = Scenario.config scale in
+  let baseline = Scenario.run_avg ~cfg scale Scenario.No_attack in
+  List.map
+    (fun fraction ->
+      let population = Lockss.Population.create ~seed:scale.Scenario.seed cfg in
+      let attack =
+        Adversary.Reciprocity.attach population ~fraction
+          ~attempts_per_victim_au_per_day:rate
+      in
+      Lockss.Population.run population ~until:(Duration.of_years scale.Scenario.years);
+      let summary = Lockss.Population.summary population in
+      let c = Scenario.ratios ~baseline ~attack:summary in
+      {
+        fraction;
+        defections = Adversary.Reciprocity.defections attack;
+        honest_votes = Adversary.Reciprocity.honest_votes attack;
+        friction = c.Scenario.friction;
+        cost_ratio = c.Scenario.cost_ratio;
+        delay_ratio = c.Scenario.delay_ratio;
+      })
+    fractions
+
+let brute_force_reference ?(scale = Scenario.bench) () =
+  let cfg = Scenario.config scale in
+  let baseline = Scenario.run_avg ~cfg scale Scenario.No_attack in
+  let summary =
+    Scenario.run_avg ~cfg scale
+      (Scenario.Brute_force
+         { strategy = Adversary.Brute_force.Remaining; rate = 5.; identities = 50 })
+  in
+  (Scenario.ratios ~baseline ~attack:summary).Scenario.friction
+
+let to_table rows =
+  let table =
+    Table.create
+      [
+        "compromised";
+        "defections";
+        "honest rebuild votes";
+        "friction";
+        "cost ratio";
+        "delay ratio";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Report.pct r.fraction;
+          string_of_int r.defections;
+          string_of_int r.honest_votes;
+          Report.ratio r.friction;
+          Report.ratio r.cost_ratio;
+          Report.ratio r.delay_ratio;
+        ])
+    rows;
+  table

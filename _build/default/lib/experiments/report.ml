@@ -1,0 +1,6 @@
+let finite fmt x = if Float.is_finite x then Printf.sprintf fmt x else "inf"
+let sci x = finite "%.2e" x
+let ratio x = finite "%.2f" x
+let days s = Printf.sprintf "%.0fd" (Repro_prelude.Duration.to_days s)
+let months s = Printf.sprintf "%.1fmo" (Repro_prelude.Duration.to_months s)
+let pct x = Printf.sprintf "%.0f%%" (100. *. x)

@@ -1,0 +1,16 @@
+(** Small formatting helpers shared by the experiment tables. *)
+
+(** [sci x] formats like "4.80e-04"; infinity prints as "inf". *)
+val sci : float -> string
+
+(** [ratio x] formats like "2.61"; infinity prints as "inf". *)
+val ratio : float -> string
+
+(** [days s] formats a duration in whole days. *)
+val days : float -> string
+
+(** [months s] formats a duration in months with one decimal. *)
+val months : float -> string
+
+(** [pct x] formats a fraction as a percentage, e.g. "30%". *)
+val pct : float -> string

@@ -1,0 +1,207 @@
+module Duration = Repro_prelude.Duration
+
+type scale = {
+  peers : int;
+  aus : int;
+  quorum : int;
+  max_disagree : int;
+  outer_circle : int;
+  reference_target : int;
+  years : float;
+  runs : int;
+  seed : int;
+}
+
+let bench =
+  {
+    peers = 25;
+    aus = 4;
+    quorum = 5;
+    max_disagree = 1;
+    outer_circle = 5;
+    reference_target = 12;
+    years = 2.;
+    runs = 2;
+    seed = 1;
+  }
+
+let paper =
+  {
+    peers = 100;
+    aus = 50;
+    quorum = 10;
+    max_disagree = 3;
+    outer_circle = 10;
+    reference_target = 30;
+    years = 2.;
+    runs = 3;
+    seed = 1;
+  }
+
+let config ?(base = Lockss.Config.default) scale =
+  {
+    base with
+    Lockss.Config.loyal_peers = scale.peers;
+    aus = scale.aus;
+    quorum = scale.quorum;
+    max_disagree = scale.max_disagree;
+    outer_circle_size = scale.outer_circle;
+    reference_list_target = scale.reference_target;
+  }
+
+type attack =
+  | No_attack
+  | Pipe_stoppage of { coverage : float; duration : float; recuperation : float }
+  | Admission_flood of {
+      coverage : float;
+      duration : float;
+      recuperation : float;
+      rate : float;
+    }
+  | Brute_force of {
+      strategy : Adversary.Brute_force.strategy;
+      rate : float;
+      identities : int;
+    }
+  | Vote_flood of { rate : float }
+  | Combined of attack list
+
+let minion_count = 5
+
+let rec extra_nodes_for = function
+  | No_attack | Pipe_stoppage _ -> 0
+  | Admission_flood _ | Brute_force _ | Vote_flood _ -> minion_count
+  | Combined attacks -> List.fold_left (fun acc a -> acc + extra_nodes_for a) 0 attacks
+
+(* [attach population minions attack] wires the attack, consuming minion
+   nodes from the front of [minions]; returns the unconsumed rest. *)
+let rec attach population minions attack =
+  let take n =
+    let rec split acc n rest =
+      if n = 0 then (List.rev acc, rest)
+      else begin
+        match rest with
+        | [] -> invalid_arg "Scenario.attach: not enough minion nodes"
+        | x :: tl -> split (x :: acc) (n - 1) tl
+      end
+    in
+    split [] n minions
+  in
+  match attack with
+  | No_attack -> minions
+  | Pipe_stoppage { coverage; duration; recuperation } ->
+    ignore
+      (Adversary.Pipe_stoppage.attach population ~coverage ~attack_duration:duration
+         ~recuperation);
+    minions
+  | Admission_flood { coverage; duration; recuperation; rate } ->
+    let mine, rest = take minion_count in
+    ignore
+      (Adversary.Admission_flood.attach population ~minions:mine ~coverage
+         ~attack_duration:duration ~recuperation ~invitations_per_victim_au_per_day:rate);
+    rest
+  | Brute_force { strategy; rate; identities } ->
+    let mine, rest = take minion_count in
+    ignore
+      (Adversary.Brute_force.attach population ~minions:mine ~strategy ~identities
+         ~attempts_per_victim_au_per_day:rate);
+    rest
+  | Vote_flood { rate } ->
+    let mine, rest = take minion_count in
+    ignore
+      (Adversary.Vote_flood.attach population ~minions:mine
+         ~votes_per_victim_au_per_day:rate);
+    rest
+  | Combined attacks -> List.fold_left (attach population) minions attacks
+
+let run_one ~cfg ~seed ~years attack =
+  let population =
+    Lockss.Population.create ~seed ~extra_nodes:(extra_nodes_for attack) cfg
+  in
+  ignore (attach population (Lockss.Population.extra_nodes population) attack);
+  Lockss.Population.run population ~until:(Duration.of_years years);
+  Lockss.Population.summary population
+
+let mean_summaries (summaries : Lockss.Metrics.summary list) =
+  match summaries with
+  | [] -> invalid_arg "Scenario.mean_summaries: no runs"
+  | [ s ] -> s
+  | first :: _ ->
+    let n = float_of_int (List.length summaries) in
+    let favg f = List.fold_left (fun acc s -> acc +. f s) 0. summaries /. n in
+    let iavg f =
+      int_of_float
+        (Float.round (List.fold_left (fun acc s -> acc +. float_of_int (f s)) 0. summaries /. n))
+    in
+    {
+      first with
+      Lockss.Metrics.access_failure_probability =
+        favg (fun s -> s.Lockss.Metrics.access_failure_probability);
+      polls_succeeded = iavg (fun s -> s.Lockss.Metrics.polls_succeeded);
+      polls_inquorate = iavg (fun s -> s.Lockss.Metrics.polls_inquorate);
+      polls_alarmed = iavg (fun s -> s.Lockss.Metrics.polls_alarmed);
+      mean_success_gap = favg (fun s -> s.Lockss.Metrics.mean_success_gap);
+      loyal_effort = favg (fun s -> s.Lockss.Metrics.loyal_effort);
+      adversary_effort = favg (fun s -> s.Lockss.Metrics.adversary_effort);
+      effort_per_successful_poll =
+        favg (fun s -> s.Lockss.Metrics.effort_per_successful_poll);
+      invitations_considered = iavg (fun s -> s.Lockss.Metrics.invitations_considered);
+      invitations_dropped = iavg (fun s -> s.Lockss.Metrics.invitations_dropped);
+      repairs = iavg (fun s -> s.Lockss.Metrics.repairs);
+      votes_supplied = iavg (fun s -> s.Lockss.Metrics.votes_supplied);
+      reads = iavg (fun s -> s.Lockss.Metrics.reads);
+      reads_failed = iavg (fun s -> s.Lockss.Metrics.reads_failed);
+      empirical_read_failure = favg (fun s -> s.Lockss.Metrics.empirical_read_failure);
+    }
+
+let run_all ~cfg scale attack =
+  List.init scale.runs (fun i ->
+      run_one ~cfg ~seed:(scale.seed + i) ~years:scale.years attack)
+
+let run_avg ~cfg scale attack = mean_summaries (run_all ~cfg scale attack)
+
+type spread = {
+  mean : Lockss.Metrics.summary;
+  afp_min : float;
+  afp_max : float;
+}
+
+let run_spread ~cfg scale attack =
+  let runs = run_all ~cfg scale attack in
+  let afps = List.map (fun s -> s.Lockss.Metrics.access_failure_probability) runs in
+  {
+    mean = mean_summaries runs;
+    afp_min = List.fold_left Float.min infinity afps;
+    afp_max = List.fold_left Float.max neg_infinity afps;
+  }
+
+type comparison = {
+  attack : Lockss.Metrics.summary;
+  baseline : Lockss.Metrics.summary;
+  access_failure : float;
+  delay_ratio : float;
+  friction : float;
+  cost_ratio : float;
+}
+
+let ratios ~baseline ~attack =
+  let safe_div a b = if b > 0. && Float.is_finite a then a /. b else infinity in
+  {
+    attack;
+    baseline;
+    access_failure = attack.Lockss.Metrics.access_failure_probability;
+    delay_ratio =
+      safe_div attack.Lockss.Metrics.mean_success_gap
+        baseline.Lockss.Metrics.mean_success_gap;
+    friction =
+      safe_div attack.Lockss.Metrics.effort_per_successful_poll
+        baseline.Lockss.Metrics.effort_per_successful_poll;
+    cost_ratio =
+      safe_div attack.Lockss.Metrics.adversary_effort
+        attack.Lockss.Metrics.loyal_effort;
+  }
+
+let compare_runs ~cfg scale attack =
+  let baseline = run_avg ~cfg scale No_attack in
+  let attack_summary = run_avg ~cfg scale attack in
+  ratios ~baseline ~attack:attack_summary

@@ -1,0 +1,89 @@
+(** Experiment scaffolding: scales, attacks, paired runs and ratio
+    metrics.
+
+    The paper's evaluation compares each attack run against a no-attack
+    baseline with identical parameters and seeds: delay ratio and the
+    coefficient of friction are "the same measurement without the attack"
+    ratios, and the cost ratio compares attacker and defender effort
+    within the attack run. {!compare_runs} packages that methodology.
+
+    Two standard scales are provided. {!paper} is the configuration of
+    Section 6.3 (100 peers, 3-month interval, quorum 10, 2 simulated
+    years, 3 runs per data point). {!bench} is a proportionally reduced
+    deployment (25 peers, quorum 5) whose full figure suite runs in
+    minutes; attack phenomenology is scale-stable, which the tests
+    check. *)
+
+type scale = {
+  peers : int;
+  aus : int;
+  quorum : int;
+  max_disagree : int;
+  outer_circle : int;
+  reference_target : int;
+  years : float;  (** simulated horizon *)
+  runs : int;  (** runs averaged per data point *)
+  seed : int;
+}
+
+val bench : scale
+val paper : scale
+
+(** [config ?base scale] specialises a configuration (default
+    {!Lockss.Config.default}) to the scale. *)
+val config : ?base:Lockss.Config.t -> scale -> Lockss.Config.t
+
+type attack =
+  | No_attack
+  | Pipe_stoppage of { coverage : float; duration : float; recuperation : float }
+  | Admission_flood of {
+      coverage : float;
+      duration : float;
+      recuperation : float;
+      rate : float;  (** garbage invitations per victim-AU per day *)
+    }
+  | Brute_force of {
+      strategy : Adversary.Brute_force.strategy;
+      rate : float;  (** admission attempts per victim-AU per day *)
+      identities : int;
+    }
+  | Vote_flood of { rate : float  (** unsolicited bogus votes per victim-AU per day *) }
+  | Combined of attack list
+      (** several adversaries at once (Section 9's combined strategies);
+          each effortful sub-attack gets its own minion nodes *)
+
+(** [run_one ~cfg ~seed ~years attack] builds a population, attaches the
+    attack, runs the horizon and returns the finalised metrics. *)
+val run_one : cfg:Lockss.Config.t -> seed:int -> years:float -> attack ->
+  Lockss.Metrics.summary
+
+(** [run_avg ~cfg scale attack] averages [scale.runs] runs over seeds
+    [scale.seed], [scale.seed+1], …. *)
+val run_avg : cfg:Lockss.Config.t -> scale -> attack -> Lockss.Metrics.summary
+
+type spread = {
+  mean : Lockss.Metrics.summary;
+  afp_min : float;  (** lowest access-failure probability across runs *)
+  afp_max : float;  (** highest, matching the min/max bars of Figure 2 *)
+}
+
+(** [run_spread ~cfg scale attack] is {!run_avg} plus the across-run
+    extremes of the access-failure probability. *)
+val run_spread : cfg:Lockss.Config.t -> scale -> attack -> spread
+
+type comparison = {
+  attack : Lockss.Metrics.summary;
+  baseline : Lockss.Metrics.summary;
+  access_failure : float;  (** of the attack run *)
+  delay_ratio : float;
+  friction : float;
+  cost_ratio : float;
+}
+
+(** [ratios ~baseline ~attack] forms the paper's three ratio metrics. *)
+val ratios : baseline:Lockss.Metrics.summary -> attack:Lockss.Metrics.summary ->
+  comparison
+
+(** [compare_runs ~cfg scale attack] runs both sides and returns the
+    comparison. *)
+val compare_runs : cfg:Lockss.Config.t -> scale -> attack -> comparison

@@ -1,0 +1,39 @@
+(** Figures 3, 4 and 5: repeated pipe-stoppage attacks.
+
+    The adversary silences a random [coverage] fraction of the population
+    for [duration] (1–180 days, log-scaled in the paper), restores
+    communication for a 30-day recuperation period, and repeats with a
+    fresh victim subset for the whole experiment.
+
+    Shape targets: access failure (Fig. 3) grows with coverage and
+    duration but stays within about one order of magnitude of baseline
+    even at 100 % coverage for 180 days; the delay ratio (Fig. 4) needs
+    attacks of ≥ ~60 days to rise an order of magnitude; the coefficient
+    of friction (Fig. 5) is ≈ 1 for short attacks and grows toward ~10
+    for long ones. *)
+
+type point = {
+  coverage : float;
+  duration : float;
+  access_failure : float;
+  delay_ratio : float;
+  friction : float;
+}
+
+val default_durations : float list
+val default_coverages : float list
+
+(** [sweep ?scale ?durations ?coverages ()] runs the grid against one
+    shared baseline per scale. *)
+val sweep :
+  ?scale:Scenario.scale ->
+  ?durations:float list ->
+  ?coverages:float list ->
+  unit ->
+  point list
+
+(** Per-figure tables over the same sweep. *)
+val fig3_table : point list -> Repro_prelude.Table.t
+
+val fig4_table : point list -> Repro_prelude.Table.t
+val fig5_table : point list -> Repro_prelude.Table.t

@@ -1,0 +1,68 @@
+module Duration = Repro_prelude.Duration
+module Table = Repro_prelude.Table
+
+type row = {
+  fraction : float;
+  strategy : Adversary.Subversion.strategy;
+  corrupt_votes : int;
+  corrupt_repairs : int;
+  alarms : int;
+  corrupted_replicas : int;
+  access_failure : float;
+}
+
+let default_fractions = [ 0.1; 0.2; 0.3; 0.4 ]
+
+let run_one ~cfg ~seed ~years ~fraction ~strategy =
+  let population = Lockss.Population.create ~seed cfg in
+  let attack = Adversary.Subversion.attach population ~fraction ~strategy in
+  Lockss.Population.run population ~until:(Duration.of_years years);
+  let summary = Lockss.Population.summary population in
+  {
+    fraction;
+    strategy;
+    corrupt_votes = Adversary.Subversion.corrupt_votes attack;
+    corrupt_repairs = Adversary.Subversion.corrupt_repairs attack;
+    alarms = summary.Lockss.Metrics.polls_alarmed;
+    corrupted_replicas = Adversary.Subversion.corrupted_replicas attack;
+    access_failure = summary.Lockss.Metrics.access_failure_probability;
+  }
+
+let sweep ?(scale = Scenario.bench) ?(fractions = default_fractions) () =
+  let cfg = Scenario.config scale in
+  List.concat_map
+    (fun strategy ->
+      List.map
+        (fun fraction ->
+          run_one ~cfg ~seed:scale.Scenario.seed ~years:scale.Scenario.years ~fraction
+            ~strategy)
+        fractions)
+    [ Adversary.Subversion.Aggressive; Adversary.Subversion.Patient ]
+
+let to_table rows =
+  let table =
+    Table.create
+      [
+        "strategy";
+        "compromised";
+        "corrupt votes";
+        "corrupt repairs";
+        "alarms";
+        "corrupted replicas";
+        "access failure";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Format.asprintf "%a" Adversary.Subversion.pp_strategy r.strategy;
+          Report.pct r.fraction;
+          string_of_int r.corrupt_votes;
+          string_of_int r.corrupt_repairs;
+          string_of_int r.alarms;
+          string_of_int r.corrupted_replicas;
+          Report.sci r.access_failure;
+        ])
+    rows;
+  table

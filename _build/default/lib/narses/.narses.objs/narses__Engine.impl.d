@@ -1,0 +1,1 @@
+lib/narses/engine.ml: Printf Repro_prelude

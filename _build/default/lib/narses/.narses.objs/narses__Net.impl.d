@@ -1,0 +1,1 @@
+lib/narses/net.ml: Array Engine Partition Topology

@@ -1,0 +1,1 @@
+lib/narses/net.mli: Engine Partition Topology

@@ -1,0 +1,1 @@
+lib/narses/partition.mli: Topology

@@ -1,0 +1,1 @@
+lib/narses/topology.ml: Array Repro_prelude

@@ -1,0 +1,1 @@
+lib/narses/topology.mli: Repro_prelude

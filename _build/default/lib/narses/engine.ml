@@ -1,0 +1,77 @@
+type event = { time : float; seq : int; action : unit -> unit; mutable live : bool }
+type event_id = event
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable executed : int;
+  mutable live_count : int;
+  queue : event Repro_prelude.Heap.t;
+}
+
+let compare_events a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    clock = 0.;
+    next_seq = 0;
+    executed = 0;
+    live_count = 0;
+    queue = Repro_prelude.Heap.create ~cmp:compare_events;
+  }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%g precedes now=%g" at t.clock);
+  let ev = { time = at; seq = t.next_seq; action = f; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  t.live_count <- t.live_count + 1;
+  Repro_prelude.Heap.add t.queue ev;
+  ev
+
+let schedule_in t ~after f =
+  if after < 0. then invalid_arg "Engine.schedule_in: negative delay";
+  schedule t ~at:(t.clock +. after) f
+
+let cancel t ev =
+  if ev.live then begin
+    ev.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let pending t = t.live_count
+
+let step t =
+  match Repro_prelude.Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if ev.live then begin
+      ev.live <- false;
+      t.live_count <- t.live_count - 1;
+      t.clock <- ev.time;
+      t.executed <- t.executed + 1;
+      ev.action ()
+    end;
+    true
+
+let run_until t ~limit =
+  let rec loop () =
+    match Repro_prelude.Heap.peek t.queue with
+    | None -> ()
+    | Some ev when ev.time > limit ->
+      (* Leave future events queued; just advance the clock. *)
+      ()
+    | Some _ ->
+      ignore (step t);
+      loop ()
+  in
+  loop ();
+  if limit > t.clock then t.clock <- limit
+
+let run t = while step t do () done
+let executed t = t.executed

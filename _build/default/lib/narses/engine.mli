@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over a priority queue of timestamped
+    callbacks. Events scheduled at equal times fire in scheduling order
+    (FIFO), which keeps runs deterministic. This is the core of our
+    Narses-equivalent substrate: the paper ran its experiments on Narses, a
+    discrete-event simulator with a pluggable network model; {!Engine} plus
+    {!Net} reproduce the model variant the paper selected. *)
+
+type t
+
+(** Handle to a scheduled event, usable with {!cancel}. *)
+type event_id
+
+(** [create ()] is an engine at time [0.] with no pending events. *)
+val create : unit -> t
+
+(** [now t] is the current simulated time in seconds. *)
+val now : t -> float
+
+(** [schedule t ~at f] runs [f ()] at absolute time [at], which must not
+    precede [now t]. Returns a handle for cancellation. *)
+val schedule : t -> at:float -> (unit -> unit) -> event_id
+
+(** [schedule_in t ~after f] runs [f ()] after [after] seconds ([>= 0]). *)
+val schedule_in : t -> after:float -> (unit -> unit) -> event_id
+
+(** [cancel t id] prevents the event from firing if it has not fired yet;
+    cancelling a fired or cancelled event is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** [pending t] is the number of live (uncancelled, unfired) events. *)
+val pending : t -> int
+
+(** [run_until t ~limit] executes events in time order until the queue is
+    empty or the next event is strictly after [limit]; the clock finishes
+    at [limit] or at the last event time, whichever is later. *)
+val run_until : t -> limit:float -> unit
+
+(** [run t] executes events until the queue is empty. Diverges if events
+    schedule unboundedly many successors. *)
+val run : t -> unit
+
+(** [executed t] is the count of events that have fired, for tests and
+    throughput benchmarks. *)
+val executed : t -> int

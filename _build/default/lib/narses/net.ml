@@ -1,0 +1,73 @@
+type model = Delay_only | Shared_bottleneck
+
+type 'msg t = {
+  model : model;
+  engine : Engine.t;
+  topology : Topology.t;
+  partition : Partition.t;
+  handlers : (src:Topology.node -> 'msg -> unit) option array;
+  active : int array;  (* concurrent transfers touching each node's link *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes_delivered : int;
+}
+
+let create ?(model = Delay_only) ~engine ~topology ~partition () =
+  {
+    model;
+    engine;
+    topology;
+    partition;
+    handlers = Array.make (Topology.node_count topology) None;
+    active = Array.make (Topology.node_count topology) 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes_delivered = 0;
+  }
+
+let register t node handler = t.handlers.(node) <- Some handler
+
+let transfer_delay t ~src ~dst ~bytes =
+  match t.model with
+  | Delay_only -> Topology.transfer_time t.topology ~src ~dst ~bytes
+  | Shared_bottleneck ->
+    (* First-order congestion: the busier endpoint's link is shared
+       equally among its concurrent transfers, this one included. *)
+    let sharers = 1 + max t.active.(src) t.active.(dst) in
+    let bottleneck =
+      min (Topology.bandwidth_bps t.topology src) (Topology.bandwidth_bps t.topology dst)
+      /. float_of_int sharers
+    in
+    Topology.path_latency t.topology ~src ~dst
+    +. (8. *. float_of_int bytes /. bottleneck)
+
+let send t ~src ~dst ~bytes msg =
+  t.sent <- t.sent + 1;
+  if Partition.blocked t.partition ~src ~dst then t.dropped <- t.dropped + 1
+  else begin
+    let delay = transfer_delay t ~src ~dst ~bytes in
+    t.active.(src) <- t.active.(src) + 1;
+    t.active.(dst) <- t.active.(dst) + 1;
+    let deliver () =
+      t.active.(src) <- t.active.(src) - 1;
+      t.active.(dst) <- t.active.(dst) - 1;
+      if Partition.blocked t.partition ~src ~dst then t.dropped <- t.dropped + 1
+      else begin
+        match t.handlers.(dst) with
+        | None -> t.dropped <- t.dropped + 1
+        | Some handler ->
+          t.delivered <- t.delivered + 1;
+          t.bytes_delivered <- t.bytes_delivered + bytes;
+          handler ~src msg
+      end
+    in
+    ignore (Engine.schedule_in t.engine ~after:delay deliver)
+  end
+
+let sent_count t = t.sent
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped
+let bytes_delivered t = t.bytes_delivered
+let active_transfers t node = t.active.(node)

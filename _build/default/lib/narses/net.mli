@@ -1,0 +1,58 @@
+(** Message-passing network over {!Engine}, {!Topology} and {!Partition}.
+
+    Narses is a flow-based simulator with selectable fidelity; the paper
+    picks its "simplistic network model": delivery delay is propagation
+    latency plus serialisation at the bottleneck access link, with no
+    congestion except the artificial kind a pipe-stoppage adversary
+    causes (modelled by {!Partition} silently dropping traffic). That is
+    {!Delay_only}, the default. {!Shared_bottleneck} adds first-order
+    congestion — an access link's bandwidth is divided among the
+    transfers concurrently touching the node — so the paper's model
+    choice can be validated as an ablation.
+
+    Messages are delivered by invoking the destination node's registered
+    handler inside the event loop. *)
+
+type model =
+  | Delay_only  (** the paper's choice: latency + serialisation *)
+  | Shared_bottleneck
+      (** bandwidth divided by the number of concurrent transfers at the
+          busier endpoint, estimated at send time (first-order processor
+          sharing; in-flight transfers are not re-planned) *)
+
+type 'msg t
+
+(** [create ?model ~engine ~topology ~partition ()] wires an empty
+    network; every node starts without a handler, and sends to
+    handler-less nodes are counted as dropped. *)
+val create :
+  ?model:model ->
+  engine:Engine.t ->
+  topology:Topology.t ->
+  partition:Partition.t ->
+  unit ->
+  'msg t
+
+(** [register t node handler] installs the receive callback for [node];
+    replaces any previous handler. The callback receives the sender and the
+    message. *)
+val register : 'msg t -> Topology.node -> (src:Topology.node -> 'msg -> unit) -> unit
+
+(** [send t ~src ~dst ~bytes msg] schedules delivery of [msg] after the
+    topology-determined transfer time, unless either endpoint is stopped
+    (checked both at send and at delivery time, so a node stopped
+    mid-flight loses the message, as a flooded pipe would). *)
+val send : 'msg t -> src:Topology.node -> dst:Topology.node -> bytes:int -> 'msg -> unit
+
+(** Counters for tests and reporting. *)
+val sent_count : 'msg t -> int
+
+val delivered_count : 'msg t -> int
+val dropped_count : 'msg t -> int
+
+(** [bytes_delivered t] is the cumulative payload volume delivered. *)
+val bytes_delivered : 'msg t -> int
+
+(** [active_transfers t node] counts transfers currently touching the
+    node's access link (always 0 under {!Delay_only}). *)
+val active_transfers : 'msg t -> Topology.node -> int

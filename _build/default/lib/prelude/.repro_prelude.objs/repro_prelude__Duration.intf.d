@@ -1,0 +1,1 @@
+lib/prelude/duration.mli: Format

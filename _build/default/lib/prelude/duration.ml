@@ -1,0 +1,24 @@
+type seconds = float
+
+let second = 1.
+let minute = 60.
+let hour = 3600.
+let day = 86_400.
+let month = 30. *. day
+let year = 365. *. day
+
+let of_days d = d *. day
+let of_months m = m *. month
+let of_years y = y *. year
+
+let to_days s = s /. day
+let to_months s = s /. month
+let to_years s = s /. year
+
+let pp ppf s =
+  if s < minute then Format.fprintf ppf "%.1fs" s
+  else if s < hour then Format.fprintf ppf "%.1fm" (s /. minute)
+  else if s < day then Format.fprintf ppf "%.1fh" (s /. hour)
+  else if s < month then Format.fprintf ppf "%.1fd" (to_days s)
+  else if s < year then Format.fprintf ppf "%.1fmo" (to_months s)
+  else Format.fprintf ppf "%.2fy" (to_years s)

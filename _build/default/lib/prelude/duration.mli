@@ -1,0 +1,28 @@
+(** Time arithmetic for the simulator.
+
+    Simulated time is a [float] number of seconds since the start of the
+    experiment. This module gives the constants and conversions used when
+    expressing protocol parameters ("3 months", "1 day") and when printing
+    results. A month is 30 days and a year is 365 days, matching the coarse
+    calendar the paper's parameters use. *)
+
+type seconds = float
+
+val second : seconds
+val minute : seconds
+val hour : seconds
+val day : seconds
+val month : seconds
+val year : seconds
+
+val of_days : float -> seconds
+val of_months : float -> seconds
+val of_years : float -> seconds
+
+val to_days : seconds -> float
+val to_months : seconds -> float
+val to_years : seconds -> float
+
+(** [pp ppf s] prints a duration with a human-readable unit, e.g.
+    ["2.0d"] or ["3.0mo"]. *)
+val pp : Format.formatter -> seconds -> unit

@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64: advance by a fixed gamma and scramble the counter. *)
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let t = { state = Int64.of_int seed } in
+  (* Burn a few outputs so that small consecutive seeds diverge quickly. *)
+  for _ = 1 to 4 do
+    ignore (next_raw t)
+  done;
+  t
+
+let split t = { state = next_raw t }
+let copy t = { state = t.state }
+let bits64 = next_raw
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (next_raw t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let float t bound =
+  assert (bound > 0.);
+  let mantissa = Int64.to_float (Int64.shift_right_logical (next_raw t) 11) in
+  mantissa /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else float t 1.0 < p
+
+let uniform t ~lo ~hi =
+  assert (lo < hi);
+  lo +. float t (hi -. lo)
+
+let exponential t ~mean =
+  assert (mean > 0.);
+  let u = float t 1.0 in
+  (* u is in [0,1); 1-u is in (0,1], so log is finite. *)
+  -.mean *. log (1. -. u)
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ :: _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k xs =
+  let arr = Array.of_list xs in
+  shuffle t arr;
+  let n = min k (Array.length arr) in
+  Array.to_list (Array.sub arr 0 n)

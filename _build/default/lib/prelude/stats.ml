@@ -1,0 +1,84 @@
+module Acc = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable total : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; total = 0.; min = nan; max = nan }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.count = 1 then begin
+      t.min <- x;
+      t.max <- x
+    end
+    else begin
+      if x < t.min then t.min <- x;
+      if x > t.max then t.max <- x
+    end
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then nan else t.mean
+  let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+end
+
+module Time_weighted = struct
+  type t = {
+    start : float;
+    mutable last_time : float;
+    mutable last_value : float;
+    mutable integral : float;
+  }
+
+  let create ~start ~value =
+    { start; last_time = start; last_value = value; integral = 0. }
+
+  let update t ~now ~value =
+    assert (now >= t.last_time);
+    t.integral <- t.integral +. (t.last_value *. (now -. t.last_time));
+    t.last_time <- now;
+    t.last_value <- value
+
+  let mean t ~now =
+    let span = now -. t.start in
+    if span <= 0. then nan
+    else begin
+      let tail = t.last_value *. (now -. t.last_time) in
+      (t.integral +. tail) /. span
+    end
+end
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | _ :: _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ :: _ ->
+    if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+    end

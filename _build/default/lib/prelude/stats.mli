@@ -1,0 +1,52 @@
+(** Streaming and batch statistics used by the metrics collectors.
+
+    {!Acc} is a Welford-style accumulator for means and variances of point
+    samples. {!Time_weighted} integrates a piecewise-constant signal over
+    simulated time, which is how the access-failure probability ("fraction
+    of replicas damaged averaged over all time points") is computed. *)
+
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+
+  (** [mean t] is the sample mean, or [nan] when empty. *)
+  val mean : t -> float
+
+  (** [variance t] is the unbiased sample variance, [0.] for fewer than two
+      samples. *)
+  val variance : t -> float
+
+  val stddev : t -> float
+
+  (** [min t]/[max t] are [nan] when empty. *)
+  val min : t -> float
+
+  val max : t -> float
+end
+
+module Time_weighted : sig
+  type t
+
+  (** [create ~start ~value] begins integrating a signal whose value is
+      [value] from time [start]. *)
+  val create : start:float -> value:float -> t
+
+  (** [update t ~now ~value] records that the signal changed to [value] at
+      time [now]. [now] must not precede the previous update. *)
+  val update : t -> now:float -> value:float -> unit
+
+  (** [mean t ~now] is the time-weighted mean of the signal over
+      [[start, now]]; [nan] when [now] equals the start time. *)
+  val mean : t -> now:float -> float
+end
+
+(** [mean xs] is the arithmetic mean of a non-empty list. *)
+val mean : float list -> float
+
+(** [percentile p xs] is the [p]-th percentile ([0 <= p <= 100]) of a
+    non-empty list, with linear interpolation. *)
+val percentile : float -> float list -> float

@@ -1,0 +1,27 @@
+(** Plain-text table rendering for experiment reports.
+
+    The bench harness prints the same rows the paper's tables and figures
+    report; this module aligns them into readable columns. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row. Rows shorter than the header are
+    padded with empty cells; longer rows raise [Invalid_argument]. *)
+val add_row : t -> string list -> unit
+
+(** [render t] lays the table out with a header separator, columns padded
+    to their widest cell. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit
+
+(** [to_csv t] renders the table as RFC-4180 CSV (header row first;
+    fields quoted when they contain commas, quotes or newlines). *)
+val to_csv : t -> string
+
+(** [save_csv t path] writes {!to_csv} to a file. *)
+val save_csv : t -> string -> unit

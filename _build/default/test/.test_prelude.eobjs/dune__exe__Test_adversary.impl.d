@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Config Experiments Lazy Lockss Metrics Narses Population Repro_prelude

@@ -1,0 +1,1 @@
+test/test_effort.ml: Alcotest Effort Float Int64 Lazy List Option QCheck2 QCheck_alcotest Repro_prelude String

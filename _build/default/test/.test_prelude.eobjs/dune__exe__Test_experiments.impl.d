@@ -1,0 +1,1 @@
+test/test_experiments.ml: Admission_attack Adversary Alcotest Baseline Effort_attack Experiments List Lockss Report Repro_prelude Scenario Stoppage String

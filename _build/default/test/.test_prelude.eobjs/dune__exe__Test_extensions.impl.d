@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adversary Alcotest Array Effort Experiments Extensions Float Hashtbl List Lockss Repro_prelude Scenario

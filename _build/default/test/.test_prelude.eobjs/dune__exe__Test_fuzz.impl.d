@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Adversary Alcotest Array Config Experiments Float Hashtbl Lockss Metrics Peer Population QCheck2 QCheck_alcotest Repro_prelude

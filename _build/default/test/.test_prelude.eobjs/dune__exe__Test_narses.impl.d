@@ -1,0 +1,1 @@
+test/test_narses.ml: Alcotest List Narses QCheck2 QCheck_alcotest Repro_prelude

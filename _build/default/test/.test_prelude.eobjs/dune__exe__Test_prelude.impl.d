@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Float Format Int64 List QCheck2 QCheck_alcotest Repro_prelude String

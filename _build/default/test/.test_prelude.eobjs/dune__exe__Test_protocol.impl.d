@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Config Float List Lockss Metrics Narses Peer Population Replica Repro_prelude Trace

@@ -1,0 +1,1 @@
+test/test_protocol_edges.ml: Alcotest Array Config Effort Grade Hashtbl Known_peers Lockss Metrics Narses Option Peer Poller Population Replica Repro_prelude Vote Voter

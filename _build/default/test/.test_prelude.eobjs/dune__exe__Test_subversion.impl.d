@@ -1,0 +1,1 @@
+test/test_subversion.ml: Adversary Alcotest Config List Lockss Metrics Population Repro_prelude

@@ -1,0 +1,292 @@
+(* Tests for the three adversary implementations. *)
+
+module Duration = Repro_prelude.Duration
+open Lockss
+
+let tiny_cfg =
+  {
+    Config.default with
+    Config.loyal_peers = 15;
+    aus = 2;
+    quorum = 4;
+    max_disagree = 1;
+    inner_circle_factor = 2;
+    outer_circle_size = 3;
+    reference_list_target = 8;
+    friends_count = 3;
+  }
+
+let baseline_summary =
+  lazy
+    (let population = Population.create ~seed:5 tiny_cfg in
+     Population.run population ~until:(Duration.of_years 1.);
+     Population.summary population)
+
+(* -- Pipe stoppage ---------------------------------------------------- *)
+
+let test_stoppage_cycles () =
+  let population = Population.create ~seed:5 tiny_cfg in
+  let attack =
+    Adversary.Pipe_stoppage.attach population ~coverage:0.5
+      ~attack_duration:(Duration.of_days 10.) ~recuperation:(Duration.of_days 5.)
+  in
+  Population.run population ~until:(Duration.of_days 100.);
+  (* 100 days / (10 + 5) per cycle: at least 6 completed stoppages. *)
+  Alcotest.(check bool) "cycles completed" true (Adversary.Pipe_stoppage.cycles attack >= 6)
+
+let test_stoppage_coverage_counts () =
+  let population = Population.create ~seed:5 tiny_cfg in
+  let attack =
+    Adversary.Pipe_stoppage.attach population ~coverage:0.4
+      ~attack_duration:(Duration.of_days 50.) ~recuperation:(Duration.of_days 10.)
+  in
+  Population.run population ~until:(Duration.of_days 10.);
+  (* 40% of 15 peers = 6 victims silenced during the stoppage phase. *)
+  Alcotest.(check int) "victims" 6 (Adversary.Pipe_stoppage.currently_stopped attack);
+  Alcotest.(check int) "partition agrees" 6
+    (Narses.Partition.stopped_count (Population.partition population))
+
+let test_stoppage_restores_between_cycles () =
+  let population = Population.create ~seed:5 tiny_cfg in
+  ignore
+    (Adversary.Pipe_stoppage.attach population ~coverage:1.0
+       ~attack_duration:(Duration.of_days 10.) ~recuperation:(Duration.of_days 10.));
+  (* At day 15 we are inside the recuperation window. *)
+  Population.run population ~until:(Duration.of_days 15.);
+  Alcotest.(check int) "all restored during recuperation" 0
+    (Narses.Partition.stopped_count (Population.partition population))
+
+let test_stoppage_full_coverage_halts_polls () =
+  let population = Population.create ~seed:5 tiny_cfg in
+  ignore
+    (Adversary.Pipe_stoppage.attach population ~coverage:1.0
+       ~attack_duration:(Duration.of_years 2.) ~recuperation:(Duration.of_days 1.));
+  Population.run population ~until:(Duration.of_years 1.);
+  let s = Population.summary population in
+  Alcotest.(check int) "no poll can succeed" 0 s.Metrics.polls_succeeded
+
+let test_stoppage_raises_failure_metrics () =
+  (* Two simulated years: the gap statistic needs several successes per
+     (peer, AU) pair to reflect the stalls. *)
+  let population = Population.create ~seed:5 tiny_cfg in
+  ignore
+    (Adversary.Pipe_stoppage.attach population ~coverage:1.0
+       ~attack_duration:(Duration.of_days 90.) ~recuperation:(Duration.of_days 30.));
+  Population.run population ~until:(Duration.of_years 2.);
+  let s = Population.summary population in
+  let b = Lazy.force baseline_summary in
+  Alcotest.(check bool) "fewer successes than baseline" true
+    (s.Metrics.polls_succeeded < b.Metrics.polls_succeeded);
+  Alcotest.(check bool) "longer gaps than baseline" true
+    (s.Metrics.mean_success_gap > b.Metrics.mean_success_gap)
+
+let test_stoppage_invalid_args () =
+  let population = Population.create ~seed:5 tiny_cfg in
+  Alcotest.(check bool) "bad coverage" true
+    (try
+       ignore
+         (Adversary.Pipe_stoppage.attach population ~coverage:1.5 ~attack_duration:1.
+            ~recuperation:1.);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Admission flood -------------------------------------------------- *)
+
+let test_flood_sends_garbage () =
+  let population = Population.create ~seed:5 ~extra_nodes:2 tiny_cfg in
+  let attack =
+    Adversary.Admission_flood.attach population
+      ~minions:(Population.extra_nodes population)
+      ~coverage:1.0 ~attack_duration:(Duration.of_days 30.)
+      ~recuperation:(Duration.of_days 30.) ~invitations_per_victim_au_per_day:4.
+  in
+  Population.run population ~until:(Duration.of_days 30.);
+  (* 15 victims x 2 AUs x ~4/day x 30 days = ~3600 expected. *)
+  let sent = Adversary.Admission_flood.invitations_sent attack in
+  Alcotest.(check bool) "volume in expected range" true (sent > 2500 && sent < 5000)
+
+let test_flood_triggers_drops_not_effort () =
+  let population = Population.create ~seed:5 ~extra_nodes:2 tiny_cfg in
+  ignore
+    (Adversary.Admission_flood.attach population
+       ~minions:(Population.extra_nodes population)
+       ~coverage:1.0 ~attack_duration:(Duration.of_years 1.)
+       ~recuperation:(Duration.of_days 30.) ~invitations_per_victim_au_per_day:4.);
+  Population.run population ~until:(Duration.of_years 1.);
+  let s = Population.summary population in
+  let b = Lazy.force baseline_summary in
+  Alcotest.(check (float 0.)) "flood costs the adversary nothing" 0. s.Metrics.adversary_effort;
+  Alcotest.(check bool) "most garbage is dropped" true
+    (s.Metrics.invitations_dropped > b.Metrics.invitations_dropped * 2);
+  (* The defining result of Figs 6-7: preservation barely suffers. *)
+  Alcotest.(check bool) "successes barely affected" true
+    (s.Metrics.polls_succeeded > (b.Metrics.polls_succeeded * 9) / 10)
+
+(* -- Vote flood -------------------------------------------------------- *)
+
+let test_vote_flood_is_harmless () =
+  let population = Population.create ~seed:5 ~extra_nodes:2 tiny_cfg in
+  let attack =
+    Adversary.Vote_flood.attach population
+      ~minions:(Population.extra_nodes population)
+      ~votes_per_victim_au_per_day:10.
+  in
+  Population.run population ~until:(Duration.of_years 1.);
+  let s = Population.summary population in
+  let b = Lazy.force baseline_summary in
+  Alcotest.(check bool) "flood volume delivered" true
+    (Adversary.Vote_flood.votes_sent attack > 50_000);
+  (* "Unsolicited votes are ignored": preservation and effort unmoved. *)
+  Alcotest.(check bool) "successes unaffected" true
+    (s.Metrics.polls_succeeded >= (b.Metrics.polls_succeeded * 95) / 100);
+  Alcotest.(check bool) "loyal effort unaffected" true
+    (s.Metrics.loyal_effort < 1.05 *. b.Metrics.loyal_effort)
+
+(* -- Grade-recovery (reciprocity-gaming) adversary ---------------------- *)
+
+let test_reciprocity_less_effective_than_brute_force () =
+  (* The claim the paper left to its extended version: grade-gaming is
+     rate-limited by the victims' invitation rate, below brute force. *)
+  let scale =
+    {
+      Experiments.Scenario.peers = 15;
+      aus = 2;
+      quorum = 4;
+      max_disagree = 1;
+      outer_circle = 3;
+      reference_target = 8;
+      years = 2.;
+      runs = 1;
+      seed = 5;
+    }
+  in
+  let rows = Experiments.Reciprocity_attack.sweep ~scale ~fractions:[ 0.2 ] () in
+  let brute = Experiments.Reciprocity_attack.brute_force_reference ~scale () in
+  (match rows with
+  | [ r ] ->
+    Alcotest.(check bool) "defections happen" true (r.Experiments.Reciprocity_attack.defections > 10);
+    Alcotest.(check bool) "rebuild votes were required" true
+      (r.Experiments.Reciprocity_attack.honest_votes > 0);
+    Alcotest.(check bool) "less friction than brute force" true
+      (r.Experiments.Reciprocity_attack.friction < brute);
+    Alcotest.(check bool) "delay unaffected" true
+      (r.Experiments.Reciprocity_attack.delay_ratio < 1.2)
+  | _ -> Alcotest.fail "expected one row")
+
+let test_reciprocity_grade_burned_on_defection () =
+  (* After a defection the minion's standing at that victim drops at
+     vote-supply time, so back-to-back extractions from one grade are
+     impossible: defections per victim-AU are bounded by roughly the
+     victims' own invitation rate. *)
+  let cfg = { tiny_cfg with Config.aus = 1 } in
+  let population = Population.create ~seed:5 cfg in
+  let attack =
+    Adversary.Reciprocity.attach population ~fraction:0.2
+      ~attempts_per_victim_au_per_day:20.
+  in
+  Population.run population ~until:(Duration.of_years 1.);
+  let minions = Adversary.Reciprocity.minion_count attack in
+  let victims = cfg.Config.loyal_peers - minions in
+  let lanes = minions * victims * cfg.Config.aus in
+  (* ~4 invitation cycles per year per lane bounds the defection rate. *)
+  Alcotest.(check bool) "defections bounded by invitation cycles" true
+    (Adversary.Reciprocity.defections attack < lanes * 8)
+
+(* -- Brute force ------------------------------------------------------ *)
+
+let run_brute strategy =
+  let population = Population.create ~seed:5 ~extra_nodes:2 tiny_cfg in
+  let attack =
+    Adversary.Brute_force.attach population
+      ~minions:(Population.extra_nodes population)
+      ~strategy ~identities:20 ~attempts_per_victim_au_per_day:5.
+  in
+  Population.run population ~until:(Duration.of_years 1.);
+  (attack, Population.summary population)
+
+let test_brute_force_gets_admitted () =
+  let attack, _ = run_brute Adversary.Brute_force.Intro in
+  Alcotest.(check bool) "invitations sent" true
+    (Adversary.Brute_force.invitations_sent attack > 100);
+  Alcotest.(check bool) "admissions happen" true (Adversary.Brute_force.admissions attack > 50)
+
+let test_brute_force_remaining_extracts_votes () =
+  let attack, s = run_brute Adversary.Brute_force.Remaining in
+  Alcotest.(check bool) "victim votes extracted" true
+    (Adversary.Brute_force.votes_received attack > 20);
+  let b = Lazy.force baseline_summary in
+  Alcotest.(check bool) "loyal effort inflated" true
+    (s.Metrics.loyal_effort > 1.5 *. b.Metrics.loyal_effort)
+
+let test_brute_force_intro_extracts_no_votes () =
+  let attack, _ = run_brute Adversary.Brute_force.Intro in
+  Alcotest.(check int) "deserting after Poll yields no votes" 0
+    (Adversary.Brute_force.votes_received attack)
+
+let test_brute_force_charges_adversary () =
+  let _, s = run_brute Adversary.Brute_force.Full in
+  Alcotest.(check bool) "effortful attack costs the adversary" true
+    (s.Metrics.adversary_effort > 0.)
+
+let test_brute_force_full_is_cheapest_per_admission () =
+  let _, s_full = run_brute Adversary.Brute_force.Full in
+  let _, s_intro = run_brute Adversary.Brute_force.Intro in
+  let b = Lazy.force baseline_summary in
+  let cost s = s.Metrics.adversary_effort /. s.Metrics.loyal_effort in
+  (* Table 1's headline: full participation has the lowest cost ratio. *)
+  Alcotest.(check bool) "NONE cheaper than INTRO" true (cost s_full < cost s_intro);
+  (* And it degrades preservation only mildly. *)
+  Alcotest.(check bool) "successes barely affected" true
+    (s_full.Metrics.polls_succeeded > (b.Metrics.polls_succeeded * 9) / 10)
+
+let test_brute_force_repeat_runs_deterministic () =
+  (* Each attach consumes a fresh identity block (so combined attacks
+     cannot collide), but identity values must not affect behaviour. *)
+  let _, a = run_brute Adversary.Brute_force.Remaining in
+  let _, b = run_brute Adversary.Brute_force.Remaining in
+  Alcotest.(check int) "same successes" a.Metrics.polls_succeeded b.Metrics.polls_succeeded;
+  Alcotest.(check (float 0.)) "same loyal effort" a.Metrics.loyal_effort b.Metrics.loyal_effort;
+  Alcotest.(check (float 0.)) "same adversary effort" a.Metrics.adversary_effort
+    b.Metrics.adversary_effort
+
+let test_brute_force_preservation_survives () =
+  let _, s = run_brute Adversary.Brute_force.Remaining in
+  Alcotest.(check bool) "access failure stays small" true
+    (s.Metrics.access_failure_probability < 0.01)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "adversary"
+    [
+      ( "pipe stoppage",
+        [
+          quick "cycles" test_stoppage_cycles;
+          quick "coverage counts" test_stoppage_coverage_counts;
+          quick "restores between cycles" test_stoppage_restores_between_cycles;
+          slow "full coverage halts polls" test_stoppage_full_coverage_halts_polls;
+          slow "raises failure metrics" test_stoppage_raises_failure_metrics;
+          quick "invalid args" test_stoppage_invalid_args;
+        ] );
+      ( "admission flood",
+        [
+          quick "sends garbage" test_flood_sends_garbage;
+          slow "drops not effort" test_flood_triggers_drops_not_effort;
+        ] );
+      ("vote flood", [ slow "harmless by construction" test_vote_flood_is_harmless ]);
+      ( "grade recovery",
+        [
+          slow "less effective than brute force" test_reciprocity_less_effective_than_brute_force;
+          slow "grade burned on defection" test_reciprocity_grade_burned_on_defection;
+        ] );
+      ( "brute force",
+        [
+          slow "gets admitted" test_brute_force_gets_admitted;
+          slow "REMAINING extracts votes" test_brute_force_remaining_extracts_votes;
+          slow "INTRO extracts no votes" test_brute_force_intro_extracts_no_votes;
+          slow "charges adversary" test_brute_force_charges_adversary;
+          slow "NONE cheapest" test_brute_force_full_is_cheapest_per_admission;
+          slow "preservation survives" test_brute_force_preservation_survives;
+          slow "repeat runs deterministic" test_brute_force_repeat_runs_deterministic;
+        ] );
+    ]

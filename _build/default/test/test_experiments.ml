@@ -1,0 +1,205 @@
+(* Tests for the experiment harness: scenario plumbing, ratio metrics,
+   and quick miniature versions of the paper's sweeps that check the
+   claimed shapes hold. *)
+
+module Duration = Repro_prelude.Duration
+open Experiments
+
+(* A very small, fast scale for harness tests. *)
+let micro =
+  {
+    Scenario.peers = 15;
+    aus = 2;
+    quorum = 4;
+    max_disagree = 1;
+    outer_circle = 3;
+    reference_target = 8;
+    years = 2.;
+    runs = 1;
+    seed = 5;
+  }
+
+let test_config_of_scale () =
+  let cfg = Scenario.config micro in
+  Alcotest.(check int) "peers" 15 cfg.Lockss.Config.loyal_peers;
+  Alcotest.(check int) "aus" 2 cfg.Lockss.Config.aus;
+  Alcotest.(check int) "quorum" 4 cfg.Lockss.Config.quorum;
+  Lockss.Config.validate cfg
+
+let test_run_one_deterministic () =
+  let cfg = Scenario.config micro in
+  let a = Scenario.run_one ~cfg ~seed:3 ~years:0.5 Scenario.No_attack in
+  let b = Scenario.run_one ~cfg ~seed:3 ~years:0.5 Scenario.No_attack in
+  Alcotest.(check int) "same polls" a.Lockss.Metrics.polls_succeeded
+    b.Lockss.Metrics.polls_succeeded;
+  Alcotest.(check (float 0.)) "same effort" a.Lockss.Metrics.loyal_effort
+    b.Lockss.Metrics.loyal_effort
+
+let test_run_avg_averages () =
+  let cfg = Scenario.config micro in
+  let scale = { micro with Scenario.runs = 2; years = 0.5 } in
+  let avg = Scenario.run_avg ~cfg scale Scenario.No_attack in
+  let s1 = Scenario.run_one ~cfg ~seed:scale.Scenario.seed ~years:0.5 Scenario.No_attack in
+  let s2 =
+    Scenario.run_one ~cfg ~seed:(scale.Scenario.seed + 1) ~years:0.5 Scenario.No_attack
+  in
+  let expected =
+    (s1.Lockss.Metrics.loyal_effort +. s2.Lockss.Metrics.loyal_effort) /. 2.
+  in
+  Alcotest.(check (float 1e-6)) "averaged effort" expected avg.Lockss.Metrics.loyal_effort
+
+let test_ratios_baseline_is_one () =
+  let cfg = Scenario.config micro in
+  let s = Scenario.run_one ~cfg ~seed:3 ~years:1. Scenario.No_attack in
+  let c = Scenario.ratios ~baseline:s ~attack:s in
+  Alcotest.(check (float 1e-9)) "delay ratio 1" 1. c.Scenario.delay_ratio;
+  Alcotest.(check (float 1e-9)) "friction 1" 1. c.Scenario.friction;
+  Alcotest.(check (float 1e-9)) "cost ratio 0 (no adversary)" 0. c.Scenario.cost_ratio
+
+let test_ratios_infinite_when_no_successes () =
+  let cfg = Scenario.config micro in
+  let baseline = Scenario.run_one ~cfg ~seed:3 ~years:1. Scenario.No_attack in
+  let dead =
+    Scenario.run_one ~cfg ~seed:3 ~years:1.
+      (Scenario.Pipe_stoppage
+         { coverage = 1.0; duration = Duration.of_years 2.; recuperation = Duration.day })
+  in
+  let c = Scenario.ratios ~baseline ~attack:dead in
+  Alcotest.(check bool) "delay ratio infinite" true (c.Scenario.delay_ratio = infinity)
+
+(* -- Shape checks: miniature versions of the paper's figures ---------- *)
+
+let test_fig3_shape_coverage_monotone () =
+  (* Higher coverage cannot make preservation better. *)
+  let points =
+    Stoppage.sweep ~scale:micro
+      ~durations:[ Duration.of_days 90. ]
+      ~coverages:[ 0.1; 1.0 ] ()
+  in
+  match points with
+  | [ low; high ] ->
+    Alcotest.(check bool) "full coverage at least as damaging" true
+      (high.Stoppage.access_failure >= low.Stoppage.access_failure);
+    Alcotest.(check bool) "delay grows with coverage" true
+      (high.Stoppage.delay_ratio >= low.Stoppage.delay_ratio)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_fig3_shape_duration_monotone () =
+  let points =
+    Stoppage.sweep ~scale:micro
+      ~durations:[ Duration.of_days 5.; Duration.of_days 120. ]
+      ~coverages:[ 1.0 ] ()
+  in
+  match points with
+  | [ short; long ] ->
+    Alcotest.(check bool) "long attacks hurt more" true
+      (long.Stoppage.delay_ratio > short.Stoppage.delay_ratio);
+    Alcotest.(check bool) "short attacks nearly harmless" true
+      (short.Stoppage.delay_ratio < 1.5)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_fig6_shape_flood_is_weak () =
+  let points =
+    Admission_attack.sweep ~scale:micro
+      ~durations:[ Duration.of_years 1. ]
+      ~coverages:[ 1.0 ] ()
+  in
+  match points with
+  | [ p ] ->
+    (* The paper's core claim: the application-level flood barely moves
+       preservation while raising friction modestly. *)
+    Alcotest.(check bool) "delay ratio close to 1" true (p.Admission_attack.delay_ratio < 1.3);
+    Alcotest.(check bool) "friction bounded" true (p.Admission_attack.friction < 2.0)
+  | _ -> Alcotest.fail "expected one point"
+
+let test_table1_shape () =
+  let rows = Effort_attack.sweep ~scale:micro ~collections:[ 2 ] ~identities:20 () in
+  Alcotest.(check int) "three strategies" 3 (List.length rows);
+  let find strategy =
+    List.find (fun r -> r.Effort_attack.strategy = strategy) rows
+  in
+  let intro = find Adversary.Brute_force.Intro in
+  let remaining = find Adversary.Brute_force.Remaining in
+  let full = find Adversary.Brute_force.Full in
+  (* Cost ratio: full participation is the adversary's optimum. *)
+  Alcotest.(check bool) "NONE < REMAINING cost" true
+    (full.Effort_attack.cost_ratio < remaining.Effort_attack.cost_ratio);
+  Alcotest.(check bool) "NONE < INTRO cost" true
+    (full.Effort_attack.cost_ratio < intro.Effort_attack.cost_ratio);
+  (* Friction: strategies extracting votes hurt most. *)
+  Alcotest.(check bool) "vote extraction costs defenders" true
+    (remaining.Effort_attack.friction > intro.Effort_attack.friction);
+  Alcotest.(check bool) "friction bounded by constant over-provisioning" true
+    (full.Effort_attack.friction < 4.);
+  (* Access failure stays in the baseline's order of magnitude. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "preservation intact" true (r.Effort_attack.access_failure < 0.01))
+    rows
+
+let test_fig2_shape () =
+  (* A high damage rate keeps the comparison out of small-sample noise at
+     this micro scale. *)
+  let points =
+    Baseline.sweep ~scale:micro
+      ~intervals:[ Duration.of_months 1.; Duration.of_months 6. ]
+      ~mttfs:[ 0.1 ] ~collections:[ 4 ] ()
+  in
+  match points with
+  | [ fast; slow ] ->
+    Alcotest.(check bool) "longer interval worse" true
+      (slow.Baseline.access_failure > fast.Baseline.access_failure)
+  | _ -> Alcotest.fail "expected two points"
+
+(* -- Report formatting ------------------------------------------------ *)
+
+let test_report_formats () =
+  Alcotest.(check string) "sci" "1.50e-03" (Report.sci 0.0015);
+  Alcotest.(check string) "sci inf" "inf" (Report.sci infinity);
+  Alcotest.(check string) "ratio" "2.61" (Report.ratio 2.614);
+  Alcotest.(check string) "days" "90d" (Report.days (Duration.of_days 90.));
+  Alcotest.(check string) "months" "3.0mo" (Report.months (Duration.of_months 3.));
+  Alcotest.(check string) "pct" "30%" (Report.pct 0.3)
+
+let test_tables_render () =
+  let points =
+    [
+      {
+        Stoppage.coverage = 0.5;
+        duration = Duration.of_days 10.;
+        access_failure = 1e-4;
+        delay_ratio = 1.5;
+        friction = 2.0;
+      };
+    ]
+  in
+  List.iter
+    (fun table ->
+      Alcotest.(check bool) "renders" true
+        (String.length (Repro_prelude.Table.render table) > 0))
+    [ Stoppage.fig3_table points; Stoppage.fig4_table points; Stoppage.fig5_table points ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "experiments"
+    [
+      ( "scenario",
+        [
+          quick "config of scale" test_config_of_scale;
+          quick "deterministic" test_run_one_deterministic;
+          quick "averaging" test_run_avg_averages;
+          quick "identity ratios" test_ratios_baseline_is_one;
+          slow "infinite ratios" test_ratios_infinite_when_no_successes;
+        ] );
+      ( "shapes",
+        [
+          slow "fig3 coverage monotone" test_fig3_shape_coverage_monotone;
+          slow "fig3 duration monotone" test_fig3_shape_duration_monotone;
+          slow "fig6 flood weak" test_fig6_shape_flood_is_weak;
+          slow "table1 ordering" test_table1_shape;
+          slow "fig2 interval monotone" test_fig2_shape;
+        ] );
+      ( "report",
+        [ quick "formats" test_report_formats; quick "tables render" test_tables_render ] );
+    ]

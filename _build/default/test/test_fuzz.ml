@@ -1,0 +1,154 @@
+(* Property-based fuzzing of whole simulations: random (but valid)
+   configurations, attacks and seeds must run to completion without
+   exceptions and uphold global invariants. *)
+
+module Duration = Repro_prelude.Duration
+open Lockss
+
+let config_gen =
+  let open QCheck2.Gen in
+  let* peers = int_range 10 20 in
+  let* aus = int_range 1 3 in
+  let* quorum = int_range 2 4 in
+  let* max_disagree = int_range 0 ((quorum - 1) / 2) in
+  let* interval_days = int_range 20 120 in
+  let* capacity = float_range 0.01 2.0 in
+  let* mttf = float_range 0.2 5.0 in
+  let* drop_unknown = float_range 0.5 0.95 in
+  let* drop_debt = float_range 0.2 drop_unknown in
+  let* desynchronized = bool in
+  let* introductions = bool in
+  let* adaptive = bool in
+  let* coverage = float_range 0.75 1.0 in
+  let inner = 2 * quorum in
+  if inner > peers - 1 then return None
+  else if
+    int_of_float (Float.round (coverage *. float_of_int peers)) <= inner
+  then return None
+  else
+    return
+      (Some
+         {
+           Config.default with
+           Config.loyal_peers = peers;
+           aus;
+           quorum;
+           max_disagree;
+           inner_circle_factor = 2;
+           outer_circle_size = quorum;
+           reference_list_target = min (3 * quorum) (peers - 1);
+           friends_count = min 3 (peers - 1);
+           inter_poll_interval = Duration.of_days (float_of_int interval_days);
+           capacity;
+           disk_mttf_years = mttf;
+           drop_unknown;
+           drop_debt;
+           desynchronized;
+           introductions_enabled = introductions;
+           adaptive_acceptance = adaptive;
+           au_coverage = coverage;
+         })
+
+let attack_gen =
+  let open QCheck2.Gen in
+  let open Experiments.Scenario in
+  oneof
+    [
+      return No_attack;
+      (let* coverage = float_range 0.1 1.0 in
+       let* days = int_range 5 120 in
+       return
+         (Pipe_stoppage
+            {
+              coverage;
+              duration = Duration.of_days (float_of_int days);
+              recuperation = Duration.of_days 30.;
+            }));
+      (let* coverage = float_range 0.1 1.0 in
+       let* rate = float_range 1. 10. in
+       return
+         (Admission_flood
+            {
+              coverage;
+              duration = Duration.of_days 60.;
+              recuperation = Duration.of_days 30.;
+              rate;
+            }));
+      (let* strategy =
+         oneofl
+           [ Adversary.Brute_force.Intro; Adversary.Brute_force.Remaining; Adversary.Brute_force.Full ]
+       in
+       return (Brute_force { strategy; rate = 3.; identities = 10 }));
+      return (Vote_flood { rate = 5. });
+    ]
+
+let invariants (s : Metrics.summary) =
+  let afp = s.Metrics.access_failure_probability in
+  afp >= 0. && afp <= 1.
+  && s.Metrics.polls_succeeded >= 0
+  && s.Metrics.loyal_effort >= 0.
+  && s.Metrics.adversary_effort >= 0.
+  && s.Metrics.repairs >= 0
+  && (s.Metrics.mean_success_gap > 0. || s.Metrics.mean_success_gap = infinity)
+  && s.Metrics.invitations_considered >= 0
+  && s.Metrics.invitations_dropped >= 0
+
+let prop_random_simulations_run =
+  QCheck2.Test.make ~name:"random configs+attacks run and keep invariants" ~count:40
+    QCheck2.Gen.(triple config_gen attack_gen (int_range 1 10_000))
+    (fun (cfg, attack, seed) ->
+      match cfg with
+      | None -> true (* generator produced an inconsistent draw; skip *)
+      | Some cfg ->
+        Config.validate cfg;
+        let summary =
+          Experiments.Scenario.run_one ~cfg ~seed ~years:0.5 attack
+        in
+        invariants summary)
+
+let prop_runs_are_reproducible =
+  QCheck2.Test.make ~name:"equal seeds reproduce bit-identical summaries" ~count:10
+    QCheck2.Gen.(pair config_gen (int_range 1 1000))
+    (fun (cfg, seed) ->
+      match cfg with
+      | None -> true
+      | Some cfg ->
+        let a = Experiments.Scenario.run_one ~cfg ~seed ~years:0.25 Experiments.Scenario.No_attack in
+        let b = Experiments.Scenario.run_one ~cfg ~seed ~years:0.25 Experiments.Scenario.No_attack in
+        a.Metrics.polls_succeeded = b.Metrics.polls_succeeded
+        && a.Metrics.loyal_effort = b.Metrics.loyal_effort
+        && a.Metrics.access_failure_probability = b.Metrics.access_failure_probability)
+
+let prop_sessions_end_in_legal_states =
+  QCheck2.Test.make ~name:"voter sessions end in legal states" ~count:15
+    QCheck2.Gen.(pair config_gen (int_range 1 1000))
+    (fun (cfg, seed) ->
+      match cfg with
+      | None -> true
+      | Some cfg ->
+        let population = Population.create ~seed cfg in
+        Population.run population ~until:(Duration.of_months 6.);
+        let ctx = Population.ctx population in
+        Array.for_all
+          (fun (peer : Peer.t) ->
+            Hashtbl.fold
+              (fun _key (session : Peer.voter_session) acc ->
+                acc
+                &&
+                match session.Peer.vs_state with
+                | Peer.Awaiting_proof _ | Peer.Computing | Peer.Voted_waiting_receipt _ ->
+                  true
+                | Peer.Closed -> false (* closed sessions must be removed *))
+              peer.Peer.voter_sessions true)
+          ctx.Peer.peers)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "whole-simulation properties",
+        [
+          QCheck_alcotest.to_alcotest ~long:true prop_random_simulations_run;
+          QCheck_alcotest.to_alcotest prop_runs_are_reproducible;
+          QCheck_alcotest.to_alcotest prop_sessions_end_in_legal_states;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+(* Tests for the discrete-event engine and the network substrate. *)
+
+module Engine = Narses.Engine
+module Topology = Narses.Topology
+module Partition = Narses.Partition
+module Net = Narses.Net
+module Rng = Repro_prelude.Rng
+
+(* -- Engine ----------------------------------------------------------- *)
+
+let test_engine_runs_in_time_order () =
+  let engine = Engine.create () in
+  let trace = ref [] in
+  let note tag () = trace := tag :: !trace in
+  ignore (Engine.schedule engine ~at:3. (note "c"));
+  ignore (Engine.schedule engine ~at:1. (note "a"));
+  ignore (Engine.schedule engine ~at:2. (note "b"));
+  Engine.run engine;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !trace)
+
+let test_engine_fifo_at_equal_times () =
+  let engine = Engine.create () in
+  let trace = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule engine ~at:1. (fun () -> trace := i :: !trace))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !trace)
+
+let test_engine_clock_advances () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule engine ~at:2.5 (fun () -> seen := Engine.now engine :: !seen));
+  ignore (Engine.schedule engine ~at:7. (fun () -> seen := Engine.now engine :: !seen));
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "clock at event times" [ 2.5; 7. ] (List.rev !seen)
+
+let test_engine_schedule_in_past_rejected () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~at:5. (fun () -> ()));
+  Engine.run engine;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Engine.schedule engine ~at:1. (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule engine ~at:1. (fun () -> fired := true) in
+  Engine.cancel engine id;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired;
+  Alcotest.(check int) "no live events" 0 (Engine.pending engine)
+
+let test_engine_cancel_twice_harmless () =
+  let engine = Engine.create () in
+  let id = Engine.schedule engine ~at:1. (fun () -> ()) in
+  Engine.cancel engine id;
+  Engine.cancel engine id;
+  Alcotest.(check int) "pending zero, not negative" 0 (Engine.pending engine)
+
+let test_engine_events_scheduling_events () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec chain n () =
+    incr count;
+    if n > 1 then ignore (Engine.schedule_in engine ~after:1. (chain (n - 1)))
+  in
+  ignore (Engine.schedule engine ~at:0. (chain 10));
+  Engine.run engine;
+  Alcotest.(check int) "chain length" 10 !count;
+  Alcotest.(check (float 1e-9)) "final time" 9. (Engine.now engine)
+
+let test_engine_run_until_limit () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun at -> ignore (Engine.schedule engine ~at (fun () -> fired := at :: !fired)))
+    [ 1.; 2.; 10. ];
+  Engine.run_until engine ~limit:5.;
+  Alcotest.(check (list (float 1e-9))) "only early events" [ 1.; 2. ] (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock at limit" 5. (Engine.now engine);
+  Alcotest.(check int) "late event still pending" 1 (Engine.pending engine);
+  Engine.run_until engine ~limit:20.;
+  Alcotest.(check (list (float 1e-9))) "late event fires later" [ 1.; 2.; 10. ]
+    (List.rev !fired)
+
+let prop_engine_never_runs_backwards =
+  QCheck2.Test.make ~name:"events never run out of time order" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 100) (float_range 0. 1000.))
+    (fun times ->
+      let engine = Engine.create () in
+      let last = ref neg_infinity in
+      let monotone = ref true in
+      List.iter
+        (fun at ->
+          ignore
+            (Engine.schedule engine ~at (fun () ->
+                 if Engine.now engine < !last then monotone := false;
+                 last := Engine.now engine)))
+        times;
+      Engine.run engine;
+      !monotone)
+
+(* -- Topology --------------------------------------------------------- *)
+
+let make_topology ?(nodes = 20) () =
+  Topology.create ~rng:(Rng.create 99) ~nodes
+
+let test_topology_bandwidth_choices () =
+  let t = make_topology ~nodes:200 () in
+  for n = 0 to 199 do
+    let bw = Topology.bandwidth_bps t n in
+    Alcotest.(check bool) "bandwidth from paper's set" true
+      (List.mem bw [ 1.5e6; 10.0e6; 100.0e6 ])
+  done
+
+let test_topology_latency_range () =
+  let t = make_topology ~nodes:200 () in
+  for src = 0 to 19 do
+    for dst = 0 to 19 do
+      if src <> dst then begin
+        let l = Topology.path_latency t ~src ~dst in
+        Alcotest.(check bool) "latency in [1,30] ms" true (l >= 0.001 && l <= 0.030)
+      end
+    done
+  done
+
+let test_topology_transfer_time () =
+  let t = make_topology () in
+  let small = Topology.transfer_time t ~src:0 ~dst:1 ~bytes:100 in
+  let large = Topology.transfer_time t ~src:0 ~dst:1 ~bytes:1_000_000 in
+  Alcotest.(check bool) "positive" true (small > 0.);
+  Alcotest.(check bool) "larger payload slower" true (large > small);
+  (* Serialisation term: (large - small) = 8 * delta_bytes / bottleneck *)
+  let bottleneck = min (Topology.bandwidth_bps t 0) (Topology.bandwidth_bps t 1) in
+  let expected = 8. *. 999_900. /. bottleneck in
+  Alcotest.(check (float 1e-9)) "bandwidth math" expected (large -. small)
+
+(* -- Partition -------------------------------------------------------- *)
+
+let test_partition_stop_restore () =
+  let p = Partition.create ~nodes:4 in
+  Alcotest.(check bool) "initially open" false (Partition.blocked p ~src:0 ~dst:1);
+  Partition.stop p 1;
+  Alcotest.(check bool) "blocked as dst" true (Partition.blocked p ~src:0 ~dst:1);
+  Alcotest.(check bool) "blocked as src" true (Partition.blocked p ~src:1 ~dst:2);
+  Alcotest.(check bool) "others fine" false (Partition.blocked p ~src:0 ~dst:2);
+  Alcotest.(check int) "count" 1 (Partition.stopped_count p);
+  Partition.stop p 1;
+  Alcotest.(check int) "idempotent stop" 1 (Partition.stopped_count p);
+  Partition.restore p 1;
+  Alcotest.(check bool) "restored" false (Partition.blocked p ~src:0 ~dst:1);
+  Partition.restore p 1;
+  Alcotest.(check int) "idempotent restore" 0 (Partition.stopped_count p)
+
+let test_partition_restore_all () =
+  let p = Partition.create ~nodes:5 in
+  List.iter (Partition.stop p) [ 0; 2; 4 ];
+  Partition.restore_all p;
+  Alcotest.(check int) "all restored" 0 (Partition.stopped_count p)
+
+(* -- Net -------------------------------------------------------------- *)
+
+let make_net ?model () =
+  let engine = Engine.create () in
+  let topology = make_topology () in
+  let partition = Partition.create ~nodes:20 in
+  let net = Net.create ?model ~engine ~topology ~partition () in
+  (engine, topology, partition, net)
+
+let test_net_delivers () =
+  let engine, topology, _, net = make_net () in
+  let received = ref [] in
+  Net.register net 1 (fun ~src msg -> received := (src, msg, Engine.now engine) :: !received);
+  Net.send net ~src:0 ~dst:1 ~bytes:1000 "hello";
+  Engine.run engine;
+  match !received with
+  | [ (src, msg, at) ] ->
+    Alcotest.(check int) "src" 0 src;
+    Alcotest.(check string) "payload" "hello" msg;
+    let expected = Topology.transfer_time topology ~src:0 ~dst:1 ~bytes:1000 in
+    Alcotest.(check (float 1e-9)) "delivery time" expected at;
+    Alcotest.(check int) "delivered count" 1 (Net.delivered_count net);
+    Alcotest.(check int) "bytes" 1000 (Net.bytes_delivered net)
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_net_drops_when_stopped_at_send () =
+  let engine, _, partition, net = make_net () in
+  let received = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr received);
+  Partition.stop partition 1;
+  Net.send net ~src:0 ~dst:1 ~bytes:10 "lost";
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 !received;
+  Alcotest.(check int) "dropped" 1 (Net.dropped_count net)
+
+let test_net_drops_mid_flight () =
+  let engine, _, partition, net = make_net () in
+  let received = ref 0 in
+  Net.register net 1 (fun ~src:_ _ -> incr received);
+  Net.send net ~src:0 ~dst:1 ~bytes:10 "doomed";
+  (* Stop the destination before the propagation delay elapses. *)
+  ignore (Engine.schedule engine ~at:0. (fun () -> Partition.stop partition 1));
+  Engine.run engine;
+  Alcotest.(check int) "mid-flight message lost" 0 !received;
+  Alcotest.(check int) "dropped" 1 (Net.dropped_count net)
+
+let test_net_unregistered_destination () =
+  let engine, _, _, net = make_net () in
+  Net.send net ~src:0 ~dst:2 ~bytes:10 "void";
+  Engine.run engine;
+  Alcotest.(check int) "counted as dropped" 1 (Net.dropped_count net)
+
+let test_net_bidirectional () =
+  let engine, _, _, net = make_net () in
+  let log = ref [] in
+  Net.register net 0 (fun ~src:_ msg -> log := ("at0", msg) :: !log);
+  Net.register net 1 (fun ~src msg ->
+      log := ("at1", msg) :: !log;
+      Net.send net ~src:1 ~dst:src ~bytes:10 "pong");
+  Net.send net ~src:0 ~dst:1 ~bytes:10 "ping";
+  Engine.run engine;
+  Alcotest.(check (list (pair string string))) "request/response" [ ("at1", "ping"); ("at0", "pong") ]
+    (List.rev !log)
+
+let test_net_shared_bottleneck_slows_concurrency () =
+  let engine, topology, _, net = make_net ~model:Net.Shared_bottleneck () in
+  let arrival = ref nan in
+  Net.register net 1 (fun ~src:_ msg -> if msg = "probe" then arrival := Engine.now engine);
+  Net.register net 3 (fun ~src:_ _ -> ());
+  (* A single transfer matches the uncongested time... *)
+  Net.send net ~src:0 ~dst:1 ~bytes:100_000 "probe";
+  Engine.run engine;
+  let solo = !arrival in
+  Alcotest.(check (float 1e-9)) "solo = delay-only time"
+    (Topology.transfer_time topology ~src:0 ~dst:1 ~bytes:100_000)
+    solo;
+  (* ...but a transfer sharing the source link is slower. *)
+  let engine2, topology2, _, net2 = make_net ~model:Net.Shared_bottleneck () in
+  let arrival2 = ref nan in
+  Net.register net2 1 (fun ~src:_ msg -> if msg = "probe" then arrival2 := Engine.now engine2);
+  Net.register net2 3 (fun ~src:_ _ -> ());
+  Net.send net2 ~src:0 ~dst:3 ~bytes:10_000_000 "bulk";
+  Net.send net2 ~src:0 ~dst:1 ~bytes:100_000 "probe";
+  Engine.run engine2;
+  ignore topology2;
+  Alcotest.(check bool) "congested probe is slower" true (!arrival2 > solo);
+  Alcotest.(check int) "links idle at the end" 0 (Net.active_transfers net2 0)
+
+let test_net_delay_only_ignores_concurrency () =
+  let engine, topology, _, net = make_net () in
+  let arrival = ref nan in
+  Net.register net 1 (fun ~src:_ msg -> if msg = "probe" then arrival := Engine.now engine);
+  Net.register net 3 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:3 ~bytes:10_000_000 "bulk";
+  Net.send net ~src:0 ~dst:1 ~bytes:100_000 "probe";
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "probe unaffected by bulk transfer"
+    (Topology.transfer_time topology ~src:0 ~dst:1 ~bytes:100_000)
+    !arrival
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "narses"
+    [
+      ( "engine",
+        [
+          quick "time order" test_engine_runs_in_time_order;
+          quick "fifo ties" test_engine_fifo_at_equal_times;
+          quick "clock advances" test_engine_clock_advances;
+          quick "no scheduling in the past" test_engine_schedule_in_past_rejected;
+          quick "cancel" test_engine_cancel;
+          quick "cancel twice" test_engine_cancel_twice_harmless;
+          quick "events schedule events" test_engine_events_scheduling_events;
+          quick "run_until" test_engine_run_until_limit;
+          QCheck_alcotest.to_alcotest prop_engine_never_runs_backwards;
+        ] );
+      ( "topology",
+        [
+          quick "bandwidth choices" test_topology_bandwidth_choices;
+          quick "latency range" test_topology_latency_range;
+          quick "transfer time" test_topology_transfer_time;
+        ] );
+      ( "partition",
+        [
+          quick "stop/restore" test_partition_stop_restore;
+          quick "restore_all" test_partition_restore_all;
+        ] );
+      ( "net",
+        [
+          quick "delivery" test_net_delivers;
+          quick "drop at send" test_net_drops_when_stopped_at_send;
+          quick "drop mid-flight" test_net_drops_mid_flight;
+          quick "unregistered destination" test_net_unregistered_destination;
+          quick "bidirectional exchange" test_net_bidirectional;
+          quick "shared bottleneck congestion" test_net_shared_bottleneck_slows_concurrency;
+          quick "delay-only has no congestion" test_net_delay_only_ignores_concurrency;
+        ] );
+    ]

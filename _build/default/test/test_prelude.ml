@@ -1,0 +1,314 @@
+(* Unit and property tests for the prelude substrate: rng, heap, stats,
+   duration, table. *)
+
+module Rng = Repro_prelude.Rng
+module Heap = Repro_prelude.Heap
+module Stats = Repro_prelude.Stats
+module Duration = Repro_prelude.Duration
+module Table = Repro_prelude.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- Rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "seeds diverge" true !differs
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy tracks" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* b is now one draw behind a; their next draws differ in general *)
+  let a2 = Rng.bits64 a and b2 = Rng.bits64 b in
+  Alcotest.(check bool) "desynchronised after extra draw" false (Int64.equal a2 b2)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  (* Consuming the child must not affect the parent's future stream. *)
+  let parent_reference = Rng.copy parent in
+  for _ = 1 to 50 do
+    ignore (Rng.bits64 child)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "parent unaffected" (Rng.bits64 parent_reference)
+      (Rng.bits64 parent)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (x >= 0. && x < 3.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 17 in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+
+let test_rng_bernoulli_frequency () =
+  let rng = Rng.create 19 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "frequency near 0.3" true (Float.abs (freq -. 0.3) < 0.02)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 23 in
+  let acc = Stats.Acc.create () in
+  for _ = 1 to 20_000 do
+    Stats.Acc.add acc (Rng.exponential rng ~mean:5.)
+  done;
+  Alcotest.(check bool) "mean near 5" true (Float.abs (Stats.Acc.mean acc -. 5.) < 0.2)
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 29 in
+  let xs = List.init 20 (fun i -> i) in
+  let sample = Rng.sample rng 10 xs in
+  Alcotest.(check int) "size" 10 (List.length sample);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare sample));
+  List.iter (fun x -> Alcotest.(check bool) "member" true (List.mem x xs)) sample
+
+let test_rng_sample_overshoot () =
+  let rng = Rng.create 31 in
+  let sample = Rng.sample rng 10 [ 1; 2; 3 ] in
+  Alcotest.(check int) "capped at population" 3 (List.length sample)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 37 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let prop_sample_is_subset =
+  QCheck2.Test.make ~name:"rng sample is always a distinct subset" ~count:200
+    QCheck2.Gen.(pair small_int (small_list small_int))
+    (fun (k, xs) ->
+      let rng = Rng.create 41 in
+      let s = Rng.sample rng k xs in
+      List.length s = min (max k 0) (List.length xs)
+      && List.for_all (fun x -> List.mem x xs) s)
+
+(* -- Heap ------------------------------------------------------------- *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.add h 5;
+  Heap.add h 1;
+  Heap.add h 3;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Heap.pop h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_pop_exn_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn on empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.add h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:300
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.add h) xs;
+      let drained = ref [] in
+      let rec drain () =
+        match Heap.pop h with
+        | None -> ()
+        | Some x ->
+          drained := x :: !drained;
+          drain ()
+      in
+      drain ();
+      List.rev !drained = List.sort compare xs)
+
+let prop_heap_to_sorted_list_preserves =
+  QCheck2.Test.make ~name:"to_sorted_list leaves heap intact" ~count:200
+    QCheck2.Gen.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.add h) xs;
+      let listed = Heap.to_sorted_list h in
+      listed = List.sort compare xs && Heap.length h = List.length xs)
+
+(* -- Stats ------------------------------------------------------------ *)
+
+let test_acc_mean_variance () =
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float "mean" 5.0 (Stats.Acc.mean acc);
+  check_float "variance" (32. /. 7.) (Stats.Acc.variance acc);
+  check_float "min" 2. (Stats.Acc.min acc);
+  check_float "max" 9. (Stats.Acc.max acc);
+  Alcotest.(check int) "count" 8 (Stats.Acc.count acc);
+  check_float "total" 40. (Stats.Acc.total acc)
+
+let test_acc_empty () =
+  let acc = Stats.Acc.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Acc.mean acc));
+  check_float "variance 0" 0. (Stats.Acc.variance acc)
+
+let test_time_weighted_constant () =
+  let tw = Stats.Time_weighted.create ~start:0. ~value:3. in
+  check_float "constant signal" 3. (Stats.Time_weighted.mean tw ~now:10.)
+
+let test_time_weighted_step () =
+  let tw = Stats.Time_weighted.create ~start:0. ~value:0. in
+  Stats.Time_weighted.update tw ~now:5. ~value:1.;
+  (* 0 for 5s then 1 for 5s *)
+  check_float "step mean" 0.5 (Stats.Time_weighted.mean tw ~now:10.)
+
+let test_time_weighted_multi_step () =
+  let tw = Stats.Time_weighted.create ~start:0. ~value:2. in
+  Stats.Time_weighted.update tw ~now:2. ~value:0.;
+  Stats.Time_weighted.update tw ~now:4. ~value:4.;
+  (* 2*2 + 0*2 + 4*6 = 28 over 10 *)
+  check_float "piecewise mean" 2.8 (Stats.Time_weighted.mean tw ~now:10.)
+
+let prop_acc_mean_matches_fold =
+  QCheck2.Test.make ~name:"acc mean matches reference fold" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let acc = Stats.Acc.create () in
+      List.iter (Stats.Acc.add acc) xs;
+      let reference = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.Acc.mean acc -. reference) < 1e-6 *. (1. +. Float.abs reference))
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  check_float "p0" 1. (Stats.percentile 0. xs);
+  check_float "p50" 3. (Stats.percentile 50. xs);
+  check_float "p100" 5. (Stats.percentile 100. xs);
+  check_float "p25" 2. (Stats.percentile 25. xs)
+
+let test_percentile_interpolates () =
+  check_float "p50 of pair" 1.5 (Stats.percentile 50. [ 1.; 2. ])
+
+let test_mean_empty_raises () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty list")
+    (fun () -> ignore (Stats.mean []))
+
+(* -- Duration --------------------------------------------------------- *)
+
+let test_duration_roundtrips () =
+  check_float "days" 3. (Duration.to_days (Duration.of_days 3.));
+  check_float "months" 2.5 (Duration.to_months (Duration.of_months 2.5));
+  check_float "years" 1.5 (Duration.to_years (Duration.of_years 1.5))
+
+let test_duration_constants () =
+  check_float "day" 86400. Duration.day;
+  check_float "month = 30 days" (30. *. 86400.) Duration.month;
+  check_float "year = 365 days" (365. *. 86400.) Duration.year
+
+let test_duration_pp () =
+  let s x = Format.asprintf "%a" Duration.pp x in
+  Alcotest.(check string) "seconds" "30.0s" (s 30.);
+  Alcotest.(check string) "days" "2.0d" (s (Duration.of_days 2.));
+  Alcotest.(check string) "months" "3.0mo" (s (Duration.of_months 3.));
+  Alcotest.(check string) "years" "2.00y" (s (Duration.of_years 2.))
+
+(* -- Table ------------------------------------------------------------ *)
+
+let test_table_renders () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length rendered > 0
+    && String.split_on_char '\n' rendered |> List.length = 5
+       (* header, rule, 2 rows, trailing *));
+  Alcotest.(check bool) "pads short rows" true
+    (String.split_on_char '\n' rendered
+    |> List.exists (fun line -> String.trim line = "333"))
+
+let test_table_too_many_cells () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "prelude"
+    [
+      ( "rng",
+        [
+          quick "deterministic streams" test_rng_deterministic;
+          quick "seed sensitivity" test_rng_seed_sensitivity;
+          quick "copy independence" test_rng_copy_independent;
+          quick "split independence" test_rng_split_independent;
+          quick "int bounds" test_rng_int_bounds;
+          quick "float bounds" test_rng_float_bounds;
+          quick "bernoulli extremes" test_rng_bernoulli_extremes;
+          quick "bernoulli frequency" test_rng_bernoulli_frequency;
+          quick "exponential mean" test_rng_exponential_mean;
+          quick "sample distinct" test_rng_sample_distinct;
+          quick "sample overshoot" test_rng_sample_overshoot;
+          quick "shuffle permutation" test_rng_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prop_sample_is_subset;
+        ] );
+      ( "heap",
+        [
+          quick "basic order" test_heap_basic;
+          quick "pop_exn empty" test_heap_pop_exn_empty;
+          quick "clear" test_heap_clear;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_to_sorted_list_preserves;
+        ] );
+      ( "stats",
+        [
+          quick "acc mean/variance" test_acc_mean_variance;
+          quick "acc empty" test_acc_empty;
+          quick "time-weighted constant" test_time_weighted_constant;
+          quick "time-weighted step" test_time_weighted_step;
+          quick "time-weighted multi-step" test_time_weighted_multi_step;
+          quick "percentile" test_percentile;
+          quick "percentile interpolation" test_percentile_interpolates;
+          quick "mean empty raises" test_mean_empty_raises;
+          QCheck_alcotest.to_alcotest prop_acc_mean_matches_fold;
+        ] );
+      ( "duration",
+        [
+          quick "roundtrips" test_duration_roundtrips;
+          quick "constants" test_duration_constants;
+          quick "pretty printing" test_duration_pp;
+        ] );
+      ( "table",
+        [ quick "renders" test_table_renders; quick "cell overflow" test_table_too_many_cells ]
+      );
+    ]

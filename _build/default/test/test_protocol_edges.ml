@@ -1,0 +1,225 @@
+(* Edge-case tests that drive the poller/voter state machines directly
+   with hand-crafted messages: desertion, forgery, nonce mismatches,
+   unsolicited votes, duplicates. *)
+
+module Duration = Repro_prelude.Duration
+module Rng = Repro_prelude.Rng
+module Engine = Narses.Engine
+module Proof = Effort.Proof
+open Lockss
+
+let cfg =
+  {
+    Config.default with
+    Config.loyal_peers = 8;
+    aus = 1;
+    quorum = 2;
+    max_disagree = 0;
+    inner_circle_factor = 2;
+    outer_circle_size = 2;
+    reference_list_target = 5;
+    friends_count = 2;
+    (* Make sure admission never randomly interferes with these tests. *)
+    drop_unknown = 0.;
+    drop_debt = 0.;
+  }
+
+(* A fresh world whose poll clocks have not started yet (polls begin at a
+   random phase within the first interval; we operate near t = 0). *)
+let make_world () =
+  let population = Population.create ~seed:99 cfg in
+  let ctx = Population.ctx population in
+  (population, ctx)
+
+let rng = Rng.create 4242
+
+let genuine_intro () = Proof.generate ~rng ~cost:(Config.intro_effort cfg)
+let genuine_remaining () = Proof.generate ~rng ~cost:(Config.remaining_effort cfg)
+
+let find_session (peer : Peer.t) key = Hashtbl.find_opt peer.Peer.voter_sessions key
+
+let test_accepted_poll_creates_session () =
+  let population, ctx = make_world () in
+  let voter = ctx.Peer.peers.(0) in
+  Voter.on_poll ctx voter ~src:1 ~identity:1 ~au:0 ~poll_id:77 ~intro:(genuine_intro ());
+  (match find_session voter (1, 0, 77) with
+  | Some session ->
+    (match session.Peer.vs_state with
+    | Peer.Awaiting_proof _ -> ()
+    | _ -> Alcotest.fail "expected Awaiting_proof")
+  | None -> Alcotest.fail "session missing");
+  ignore population
+
+let test_forged_intro_rejected_and_punished () =
+  let _population, ctx = make_world () in
+  let voter = ctx.Peer.peers.(0) in
+  let st = Peer.au_state voter 0 in
+  (* Make identity 1 a known, trusted peer; a forged proof erases that. *)
+  Known_peers.set st.Peer.known ~now:0. 1 Grade.Credit;
+  Voter.on_poll ctx voter ~src:1 ~identity:1 ~au:0 ~poll_id:77
+    ~intro:(Proof.forged ~claimed_cost:1e6);
+  Alcotest.(check (option unit)) "no session" None
+    (Option.map (fun _ -> ()) (find_session voter (1, 0, 77)));
+  Alcotest.(check bool) "punished into oblivion" false (Known_peers.known st.Peer.known 1)
+
+let test_duplicate_poll_ignored () =
+  let _population, ctx = make_world () in
+  let voter = ctx.Peer.peers.(0) in
+  Voter.on_poll ctx voter ~src:1 ~identity:1 ~au:0 ~poll_id:77 ~intro:(genuine_intro ());
+  Voter.on_poll ctx voter ~src:1 ~identity:1 ~au:0 ~poll_id:77 ~intro:(genuine_intro ());
+  Alcotest.(check int) "one session" 1 (Hashtbl.length voter.Peer.voter_sessions)
+
+let test_proof_desertion_times_out_and_punishes () =
+  let _population, ctx = make_world () in
+  let voter = ctx.Peer.peers.(0) in
+  let st = Peer.au_state voter 0 in
+  Voter.on_poll ctx voter ~src:1 ~identity:1 ~au:0 ~poll_id:77 ~intro:(genuine_intro ());
+  let backlog_before = Effort.Task_schedule.reserved_work voter.Peer.schedule ~now:0. in
+  Alcotest.(check bool) "vote work reserved" true (backlog_before > 0.);
+  (* Never send the PollProof: the INTRO reservation attack. *)
+  Engine.run_until ctx.Peer.engine ~limit:(cfg.Config.proof_timeout +. Duration.hour);
+  Alcotest.(check (option unit)) "session reaped" None
+    (Option.map (fun _ -> ()) (find_session voter (1, 0, 77)));
+  Alcotest.(check bool) "deserter forgotten" false (Known_peers.known st.Peer.known 1);
+  let now = Engine.now ctx.Peer.engine in
+  Alcotest.(check (float 1e-6)) "reservation released" 0.
+    (Effort.Task_schedule.reserved_work voter.Peer.schedule ~now)
+
+let test_forged_remaining_rejected () =
+  let _population, ctx = make_world () in
+  let voter = ctx.Peer.peers.(0) in
+  let st = Peer.au_state voter 0 in
+  Voter.on_poll ctx voter ~src:1 ~identity:1 ~au:0 ~poll_id:77 ~intro:(genuine_intro ());
+  Voter.on_poll_proof ctx voter ~identity:1 ~au:0 ~poll_id:77
+    ~remaining:(Proof.forged ~claimed_cost:1e6) ~nonce:5L;
+  Alcotest.(check (option unit)) "session closed" None
+    (Option.map (fun _ -> ()) (find_session voter (1, 0, 77)));
+  Alcotest.(check bool) "cheater forgotten" false (Known_peers.known st.Peer.known 1)
+
+let test_full_voter_exchange_produces_vote () =
+  let population, ctx = make_world () in
+  let voter = ctx.Peer.peers.(0) in
+  Voter.on_poll ctx voter ~src:1 ~identity:1 ~au:0 ~poll_id:77 ~intro:(genuine_intro ());
+  Voter.on_poll_proof ctx voter ~identity:1 ~au:0 ~poll_id:77
+    ~remaining:(genuine_remaining ()) ~nonce:42L;
+  (* Run long enough for the vote computation to complete. *)
+  Engine.run_until ctx.Peer.engine ~limit:(Duration.of_days 1.);
+  (match find_session voter (1, 0, 77) with
+  | Some session ->
+    (match (session.Peer.vs_state, session.Peer.vs_vote) with
+    | Peer.Voted_waiting_receipt _, Some vote ->
+      Alcotest.(check int64) "vote echoes nonce" 42L vote.Vote.nonce;
+      Alcotest.(check bool) "vote honest" false vote.Vote.bogus
+    | _ -> Alcotest.fail "expected a sent vote awaiting receipt")
+  | None -> Alcotest.fail "session missing");
+  let s = Population.summary population in
+  Alcotest.(check int) "vote counted" 1 s.Metrics.votes_supplied
+
+let with_voted_session () =
+  let population, ctx = make_world () in
+  let voter = ctx.Peer.peers.(0) in
+  Voter.on_poll ctx voter ~src:1 ~identity:1 ~au:0 ~poll_id:77 ~intro:(genuine_intro ());
+  Voter.on_poll_proof ctx voter ~identity:1 ~au:0 ~poll_id:77
+    ~remaining:(genuine_remaining ()) ~nonce:42L;
+  Engine.run_until ctx.Peer.engine ~limit:(Duration.of_days 1.);
+  let session =
+    match find_session voter (1, 0, 77) with
+    | Some s -> s
+    | None -> Alcotest.fail "session missing"
+  in
+  (population, ctx, voter, session)
+
+let test_valid_receipt_settles () =
+  let _population, ctx, voter, session = with_voted_session () in
+  let st = Peer.au_state voter 0 in
+  let vote = Option.get session.Peer.vs_vote in
+  Voter.on_receipt ctx voter ~identity:1 ~au:0 ~poll_id:77
+    ~receipt:(Vote.expected_receipt vote);
+  Alcotest.(check (option unit)) "session closed" None
+    (Option.map (fun _ -> ()) (find_session voter (1, 0, 77)));
+  (* Normal settlement: one step toward debt from Even. *)
+  (match Known_peers.grade st.Peer.known ~now:(Engine.now ctx.Peer.engine) 1 with
+  | Some Grade.Debt -> ()
+  | g ->
+    Alcotest.failf "expected debt after settlement, got %s"
+      (match g with
+      | None -> "unknown"
+      | Some Grade.Even -> "even"
+      | Some Grade.Credit -> "credit"
+      | Some Grade.Debt -> assert false))
+
+let test_bad_receipt_punishes () =
+  let _population, ctx, voter, _session = with_voted_session () in
+  let st = Peer.au_state voter 0 in
+  Voter.on_receipt ctx voter ~identity:1 ~au:0 ~poll_id:77 ~receipt:(0L, 0L);
+  Alcotest.(check bool) "wasteful poller forgotten" false (Known_peers.known st.Peer.known 1)
+
+let test_committed_voter_serves_repairs () =
+  let population, ctx, voter, _session = with_voted_session () in
+  ignore (Replica.damage (Peer.au_state voter 0).Peer.replica ~block:3 ~version:9);
+  Voter.on_repair_request ctx voter ~identity:1 ~au:0 ~poll_id:77 ~block:3;
+  (* The Repair flows back over the network toward node 1. *)
+  let before = Narses.Net.delivered_count ctx.Peer.net in
+  Engine.run_until ctx.Peer.engine ~limit:(Engine.now ctx.Peer.engine +. Duration.hour);
+  Alcotest.(check bool) "repair message delivered" true
+    (Narses.Net.delivered_count ctx.Peer.net > before);
+  ignore population
+
+let test_unsolicited_vote_ignored () =
+  let population, ctx = make_world () in
+  let victim = ctx.Peer.peers.(0) in
+  let vote =
+    {
+      Vote.voter = 999_999;
+      nonce = 1L;
+      proof = Proof.forged ~claimed_cost:1.;
+      snapshot = [];
+      nominations = [ 999_998 ];
+      bogus = true;
+    }
+  in
+  let effort_before = (Population.summary population).Metrics.loyal_effort in
+  Poller.on_vote ctx victim ~identity:999_999 ~au:0 ~poll_id:123_456 ~vote;
+  let s = Population.summary population in
+  (* The defense is structural: no state, no cost. *)
+  Alcotest.(check (float 0.)) "no effort spent" effort_before s.Metrics.loyal_effort;
+  Alcotest.(check int) "no poll state created" 0
+    (match (Peer.au_state victim 0).Peer.current_poll with None -> 0 | Some _ -> 1)
+
+let test_repair_for_unknown_poll_ignored () =
+  let _population, ctx = make_world () in
+  let victim = ctx.Peer.peers.(0) in
+  Poller.on_repair ctx victim ~identity:3 ~au:0 ~poll_id:5 ~block:0 ~version:7;
+  Alcotest.(check bool) "replica untouched" false
+    (Replica.is_damaged (Peer.au_state victim 0).Peer.replica)
+
+let test_ack_for_unknown_poll_ignored () =
+  let _population, ctx = make_world () in
+  let victim = ctx.Peer.peers.(0) in
+  (* Must not raise nor create state. *)
+  Poller.on_poll_ack ctx victim ~identity:3 ~au:0 ~poll_id:5 ~accepted:true;
+  Alcotest.(check int) "no sessions" 0 (Hashtbl.length victim.Peer.voter_sessions)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "protocol-edges"
+    [
+      ( "voter",
+        [
+          quick "accepted poll creates session" test_accepted_poll_creates_session;
+          quick "forged intro punished" test_forged_intro_rejected_and_punished;
+          quick "duplicate poll ignored" test_duplicate_poll_ignored;
+          quick "proof desertion reaped" test_proof_desertion_times_out_and_punishes;
+          quick "forged remaining rejected" test_forged_remaining_rejected;
+          quick "full exchange votes" test_full_voter_exchange_produces_vote;
+          quick "valid receipt settles" test_valid_receipt_settles;
+          quick "bad receipt punishes" test_bad_receipt_punishes;
+          quick "committed voter serves repairs" test_committed_voter_serves_repairs;
+        ] );
+      ( "poller",
+        [
+          quick "unsolicited vote ignored" test_unsolicited_vote_ignored;
+          quick "stray repair ignored" test_repair_for_unknown_poll_ignored;
+          quick "stray ack ignored" test_ack_for_unknown_poll_ignored;
+        ] );
+    ]
