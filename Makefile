@@ -1,0 +1,33 @@
+.PHONY: all build test check smoke bench profile clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check:
+	dune build @all && dune runtest
+
+# End-to-end smoke: short run with tracing + metric sampling, then assert
+# the trace JSONL parses (check-trace exits non-zero on any bad line) and
+# the metrics CSV contains data rows beyond the header.
+smoke: build
+	rm -f /tmp/t.jsonl /tmp/m.csv
+	dune exec bin/lockss_sim.exe -- run --years 0.1 \
+	  --trace-out /tmp/t.jsonl --metrics-out /tmp/m.csv --sample-interval 7d
+	dune exec bin/lockss_sim.exe -- check-trace /tmp/t.jsonl
+	@test "$$(wc -l < /tmp/m.csv)" -gt 1 || \
+	  { echo "smoke: /tmp/m.csv has no sample rows" >&2; exit 1; }
+	@echo "smoke: OK"
+
+bench:
+	dune exec bench/main.exe
+
+profile:
+	dune exec bench/main.exe -- profile
+
+clean:
+	dune clean

@@ -137,6 +137,49 @@ let run_paper_baseline () =
       let summary = Scenario.run_one ~cfg ~seed:1 ~years:2. Scenario.No_attack in
       Format.printf "%a@." Lockss.Metrics.pp_summary summary)
 
+(* -- Engine profiling -------------------------------------------------- *)
+
+let profile_targets =
+  [
+    ("fig2 baseline", Scenario.No_attack);
+    ( "fig3-5 pipe stoppage",
+      Scenario.Pipe_stoppage
+        {
+          coverage = 1.0;
+          duration = Duration.of_days 90.;
+          recuperation = Duration.of_days 30.;
+        } );
+    ( "table1 brute force",
+      Scenario.Brute_force
+        { strategy = Adversary.Brute_force.Remaining; rate = 5.; identities = 50 } );
+  ]
+
+let run_profile () =
+  section "Engine profiling (where simulator wall-clock goes, bench scale)";
+  note "Per-scenario event counts, throughput and queue pressure; the";
+  note "baseline for any future hot-path optimisation to beat.";
+  let cfg = Scenario.config scale in
+  List.iter
+    (fun (name, attack) ->
+      let wall0 = Unix.gettimeofday () in
+      let p =
+        Scenario.run_one_profiled ~cfg ~seed:scale.Scenario.seed
+          ~years:scale.Scenario.years attack
+      in
+      let wall = Unix.gettimeofday () -. wall0 in
+      let events_per_sec =
+        if p.Scenario.run_cpu_s > 0. then
+          float_of_int p.Scenario.engine.Narses.Engine.executed /. p.Scenario.run_cpu_s
+        else nan
+      in
+      Printf.printf "%s:\n" name;
+      Format.printf "  %a@." Narses.Engine.pp_stats p.Scenario.engine;
+      Printf.printf "  throughput: %.0f events/s (%.2fs cpu run phase)\n" events_per_sec
+        p.Scenario.run_cpu_s;
+      Printf.printf "  phases: setup %.3fs cpu, run %.2fs cpu, total %.2fs wall\n"
+        p.Scenario.setup_cpu_s p.Scenario.run_cpu_s wall)
+    profile_targets
+
 (* -- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_scale =
@@ -258,6 +301,7 @@ let targets =
     ("subversion", run_subversion);
     ("reciprocity", run_reciprocity);
     ("extensions", run_extensions);
+    ("profile", run_profile);
     ("micro", run_micro);
   ]
 

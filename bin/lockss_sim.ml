@@ -48,6 +48,67 @@ let interval_months =
     & opt float 3.0
     & info [ "interval-months" ] ~docv:"M" ~doc:"Inter-poll interval in months.")
 
+(* -- Observability options (shared by run and reproduce) --------------- *)
+
+let duration_arg =
+  let parse s =
+    match Duration.of_string s with Ok d -> Ok d | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Duration.pp)
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Append structured protocol events to $(docv) as JSONL, one object per event.")
+
+let trace_level =
+  let levels =
+    [ ("debug", Lockss.Trace.Debug); ("info", Lockss.Trace.Info); ("warn", Lockss.Trace.Warn) ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) Lockss.Trace.Debug
+    & info [ "trace-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Minimum severity written to --trace-out: $(b,debug) (all protocol chatter), \
+           $(b,info) (poll lifecycle, drops, repairs), $(b,warn) (inquorate/alarmed \
+           polls only).")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Append periodic metric samples to $(docv): a time series of damage, poll \
+           outcomes, admission activity and effort. A $(b,.jsonl)/$(b,.json) suffix \
+           selects JSONL; anything else writes CSV.")
+
+let sample_interval =
+  Arg.(
+    value
+    & opt duration_arg (Duration.of_days 7.)
+    & info [ "sample-interval" ] ~docv:"DUR"
+        ~doc:
+          "Simulated time between metric samples, e.g. $(b,7d), $(b,12h), $(b,1mo) \
+           (default 7d).")
+
+let observe_term =
+  let make trace_out trace_level metrics_out sample_interval =
+    if trace_out = None && metrics_out = None then None
+    else
+      Some
+        {
+          Experiments.Scenario.trace_out;
+          trace_level;
+          metrics_out;
+          sample_interval;
+        }
+  in
+  Term.(const make $ trace_out $ trace_level $ metrics_out $ sample_interval)
+
 let scale_of ~peers ~aus ~quorum ~years ~runs ~seed =
   let quorum = max 2 quorum in
   {
@@ -131,13 +192,14 @@ let attack_of kind ~coverage ~duration_days ~years =
 
 let run_cmd =
   let action peers aus quorum years runs seed capacity mttf interval_months kind coverage
-      duration_days =
+      duration_days observe =
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let cfg = config_of scale ~capacity ~mttf ~interval_months in
     (try Lockss.Config.validate cfg
      with Invalid_argument msg ->
        Printf.eprintf "invalid configuration: %s\n" msg;
        exit 2);
+    Scenario.set_observability observe;
     let attack = attack_of kind ~coverage ~duration_days ~years in
     match attack with
     | Scenario.No_attack ->
@@ -156,7 +218,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ peers $ aus $ quorum $ years $ runs $ seed $ capacity $ mttf
-      $ interval_months $ attack_kind $ coverage $ duration_days)
+      $ interval_months $ attack_kind $ coverage $ duration_days $ observe_term)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one simulated deployment, optionally under attack.")
@@ -185,7 +247,8 @@ let reproduce_cmd =
       & info [ "plot" ] ~docv:"DIR"
           ~doc:"Also write gnuplot .dat/.gp files for the figure into $(docv).")
   in
-  let action target peers aus quorum years runs seed csv_path plot_dir =
+  let action target peers aus quorum years runs seed csv_path plot_dir observe =
+    Scenario.set_observability observe;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let module Table = Repro_prelude.Table in
     let stoppage = lazy (Experiments.Stoppage.sweep ~scale ()) in
@@ -218,12 +281,67 @@ let reproduce_cmd =
     match csv_path with None -> () | Some path -> Table.save_csv table path
   in
   let term =
-    Term.(const action $ target $ peers $ aus $ quorum $ years $ runs $ seed $ csv $ plot)
+    Term.(
+      const action $ target $ peers $ aus $ quorum $ years $ runs $ seed $ csv $ plot
+      $ observe_term)
   in
   Cmd.v
     (Cmd.info "reproduce"
        ~doc:"Regenerate a figure or table from the paper's evaluation section.")
     term
+
+(* -- check-trace command ----------------------------------------------- *)
+
+let check_trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace file written with --trace-out.")
+  in
+  let action path =
+    let ic =
+      try open_in path
+      with Sys_error msg ->
+        Printf.eprintf "cannot open %s: %s\n" path msg;
+        exit 2
+    in
+    let by_kind = Hashtbl.create 16 in
+    let events = ref 0 in
+    let line_no = ref 0 in
+    let fail msg =
+      Printf.eprintf "%s:%d: %s\n" path !line_no msg;
+      exit 1
+    in
+    (try
+       while true do
+         let line = input_line ic in
+         incr line_no;
+         if String.trim line <> "" then begin
+           match Obs.Json.of_string line with
+           | Error msg -> fail ("invalid JSON: " ^ msg)
+           | Ok json ->
+             (match Lockss.Trace.of_json json with
+             | Error msg -> fail ("not a trace event: " ^ msg)
+             | Ok (_, event) ->
+               incr events;
+               let kind = Lockss.Trace.kind event in
+               Hashtbl.replace by_kind kind
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind kind)))
+         end
+       done
+     with End_of_file -> close_in ic);
+    Printf.printf "%s: %d events, all parse\n" path !events;
+    Hashtbl.fold (fun kind count acc -> (kind, count) :: acc) by_kind []
+    |> List.sort compare
+    |> List.iter (fun (kind, count) -> Printf.printf "  %-20s %d\n" kind count)
+  in
+  Cmd.v
+    (Cmd.info "check-trace"
+       ~doc:
+         "Validate a --trace-out JSONL file: every line must parse back into a typed \
+          event. Prints event counts by kind. Exit status 1 on the first bad line.")
+    Term.(const action $ file)
 
 (* -- subversion command ------------------------------------------------ *)
 
@@ -298,4 +416,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; reproduce_cmd; ablate_cmd; subversion_cmd; reciprocity_cmd; extensions_cmd ]))
+          [
+            run_cmd;
+            reproduce_cmd;
+            ablate_cmd;
+            subversion_cmd;
+            reciprocity_cmd;
+            extensions_cmd;
+            check_trace_cmd;
+          ]))

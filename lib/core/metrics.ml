@@ -18,6 +18,7 @@ type t = {
   mutable invitations_considered : int;
   mutable invitations_dropped : int;
   mutable repairs : int;
+  mutable repair_underflows : int;
   mutable votes_supplied : int;
   mutable reads : int;
   mutable reads_failed : int;
@@ -40,6 +41,7 @@ let create ~replicas ~start =
     invitations_considered = 0;
     invitations_dropped = 0;
     repairs = 0;
+    repair_underflows = 0;
     votes_supplied = 0;
     reads = 0;
     reads_failed = 0;
@@ -51,9 +53,13 @@ let set_damaged t ~now count =
 
 let on_replica_damaged t ~now = set_damaged t ~now (t.damaged_now + 1)
 
+(* A repair event without a matching damage event (e.g. a double repair
+   delivered by a buggy or adversarial supplier) must not abort the whole
+   simulation: clamp at zero and count the anomaly so it stays visible in
+   the summary. *)
 let on_replica_repaired t ~now =
-  assert (t.damaged_now > 0);
-  set_damaged t ~now (t.damaged_now - 1)
+  if t.damaged_now > 0 then set_damaged t ~now (t.damaged_now - 1)
+  else t.repair_underflows <- t.repair_underflows + 1
 
 let on_poll_concluded t ~peer ~au ~now outcome =
   match outcome with
@@ -99,11 +105,54 @@ type summary = {
   invitations_considered : int;
   invitations_dropped : int;
   repairs : int;
+  repair_underflows : int;
   votes_supplied : int;
   reads : int;
   reads_failed : int;
   empirical_read_failure : float;
 }
+
+(* -- Instantaneous samples (for the periodic sampler) ------------------- *)
+
+type sample = {
+  time : float;
+  damaged_replicas : int;
+  running_access_failure : float;
+  cum_polls_succeeded : int;
+  cum_polls_inquorate : int;
+  cum_polls_alarmed : int;
+  cum_invitations_considered : int;
+  cum_invitations_dropped : int;
+  cum_repairs : int;
+  cum_repair_underflows : int;
+  cum_votes_supplied : int;
+  cum_reads : int;
+  cum_reads_failed : int;
+  cum_loyal_effort : float;
+  cum_adversary_effort : float;
+}
+
+let sample t ~now =
+  let mean_damaged = Stats.Time_weighted.mean t.damaged_integral ~now in
+  {
+    time = now;
+    damaged_replicas = t.damaged_now;
+    running_access_failure =
+      (if Float.is_nan mean_damaged then 0.
+       else mean_damaged /. float_of_int t.replicas);
+    cum_polls_succeeded = t.polls_succeeded;
+    cum_polls_inquorate = t.polls_inquorate;
+    cum_polls_alarmed = t.polls_alarmed;
+    cum_invitations_considered = t.invitations_considered;
+    cum_invitations_dropped = t.invitations_dropped;
+    cum_repairs = t.repairs;
+    cum_repair_underflows = t.repair_underflows;
+    cum_votes_supplied = t.votes_supplied;
+    cum_reads = t.reads;
+    cum_reads_failed = t.reads_failed;
+    cum_loyal_effort = t.loyal_effort;
+    cum_adversary_effort = t.adversary_effort;
+  }
 
 let finalize t ~now =
   let horizon = now -. t.start in
@@ -133,6 +182,7 @@ let finalize t ~now =
     invitations_considered = t.invitations_considered;
     invitations_dropped = t.invitations_dropped;
     repairs = t.repairs;
+    repair_underflows = t.repair_underflows;
     votes_supplied = t.votes_supplied;
     reads = t.reads;
     reads_failed = t.reads_failed;
@@ -146,8 +196,12 @@ let pp_summary ppf s =
     "@[<v>horizon: %a@ replicas: %d@ access failure probability: %.3e@ polls: %d ok, %d \
      inquorate, %d alarmed@ mean success gap: %a@ loyal effort: %.3e s@ adversary effort: \
      %.3e s@ effort / successful poll: %.2f s@ invitations: %d considered, %d dropped@ \
-     repairs: %d@ votes supplied: %d@]"
+     repairs: %d%s@ votes supplied: %d@]"
     D.pp s.horizon s.replicas s.access_failure_probability s.polls_succeeded
     s.polls_inquorate s.polls_alarmed D.pp s.mean_success_gap s.loyal_effort
     s.adversary_effort s.effort_per_successful_poll s.invitations_considered
-    s.invitations_dropped s.repairs s.votes_supplied
+    s.invitations_dropped s.repairs
+    (if s.repair_underflows > 0 then
+       Printf.sprintf " (%d repair underflows!)" s.repair_underflows
+     else "")
+    s.votes_supplied

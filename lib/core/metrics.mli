@@ -25,6 +25,10 @@ val create : replicas:int -> start:float -> t
 (** Replica damage-state transitions (only transitions, not every event). *)
 val on_replica_damaged : t -> now:float -> unit
 
+(** [on_replica_repaired t ~now] notes one damaged replica returning to
+    health. A repair with no damaged replicas outstanding is clamped (the
+    count stays at zero) and tallied in the summary's
+    [repair_underflows], rather than aborting the run. *)
 val on_replica_repaired : t -> now:float -> unit
 
 (** [on_poll_concluded t ~peer ~au ~now outcome] records a poll's end at
@@ -69,6 +73,9 @@ type summary = {
   invitations_considered : int;
   invitations_dropped : int;
   repairs : int;
+  repair_underflows : int;
+      (** repair events observed with no damaged replica outstanding;
+          nonzero values indicate an accounting anomaly worth auditing *)
   votes_supplied : int;
   reads : int;
   reads_failed : int;
@@ -76,6 +83,32 @@ type summary = {
       (** fraction of reads that hit damaged content; [nan] with no
           reads. An unbiased estimator of [access_failure_probability]. *)
 }
+
+(** An instantaneous, non-destructive snapshot of the collector: the
+    current damage state plus cumulative counters. Taken periodically by
+    {!Sampler} to turn a run into a time series. *)
+type sample = {
+  time : float;
+  damaged_replicas : int;  (** replicas damaged right now *)
+  running_access_failure : float;
+      (** time-weighted mean damage fraction from the start to [time] —
+          the access-failure probability had the run ended here *)
+  cum_polls_succeeded : int;
+  cum_polls_inquorate : int;
+  cum_polls_alarmed : int;
+  cum_invitations_considered : int;
+  cum_invitations_dropped : int;
+  cum_repairs : int;
+  cum_repair_underflows : int;
+  cum_votes_supplied : int;
+  cum_reads : int;
+  cum_reads_failed : int;
+  cum_loyal_effort : float;
+  cum_adversary_effort : float;
+}
+
+(** [sample t ~now] snapshots without disturbing collection. *)
+val sample : t -> now:float -> sample
 
 (** [finalize t ~now] closes the integrals at [now] and summarises. *)
 val finalize : t -> now:float -> summary

@@ -1,0 +1,86 @@
+module Engine = Narses.Engine
+module Json = Obs.Json
+
+type t = {
+  engine : Engine.t;
+  mutable next : Engine.event_id option;
+  mutable ticks : int;
+  mutable stopped : bool;
+}
+
+let attach ~engine ~metrics ~interval f =
+  if interval <= 0. || not (Float.is_finite interval) then
+    invalid_arg "Sampler.attach: interval must be positive and finite";
+  let t = { engine; next = None; ticks = 0; stopped = false } in
+  let rec tick () =
+    t.next <- None;
+    t.ticks <- t.ticks + 1;
+    f (Metrics.sample metrics ~now:(Engine.now engine));
+    if not t.stopped then t.next <- Some (Engine.schedule_in engine ~after:interval tick)
+  in
+  t.next <- Some (Engine.schedule_in engine ~after:interval tick);
+  t
+
+let stop t =
+  t.stopped <- true;
+  match t.next with
+  | Some id ->
+    Engine.cancel t.engine id;
+    t.next <- None
+  | None -> ()
+
+let ticks t = t.ticks
+
+let columns =
+  [
+    "seed";
+    "t_days";
+    "damaged_replicas";
+    "access_failure_probability";
+    "polls_succeeded";
+    "polls_inquorate";
+    "polls_alarmed";
+    "invitations_considered";
+    "invitations_dropped";
+    "repairs";
+    "votes_supplied";
+    "reads";
+    "reads_failed";
+    "loyal_effort_s";
+    "adversary_effort_s";
+    "repair_underflows";
+  ]
+
+let series_writer ~seed series =
+  let prev = ref None in
+  fun (s : Metrics.sample) ->
+    (* Counters are cumulative in the collector; the series wants
+       per-interval activity, so difference against the last snapshot. *)
+    let d get_int =
+      get_int s - (match !prev with None -> 0 | Some p -> get_int p)
+    in
+    let df get_float =
+      get_float s -. (match !prev with None -> 0. | Some p -> get_float p)
+    in
+    let row =
+      [
+        Json.Int seed;
+        Json.Float (Repro_prelude.Duration.to_days s.Metrics.time);
+        Json.Int s.Metrics.damaged_replicas;
+        Json.Float s.Metrics.running_access_failure;
+        Json.Int (d (fun x -> x.Metrics.cum_polls_succeeded));
+        Json.Int (d (fun x -> x.Metrics.cum_polls_inquorate));
+        Json.Int (d (fun x -> x.Metrics.cum_polls_alarmed));
+        Json.Int (d (fun x -> x.Metrics.cum_invitations_considered));
+        Json.Int (d (fun x -> x.Metrics.cum_invitations_dropped));
+        Json.Int (d (fun x -> x.Metrics.cum_repairs));
+        Json.Int (d (fun x -> x.Metrics.cum_votes_supplied));
+        Json.Int (d (fun x -> x.Metrics.cum_reads));
+        Json.Int (d (fun x -> x.Metrics.cum_reads_failed));
+        Json.Float (df (fun x -> x.Metrics.cum_loyal_effort));
+        Json.Float (df (fun x -> x.Metrics.cum_adversary_effort));
+        Json.Int s.Metrics.cum_repair_underflows;
+      ]
+    in
+    prev := Some s;
+    Obs.Series.append series row

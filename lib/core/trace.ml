@@ -1,3 +1,5 @@
+module Json = Obs.Json
+
 type event =
   | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
   | Solicitation_sent of {
@@ -85,12 +87,297 @@ let pp_event ppf = function
     Format.fprintf ppf "poll %d: %a concludes on %a: %s" poll_id Ids.Identity.pp poller
       Ids.Au_id.pp au outcome
 
+(* -- Taxonomy ---------------------------------------------------------- *)
+
+type severity = Debug | Info | Warn
+
+let severity = function
+  | Solicitation_sent _ | Invitation_refused _ | Invitation_accepted _ | Vote_sent _
+  | Evaluation_started _ ->
+    Debug
+  | Poll_started _ | Invitation_dropped _ | Repair_applied _
+  | Poll_concluded { outcome = Metrics.Success; _ } ->
+    Info
+  | Poll_concluded { outcome = Metrics.Inquorate | Metrics.Alarmed; _ } -> Warn
+
+let severity_to_string = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+let severity_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | _ -> None
+
+let kind = function
+  | Poll_started _ -> "poll_started"
+  | Solicitation_sent _ -> "solicitation_sent"
+  | Invitation_dropped _ -> "invitation_dropped"
+  | Invitation_refused _ -> "invitation_refused"
+  | Invitation_accepted _ -> "invitation_accepted"
+  | Vote_sent _ -> "vote_sent"
+  | Evaluation_started _ -> "evaluation_started"
+  | Repair_applied _ -> "repair_applied"
+  | Poll_concluded _ -> "poll_concluded"
+
+let all_kinds =
+  [
+    "poll_started";
+    "solicitation_sent";
+    "invitation_dropped";
+    "invitation_refused";
+    "invitation_accepted";
+    "vote_sent";
+    "evaluation_started";
+    "repair_applied";
+    "poll_concluded";
+  ]
+
+let involves event id =
+  let eq = Ids.Identity.equal id in
+  match event with
+  | Poll_started { poller; _ } | Evaluation_started { poller; _ } -> eq poller
+  | Repair_applied { poller; _ } | Poll_concluded { poller; _ } -> eq poller
+  | Solicitation_sent { poller; voter; _ } -> eq poller || eq voter
+  | Invitation_dropped { voter; claimed; _ } -> eq voter || eq claimed
+  | Invitation_refused { voter; poller; _ }
+  | Invitation_accepted { voter; poller; _ }
+  | Vote_sent { voter; poller; _ } ->
+    eq voter || eq poller
+
+let au_of = function
+  | Poll_started { au; _ }
+  | Solicitation_sent { au; _ }
+  | Invitation_dropped { au; _ }
+  | Invitation_refused { au; _ }
+  | Invitation_accepted { au; _ }
+  | Vote_sent { au; _ }
+  | Evaluation_started { au; _ }
+  | Repair_applied { au; _ }
+  | Poll_concluded { au; _ } ->
+    au
+
+(* -- JSON round-trip --------------------------------------------------- *)
+
+let drop_reason_to_string = function
+  | Admission.Refractory -> "refractory"
+  | Admission.Random_drop -> "random_drop"
+  | Admission.Known_rate_limited -> "known_rate_limited"
+
+let drop_reason_of_string = function
+  | "refractory" -> Some Admission.Refractory
+  | "random_drop" -> Some Admission.Random_drop
+  | "known_rate_limited" -> Some Admission.Known_rate_limited
+  | _ -> None
+
+let outcome_to_string = function
+  | Metrics.Success -> "success"
+  | Metrics.Inquorate -> "inquorate"
+  | Metrics.Alarmed -> "alarmed"
+
+let outcome_of_string = function
+  | "success" -> Some Metrics.Success
+  | "inquorate" -> Some Metrics.Inquorate
+  | "alarmed" -> Some Metrics.Alarmed
+  | _ -> None
+
+let to_json ~time event =
+  let fields =
+    match event with
+    | Poll_started { poller; au; poll_id; inner_candidates } ->
+      [
+        ("poller", Json.Int poller);
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+        ("inner_candidates", Json.Int inner_candidates);
+      ]
+    | Solicitation_sent { poller; voter; au; poll_id; attempt } ->
+      [
+        ("poller", Json.Int poller);
+        ("voter", Json.Int voter);
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+        ("attempt", Json.Int attempt);
+      ]
+    | Invitation_dropped { voter; claimed; au; reason } ->
+      [
+        ("voter", Json.Int voter);
+        ("claimed", Json.Int claimed);
+        ("au", Json.Int au);
+        ("reason", Json.String (drop_reason_to_string reason));
+      ]
+    | Invitation_refused { voter; poller; au } ->
+      [ ("voter", Json.Int voter); ("poller", Json.Int poller); ("au", Json.Int au) ]
+    | Invitation_accepted { voter; poller; au } ->
+      [ ("voter", Json.Int voter); ("poller", Json.Int poller); ("au", Json.Int au) ]
+    | Vote_sent { voter; poller; au; poll_id } ->
+      [
+        ("voter", Json.Int voter);
+        ("poller", Json.Int poller);
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+      ]
+    | Evaluation_started { poller; au; poll_id; votes } ->
+      [
+        ("poller", Json.Int poller);
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+        ("votes", Json.Int votes);
+      ]
+    | Repair_applied { poller; au; block; version; clean } ->
+      [
+        ("poller", Json.Int poller);
+        ("au", Json.Int au);
+        ("block", Json.Int block);
+        ("version", Json.Int version);
+        ("clean", Json.Bool clean);
+      ]
+    | Poll_concluded { poller; au; poll_id; outcome } ->
+      [
+        ("poller", Json.Int poller);
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+        ("outcome", Json.String (outcome_to_string outcome));
+      ]
+  in
+  Json.Assoc
+    ([
+       ("t", Json.Float time);
+       ("severity", Json.String (severity_to_string (severity event)));
+       ("kind", Json.String (kind event));
+     ]
+    @ fields)
+
+let of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name decode =
+    match Option.bind (Json.member name json) decode with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or malformed field %S" name)
+  in
+  let int name = field name Json.to_int in
+  let bool name = field name Json.to_bool in
+  let* time = field "t" Json.to_float in
+  let* kind = field "kind" Json.string_value in
+  let* event =
+    match kind with
+    | "poll_started" ->
+      let* poller = int "poller" in
+      let* au = int "au" in
+      let* poll_id = int "poll_id" in
+      let* inner_candidates = int "inner_candidates" in
+      Ok (Poll_started { poller; au; poll_id; inner_candidates })
+    | "solicitation_sent" ->
+      let* poller = int "poller" in
+      let* voter = int "voter" in
+      let* au = int "au" in
+      let* poll_id = int "poll_id" in
+      let* attempt = int "attempt" in
+      Ok (Solicitation_sent { poller; voter; au; poll_id; attempt })
+    | "invitation_dropped" ->
+      let* voter = int "voter" in
+      let* claimed = int "claimed" in
+      let* au = int "au" in
+      let* reason =
+        field "reason" (fun v -> Option.bind (Json.string_value v) drop_reason_of_string)
+      in
+      Ok (Invitation_dropped { voter; claimed; au; reason })
+    | "invitation_refused" ->
+      let* voter = int "voter" in
+      let* poller = int "poller" in
+      let* au = int "au" in
+      Ok (Invitation_refused { voter; poller; au })
+    | "invitation_accepted" ->
+      let* voter = int "voter" in
+      let* poller = int "poller" in
+      let* au = int "au" in
+      Ok (Invitation_accepted { voter; poller; au })
+    | "vote_sent" ->
+      let* voter = int "voter" in
+      let* poller = int "poller" in
+      let* au = int "au" in
+      let* poll_id = int "poll_id" in
+      Ok (Vote_sent { voter; poller; au; poll_id })
+    | "evaluation_started" ->
+      let* poller = int "poller" in
+      let* au = int "au" in
+      let* poll_id = int "poll_id" in
+      let* votes = int "votes" in
+      Ok (Evaluation_started { poller; au; poll_id; votes })
+    | "repair_applied" ->
+      let* poller = int "poller" in
+      let* au = int "au" in
+      let* block = int "block" in
+      let* version = int "version" in
+      let* clean = bool "clean" in
+      Ok (Repair_applied { poller; au; block; version; clean })
+    | "poll_concluded" ->
+      let* poller = int "poller" in
+      let* au = int "au" in
+      let* poll_id = int "poll_id" in
+      let* outcome =
+        field "outcome" (fun v -> Option.bind (Json.string_value v) outcome_of_string)
+      in
+      Ok (Poll_concluded { poller; au; poll_id; outcome })
+    | other -> Error (Printf.sprintf "unknown event kind %S" other)
+  in
+  Ok (time, event)
+
+(* -- Sinks ------------------------------------------------------------- *)
+
+type sink = time:float -> event -> unit
+
+let severity_at_least min s =
+  match (min, s) with
+  | Debug, _ -> true
+  | Info, (Info | Warn) -> true
+  | Warn, Warn -> true
+  | _ -> false
+
+let pretty_sink ?(min_severity = Debug) ppf ~time event =
+  if severity_at_least min_severity (severity event) then
+    Format.fprintf ppf "[%a] [%s] %a@." Repro_prelude.Duration.pp time
+      (severity_to_string (severity event))
+      pp_event event
+
+let jsonl_sink ?(min_severity = Debug) oc ~time event =
+  if severity_at_least min_severity (severity event) then begin
+    output_string oc (Json.to_string (to_json ~time event));
+    output_char oc '\n';
+    flush oc
+  end
+
+let filter_sink ?min_severity ?peer ?au ?kinds inner ~time event =
+  let pass =
+    (match min_severity with
+    | None -> true
+    | Some min -> severity_at_least min (severity event))
+    && (match peer with None -> true | Some id -> involves event id)
+    && (match au with None -> true | Some a -> Ids.Au_id.equal a (au_of event))
+    && match kinds with None -> true | Some ks -> List.mem (kind event) ks
+  in
+  if pass then inner ~time event
+
+(* -- Recording --------------------------------------------------------- *)
+
+type record = { events : (float * event) list; dropped : int }
+
 let recorder ?(capacity = 65_536) t =
-  let recorded = ref [] in
-  let count = ref 0 in
+  if capacity <= 0 then invalid_arg "Trace.recorder: capacity must be positive";
+  let ring = Array.make capacity None in
+  let next = ref 0 in
+  let total = ref 0 in
   subscribe t (fun ~time event ->
-      if !count < capacity then begin
-        recorded := (time, event) :: !recorded;
-        incr count
-      end);
-  fun () -> List.rev !recorded
+      ring.(!next) <- Some (time, event);
+      next := (!next + 1) mod capacity;
+      incr total);
+  fun () ->
+    let retained = min !total capacity in
+    let start = (!next - retained + capacity) mod capacity in
+    let events =
+      List.init retained (fun i ->
+          match ring.((start + i) mod capacity) with
+          | Some entry -> entry
+          | None -> assert false)
+    in
+    { events; dropped = !total - retained }

@@ -4,7 +4,13 @@
     into. With no subscribers the cost is one list check per event, so
     production runs pay nothing; tools subscribe to watch poll
     lifecycles, admission decisions and repairs as they happen (see
-    [examples/poll_timeline.ml]). *)
+    [examples/poll_timeline.ml] and [examples/observability_demo.ml]).
+
+    Beyond raw subscription, this module provides an event taxonomy
+    ({!kind}, {!severity}), composable {{!sinks} sinks} (pretty-printing,
+    JSONL, filtering), a lossless JSON round-trip ({!to_json} /
+    {!of_json}) and a bounded-ring {!recorder} that counts what it had to
+    drop instead of losing it silently. *)
 
 type event =
   | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
@@ -54,8 +60,78 @@ val emit : t -> now:float -> (unit -> event) -> unit
 
 val pp_event : Format.formatter -> event -> unit
 
-(** [recorder ?capacity t] subscribes a bounded in-memory recorder and
-    returns a function producing the (time, event) list captured so far,
-    oldest first; recording stops silently at [capacity] (default
-    65536). *)
-val recorder : ?capacity:int -> t -> unit -> (float * event) list
+(** {2 Taxonomy} *)
+
+(** Event severity, ordered [Debug < Info < Warn]. [Debug] is the
+    per-message chatter of healthy polls; [Info] marks poll lifecycle
+    milestones, admission drops and repairs; [Warn] marks outcomes that
+    indicate trouble (inquorate or alarmed polls). *)
+type severity = Debug | Info | Warn
+
+val severity : event -> severity
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+(** [kind e] is the snake_case taxonomy name of the constructor, e.g.
+    ["poll_started"]. *)
+val kind : event -> string
+
+(** All kind names, in declaration order. *)
+val all_kinds : string list
+
+(** [involves e id] is [true] when [id] appears in any role of [e]
+    (poller, voter or claimed identity). *)
+val involves : event -> Ids.Identity.t -> bool
+
+(** [au_of e] is the archival unit the event concerns. *)
+val au_of : event -> Ids.Au_id.t
+
+(** {2:sinks Sinks} *)
+
+(** A sink is just an observer; every sink can be passed to
+    {!subscribe}. *)
+type sink = time:float -> event -> unit
+
+(** [pretty_sink ?min_severity ppf] renders events human-readably, one
+    per line: [\[time\] \[severity\] description]. *)
+val pretty_sink : ?min_severity:severity -> Format.formatter -> sink
+
+(** [jsonl_sink ?min_severity oc] writes one JSON object per event (the
+    {!to_json} encoding) per line. The channel is flushed per line so a
+    crashed run keeps its trace. *)
+val jsonl_sink : ?min_severity:severity -> out_channel -> sink
+
+(** [filter_sink ?min_severity ?peer ?au ?kinds inner] forwards only
+    matching events: severity at least [min_severity], involving [peer],
+    concerning [au], with {!kind} listed in [kinds]. Omitted criteria
+    admit everything. *)
+val filter_sink :
+  ?min_severity:severity ->
+  ?peer:Ids.Identity.t ->
+  ?au:Ids.Au_id.t ->
+  ?kinds:string list ->
+  sink ->
+  sink
+
+(** {2 JSON round-trip} *)
+
+(** [to_json ~time e] is a flat object: ["t"] (seconds), ["severity"],
+    ["kind"], then the constructor's fields. *)
+val to_json : time:float -> event -> Obs.Json.t
+
+(** [of_json j] inverts {!to_json}. *)
+val of_json : Obs.Json.t -> (float * event, string) result
+
+(** {2 Recording} *)
+
+type record = {
+  events : (float * event) list;  (** oldest first; at most [capacity] *)
+  dropped : int;  (** events evicted from the ring because it was full *)
+}
+
+(** [recorder ?capacity t] subscribes a bounded ring recorder and returns
+    a function producing what is currently retained. Once more than
+    [capacity] (default 65536) events arrive, the oldest are evicted and
+    counted in [dropped] — the tail of a run is usually the interesting
+    part, and nothing disappears without a trace. *)
+val recorder : ?capacity:int -> t -> unit -> record

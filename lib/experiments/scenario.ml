@@ -114,13 +114,112 @@ let rec attach population minions attack =
     rest
   | Combined attacks -> List.fold_left (attach population) minions attacks
 
-let run_one ~cfg ~seed ~years attack =
+(* -- Observability ----------------------------------------------------- *)
+
+type observe = {
+  trace_out : string option;
+  trace_level : Lockss.Trace.severity;
+  metrics_out : string option;
+  sample_interval : float;
+}
+
+let default_observe =
+  {
+    trace_out = None;
+    trace_level = Lockss.Trace.Info;
+    metrics_out = None;
+    sample_interval = Duration.of_days 7.;
+  }
+
+let observability_setting : observe option ref = ref None
+let set_observability o = observability_setting := o
+let observability () = !observability_setting
+
+let file_is_empty path =
+  (not (Sys.file_exists path))
+  ||
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  close_in ic;
+  len = 0
+
+let open_append path =
+  open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+
+(* Subscribe the configured trace sink and metrics sampler to a freshly
+   built population; returns a cleanup closing whatever was opened. *)
+let subscribe_observers ~seed population =
+  match !observability_setting with
+  | None -> Fun.id
+  | Some obs ->
+    let cleanups = ref [] in
+    (match obs.trace_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_append path in
+      Lockss.Trace.subscribe
+        (Lockss.Population.trace population)
+        (Lockss.Trace.jsonl_sink ~min_severity:obs.trace_level oc);
+      cleanups := (fun () -> close_out oc) :: !cleanups);
+    (match obs.metrics_out with
+    | None -> ()
+    | Some path ->
+      let header = file_is_empty path in
+      let oc = open_append path in
+      let series =
+        Obs.Series.create
+          ~format:(Obs.Series.format_of_path path)
+          ~columns:Lockss.Sampler.columns ~header oc
+      in
+      let ctx = Lockss.Population.ctx population in
+      let sampler =
+        Lockss.Sampler.attach
+          ~engine:(Lockss.Population.engine population)
+          ~metrics:ctx.Lockss.Peer.metrics ~interval:obs.sample_interval
+          (Lockss.Sampler.series_writer ~seed series)
+      in
+      cleanups :=
+        (fun () ->
+          Lockss.Sampler.stop sampler;
+          close_out oc)
+        :: !cleanups);
+    fun () -> List.iter (fun f -> f ()) !cleanups
+
+let build ~cfg ~seed attack =
   let population =
     Lockss.Population.create ~seed ~extra_nodes:(extra_nodes_for attack) cfg
   in
   ignore (attach population (Lockss.Population.extra_nodes population) attack);
-  Lockss.Population.run population ~until:(Duration.of_years years);
-  Lockss.Population.summary population
+  population
+
+let run_one ~cfg ~seed ~years attack =
+  let population = build ~cfg ~seed attack in
+  let cleanup = subscribe_observers ~seed population in
+  Fun.protect ~finally:cleanup (fun () ->
+      Lockss.Population.run population ~until:(Duration.of_years years);
+      Lockss.Population.summary population)
+
+type profile = {
+  summary : Lockss.Metrics.summary;
+  engine : Narses.Engine.stats;
+  setup_cpu_s : float;
+  run_cpu_s : float;
+}
+
+let run_one_profiled ~cfg ~seed ~years attack =
+  let t0 = Sys.time () in
+  let population = build ~cfg ~seed attack in
+  let cleanup = subscribe_observers ~seed population in
+  Fun.protect ~finally:cleanup (fun () ->
+      let t1 = Sys.time () in
+      Lockss.Population.run population ~until:(Duration.of_years years);
+      let t2 = Sys.time () in
+      {
+        summary = Lockss.Population.summary population;
+        engine = Narses.Engine.stats (Lockss.Population.engine population);
+        setup_cpu_s = t1 -. t0;
+        run_cpu_s = t2 -. t1;
+      })
 
 let mean_summaries (summaries : Lockss.Metrics.summary list) =
   match summaries with

@@ -52,10 +52,54 @@ type attack =
       (** several adversaries at once (Section 9's combined strategies);
           each effortful sub-attack gets its own minion nodes *)
 
+(** {2 Observability}
+
+    Every scenario run — whether launched directly, by a figure sweep or
+    by the CLI — consults a process-wide observability setting, so
+    turning on tracing or time-series sampling requires no per-experiment
+    plumbing. *)
+
+type observe = {
+  trace_out : string option;
+      (** append protocol events as JSONL ({!Lockss.Trace.to_json}) here *)
+  trace_level : Lockss.Trace.severity;  (** minimum severity written *)
+  metrics_out : string option;
+      (** append periodic metric samples here; [.jsonl]/[.json] selects
+          JSONL, anything else CSV (columns {!Lockss.Sampler.columns}) *)
+  sample_interval : float;  (** seconds of simulated time between samples *)
+}
+
+(** [default_observe] writes nothing: both outputs [None], level [Info],
+    7-day sampling interval. *)
+val default_observe : observe
+
+(** [set_observability o] installs (or with [None] clears) the
+    process-wide setting consulted by {!run_one}. Output files are opened
+    in append mode per run, so multi-run sweeps accumulate into one file,
+    distinguished by the [seed] column. *)
+val set_observability : observe option -> unit
+
+val observability : unit -> observe option
+
 (** [run_one ~cfg ~seed ~years attack] builds a population, attaches the
-    attack, runs the horizon and returns the finalised metrics. *)
+    attack, runs the horizon and returns the finalised metrics. Honors
+    {!set_observability}. *)
 val run_one : cfg:Lockss.Config.t -> seed:int -> years:float -> attack ->
   Lockss.Metrics.summary
+
+(** One scenario run with engine profiling attached: the summary plus the
+    engine's event statistics and the CPU seconds spent building the
+    population ([setup_cpu_s]) and executing events ([run_cpu_s]) —
+    enough to compute events/second and locate simulator hot spots. *)
+type profile = {
+  summary : Lockss.Metrics.summary;
+  engine : Narses.Engine.stats;
+  setup_cpu_s : float;
+  run_cpu_s : float;
+}
+
+val run_one_profiled :
+  cfg:Lockss.Config.t -> seed:int -> years:float -> attack -> profile
 
 (** [run_avg ~cfg scale attack] averages [scale.runs] runs over seeds
     [scale.seed], [scale.seed+1], …. *)

@@ -5,7 +5,9 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable executed : int;
+  mutable cancelled : int;
   mutable live_count : int;
+  mutable max_heap_depth : int;
   queue : event Repro_prelude.Heap.t;
 }
 
@@ -18,7 +20,9 @@ let create () =
     clock = 0.;
     next_seq = 0;
     executed = 0;
+    cancelled = 0;
     live_count = 0;
+    max_heap_depth = 0;
     queue = Repro_prelude.Heap.create ~cmp:compare_events;
   }
 
@@ -32,6 +36,8 @@ let schedule t ~at f =
   t.next_seq <- t.next_seq + 1;
   t.live_count <- t.live_count + 1;
   Repro_prelude.Heap.add t.queue ev;
+  let depth = Repro_prelude.Heap.length t.queue in
+  if depth > t.max_heap_depth then t.max_heap_depth <- depth;
   ev
 
 let schedule_in t ~after f =
@@ -41,7 +47,8 @@ let schedule_in t ~after f =
 let cancel t ev =
   if ev.live then begin
     ev.live <- false;
-    t.live_count <- t.live_count - 1
+    t.live_count <- t.live_count - 1;
+    t.cancelled <- t.cancelled + 1
   end
 
 let pending t = t.live_count
@@ -75,3 +82,25 @@ let run_until t ~limit =
 
 let run t = while step t do () done
 let executed t = t.executed
+
+type stats = {
+  executed : int;
+  scheduled : int;
+  cancelled : int;
+  pending : int;
+  max_heap_depth : int;
+}
+
+let stats (t : t) =
+  {
+    executed = t.executed;
+    scheduled = t.next_seq;
+    cancelled = t.cancelled;
+    pending = t.live_count;
+    max_heap_depth = t.max_heap_depth;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "events: %d executed, %d scheduled, %d cancelled, %d pending; heap high-water: %d"
+    s.executed s.scheduled s.cancelled s.pending s.max_heap_depth

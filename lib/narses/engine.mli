@@ -44,3 +44,19 @@ val run : t -> unit
 (** [executed t] is the count of events that have fired, for tests and
     throughput benchmarks. *)
 val executed : t -> int
+
+(** Engine-level profiling counters, maintained for free as the run
+    proceeds. [scheduled] counts every {!schedule} call (fired, pending
+    or cancelled); [max_heap_depth] is the high-water mark of the event
+    queue including not-yet-popped cancelled events, i.e. the engine's
+    peak memory pressure. *)
+type stats = {
+  executed : int;
+  scheduled : int;
+  cancelled : int;
+  pending : int;
+  max_heap_depth : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

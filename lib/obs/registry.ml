@@ -1,0 +1,138 @@
+module Counter = struct
+  type t = { mutable count : int }
+
+  let incr ?(by = 1) t =
+    if by < 0 then invalid_arg "Registry.Counter.incr: negative increment";
+    t.count <- t.count + by
+
+  let value t = t.count
+end
+
+module Gauge = struct
+  type t = { mutable gauge : float }
+
+  let set t v = t.gauge <- v
+  let add t v = t.gauge <- t.gauge +. v
+  let value t = t.gauge
+end
+
+module Histogram = struct
+  (* Ring buffer of the last [window] observations plus lifetime count:
+     quantiles reflect recent behaviour, [count] the whole run. *)
+  type t = {
+    window : float array;
+    mutable filled : int;
+    mutable next : int;
+    mutable total : int;
+  }
+
+  let make window = { window = Array.make window nan; filled = 0; next = 0; total = 0 }
+
+  let observe t x =
+    t.window.(t.next) <- x;
+    t.next <- (t.next + 1) mod Array.length t.window;
+    if t.filled < Array.length t.window then t.filled <- t.filled + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  let retained t = Array.sub t.window 0 t.filled
+
+  let quantile t q =
+    if q < 0. || q > 1. then invalid_arg "Registry.Histogram.quantile: q out of range";
+    if t.filled = 0 then nan
+    else begin
+      let sorted = retained t in
+      Array.sort Float.compare sorted;
+      let rank = q *. float_of_int (t.filled - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = int_of_float (ceil rank) in
+      if lo = hi then sorted.(lo)
+      else begin
+        let frac = rank -. float_of_int lo in
+        (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+      end
+    end
+
+  let fold f init t =
+    let acc = ref init in
+    for i = 0 to t.filled - 1 do
+      acc := f !acc t.window.(i)
+    done;
+    !acc
+
+  let mean t =
+    if t.filled = 0 then nan else fold ( +. ) 0. t /. float_of_int t.filled
+
+  let min t = if t.filled = 0 then nan else fold Float.min infinity t
+  let max t = if t.filled = 0 then nan else fold Float.max neg_infinity t
+end
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Histogram.t
+
+type t = { instruments : (string, instrument) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 32 }
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histogram _ -> "histogram"
+
+let lookup t name make match_kind =
+  match Hashtbl.find_opt t.instruments name with
+  | Some existing ->
+    (match match_kind existing with
+    | Some instrument -> instrument
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Registry: %S already registered as a %s" name
+           (kind_name existing)))
+  | None ->
+    let fresh = make () in
+    Hashtbl.replace t.instruments name fresh;
+    (match match_kind fresh with
+    | Some instrument -> instrument
+    | None -> assert false)
+
+let counter t name =
+  lookup t name
+    (fun () -> I_counter { Counter.count = 0 })
+    (function I_counter c -> Some c | _ -> None)
+
+let gauge t name =
+  lookup t name
+    (fun () -> I_gauge { Gauge.gauge = 0. })
+    (function I_gauge g -> Some g | _ -> None)
+
+let histogram ?(window = 1024) t name =
+  if window <= 0 then invalid_arg "Registry.histogram: window must be positive";
+  lookup t name
+    (fun () -> I_histogram (Histogram.make window))
+    (function I_histogram h -> Some h | _ -> None)
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name instrument acc ->
+      let value =
+        match instrument with
+        | I_counter c -> Json.Int (Counter.value c)
+        | I_gauge g -> Json.Float (Gauge.value g)
+        | I_histogram h ->
+          Json.Assoc
+            [
+              ("count", Json.Int (Histogram.count h));
+              ("mean", Json.Float (Histogram.mean h));
+              ("min", Json.Float (Histogram.min h));
+              ("max", Json.Float (Histogram.max h));
+              ("p50", Json.Float (Histogram.quantile h 0.5));
+              ("p90", Json.Float (Histogram.quantile h 0.9));
+              ("p99", Json.Float (Histogram.quantile h 0.99));
+            ]
+      in
+      (name, value) :: acc)
+    t.instruments []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,62 @@
+(** Named time-series instruments: counters, gauges and windowed
+    histograms, collected under one registry so a sampler can snapshot
+    every instrument at once.
+
+    Instruments are cheap mutable cells; looking one up by name
+    get-or-creates it, so call sites need no registration ceremony.
+    Everything is single-threaded, like the simulator itself. *)
+
+type t
+
+val create : unit -> t
+
+module Counter : sig
+  type t
+
+  (** [incr ?by t] adds [by] (default 1, must be [>= 0]). *)
+  val incr : ?by:int -> t -> unit
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+
+  (** [count t] is the number of observations ever made (not just those
+      still inside the window). *)
+  val count : t -> int
+
+  (** [quantile t q] estimates the [q]-quantile ([0 <= q <= 1]) over the
+      retained window by linear interpolation; [nan] when empty. *)
+  val quantile : t -> float -> float
+
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** [counter t name] gets or creates the counter called [name]. Asking
+    for an existing name with a different instrument kind raises
+    [Invalid_argument]. *)
+val counter : t -> string -> Counter.t
+
+val gauge : t -> string -> Gauge.t
+
+(** [histogram ?window t name] gets or creates a histogram retaining the
+    most recent [window] observations (default 1024). *)
+val histogram : ?window:int -> t -> string -> Histogram.t
+
+(** [snapshot t] renders every instrument to JSON, sorted by name:
+    counters as [Int], gauges as [Float], histograms as an object with
+    [count], [mean], [min], [max], [p50], [p90], [p99]. *)
+val snapshot : t -> (string * Json.t) list

@@ -1,0 +1,41 @@
+type format = Csv | Jsonl
+
+let format_of_path path =
+  let lower = String.lowercase_ascii path in
+  let has_suffix suffix = Filename.check_suffix lower suffix in
+  if has_suffix ".jsonl" || has_suffix ".json" then Jsonl else Csv
+
+type t = { format : format; columns : string list; oc : out_channel }
+
+let csv_cell = function
+  | Json.Null -> ""
+  | Json.Bool b -> string_of_bool b
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> if Float.is_finite f then Printf.sprintf "%.12g" f else "nan"
+  | Json.String s ->
+    if String.exists (function ',' | '"' | '\n' -> true | _ -> false) s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  | Json.List _ | Json.Assoc _ -> invalid_arg "Series.append: nested value in CSV cell"
+
+let write_csv_row oc cells =
+  output_string oc (String.concat "," cells);
+  output_char oc '\n'
+
+let create ~format ~columns ?(header = true) oc =
+  (match columns with [] -> invalid_arg "Series.create: no columns" | _ -> ());
+  if format = Csv && header then
+    write_csv_row oc (List.map (fun c -> csv_cell (Json.String c)) columns);
+  { format; columns; oc }
+
+let append t values =
+  if List.length values <> List.length t.columns then
+    invalid_arg "Series.append: value count does not match columns";
+  (match t.format with
+  | Csv -> write_csv_row t.oc (List.map csv_cell values)
+  | Jsonl ->
+    output_string t.oc (Json.to_string (Json.Assoc (List.combine t.columns values)));
+    output_char t.oc '\n');
+  flush t.oc
+
+let columns t = t.columns

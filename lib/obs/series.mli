@@ -1,0 +1,28 @@
+(** Append-only time-series output with a fixed column set, written as
+    either CSV (one header row, then one row per sample) or JSONL (one
+    object per sample, keyed by column name).
+
+    The format is chosen once at creation — conventionally from the
+    output path's extension via {!format_of_path} — so experiment code
+    stays agnostic of which the user asked for. *)
+
+type format = Csv | Jsonl
+
+(** [format_of_path p] is [Jsonl] for [.jsonl]/[.json] paths, [Csv]
+    otherwise. *)
+val format_of_path : string -> format
+
+type t
+
+(** [create ~format ~columns ?header oc] prepares a writer over [oc].
+    For CSV, the header row is written immediately unless [header] is
+    [false] (pass [false] when appending to a file that already has
+    one). *)
+val create : format:format -> columns:string list -> ?header:bool -> out_channel -> t
+
+(** [append t values] writes one sample; [values] must match [columns]
+    in length and order. Scalars only ([Int], [Float], [String], [Bool],
+    [Null]). *)
+val append : t -> Json.t list -> unit
+
+val columns : t -> string list

@@ -15,6 +15,34 @@ let to_days s = s /. day
 let to_months s = s /. month
 let to_years s = s /. year
 
+let of_string s =
+  let s = String.trim s in
+  let len = String.length s in
+  let is_unit_char c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let split = ref len in
+  while !split > 0 && is_unit_char s.[!split - 1] do
+    decr split
+  done;
+  let number = String.sub s 0 !split in
+  let unit = String.lowercase_ascii (String.sub s !split (len - !split)) in
+  let scale =
+    match unit with
+    | "" | "s" | "sec" -> Some second
+    | "m" | "min" -> Some minute
+    | "h" -> Some hour
+    | "d" -> Some day
+    | "w" -> Some (7. *. day)
+    | "mo" -> Some month
+    | "y" -> Some year
+    | _ -> None
+  in
+  match (float_of_string_opt number, scale) with
+  | _, None -> Error (Printf.sprintf "unknown duration unit %S" unit)
+  | None, _ -> Error (Printf.sprintf "malformed duration %S" s)
+  | Some value, _ when value < 0. || not (Float.is_finite value) ->
+    Error (Printf.sprintf "duration must be finite and non-negative: %S" s)
+  | Some value, Some scale -> Ok (value *. scale)
+
 let pp ppf s =
   if s < minute then Format.fprintf ppf "%.1fs" s
   else if s < hour then Format.fprintf ppf "%.1fm" (s /. minute)

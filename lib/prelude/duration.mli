@@ -26,3 +26,9 @@ val to_years : seconds -> float
 (** [pp ppf s] prints a duration with a human-readable unit, e.g.
     ["2.0d"] or ["3.0mo"]. *)
 val pp : Format.formatter -> seconds -> unit
+
+(** [of_string s] parses a duration literal: a non-negative number with
+    an optional unit suffix — [s] seconds (also the default), [m]/[min]
+    minutes, [h] hours, [d] days, [w] weeks, [mo] months, [y] years.
+    Examples: ["7d"], ["0.5y"], ["90"], ["12h"]. *)
+val of_string : string -> (seconds, string) result

@@ -1,0 +1,475 @@
+(* Tests for the observability layer: JSON round-trips, trace sinks and
+   the ring recorder, the metrics registry, the time-series writer, the
+   periodic sampler, engine profiling stats and the hardened metric
+   transitions. *)
+
+module Duration = Repro_prelude.Duration
+module Engine = Narses.Engine
+module Json = Obs.Json
+module Registry = Obs.Registry
+module Series = Obs.Series
+open Lockss
+
+(* -- Json --------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let value =
+    Json.Assoc
+      [
+        ("i", Json.Int 42);
+        ("f", Json.Float 1.5);
+        ("s", Json.String "with \"quotes\", commas\nand newlines");
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int (-2); Json.Float 0.25 ]);
+        ("o", Json.Assoc [ ("nested", Json.Bool false) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string value) with
+  | Ok parsed -> Alcotest.(check bool) "round trip" true (parsed = value)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_rejects_garbage () =
+  let bad = [ "{"; "[1,]"; "{\"a\" 1}"; "nulll"; "1 2"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    bad
+
+let test_json_numbers () =
+  (match Json.of_string "-17" with
+  | Ok (Json.Int -17) -> ()
+  | _ -> Alcotest.fail "int literal");
+  (match Json.of_string "2.5e3" with
+  | Ok (Json.Float f) -> Alcotest.(check (float 1e-9)) "exp float" 2500. f
+  | _ -> Alcotest.fail "float literal");
+  match Json.of_string "604800" with
+  | Ok v -> Alcotest.(check (float 0.)) "to_float widens" 604800. (Option.get (Json.to_float v))
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+(* -- Trace taxonomy, round-trip, sinks ---------------------------------- *)
+
+let sample_events =
+  [
+    Trace.Poll_started { poller = 3; au = 1; poll_id = 7; inner_candidates = 9 };
+    Trace.Solicitation_sent { poller = 3; voter = 5; au = 1; poll_id = 7; attempt = 2 };
+    Trace.Invitation_dropped
+      { voter = 5; claimed = 12; au = 0; reason = Admission.Refractory };
+    Trace.Invitation_refused { voter = 5; poller = 3; au = 1 };
+    Trace.Invitation_accepted { voter = 5; poller = 3; au = 1 };
+    Trace.Vote_sent { voter = 5; poller = 3; au = 1; poll_id = 7 };
+    Trace.Evaluation_started { poller = 3; au = 1; poll_id = 7; votes = 6 };
+    Trace.Repair_applied { poller = 3; au = 1; block = 4; version = 99; clean = true };
+    Trace.Poll_concluded { poller = 3; au = 1; poll_id = 7; outcome = Metrics.Alarmed };
+  ]
+
+let test_trace_jsonl_round_trip () =
+  (* Every event kind survives to_json -> to_string -> of_string -> of_json. *)
+  List.iteri
+    (fun i event ->
+      let time = 1000. *. float_of_int (i + 1) in
+      let line = Json.to_string (Trace.to_json ~time event) in
+      match Json.of_string line with
+      | Error msg -> Alcotest.failf "%s: bad JSON: %s" (Trace.kind event) msg
+      | Ok json ->
+        (match Trace.of_json json with
+        | Error msg -> Alcotest.failf "%s: bad event: %s" (Trace.kind event) msg
+        | Ok (time', event') ->
+          Alcotest.(check (float 1e-9)) (Trace.kind event ^ " time") time time';
+          Alcotest.(check bool) (Trace.kind event ^ " event") true (event = event')))
+    sample_events;
+  Alcotest.(check int) "all kinds exercised" (List.length Trace.all_kinds)
+    (List.length sample_events)
+
+let test_trace_sink_fanout () =
+  let trace = Trace.create () in
+  let seen_a = ref 0 and seen_b = ref 0 in
+  Trace.subscribe trace (fun ~time:_ _ -> incr seen_a);
+  Trace.subscribe trace (fun ~time:_ _ -> incr seen_b);
+  List.iter (fun e -> Trace.emit trace ~now:1. (fun () -> e)) sample_events;
+  Alcotest.(check int) "first sink" (List.length sample_events) !seen_a;
+  Alcotest.(check int) "second sink" (List.length sample_events) !seen_b
+
+let test_trace_filter_sink () =
+  let trace = Trace.create () in
+  let warns = ref 0 and peer5 = ref 0 and drops = ref 0 in
+  Trace.subscribe trace
+    (Trace.filter_sink ~min_severity:Trace.Warn (fun ~time:_ _ -> incr warns));
+  Trace.subscribe trace (Trace.filter_sink ~peer:5 (fun ~time:_ _ -> incr peer5));
+  Trace.subscribe trace
+    (Trace.filter_sink ~kinds:[ "invitation_dropped" ] (fun ~time:_ _ -> incr drops));
+  List.iter (fun e -> Trace.emit trace ~now:2. (fun () -> e)) sample_events;
+  (* Only the Alarmed conclusion is warn-severity in the sample set. *)
+  Alcotest.(check int) "warn filter" 1 !warns;
+  let expect_peer5 = List.length (List.filter (fun e -> Trace.involves e 5) sample_events) in
+  Alcotest.(check int) "peer filter" expect_peer5 !peer5;
+  Alcotest.(check int) "kind filter" 1 !drops
+
+let test_trace_severity_order () =
+  Alcotest.(check bool) "debug below info" true (Trace.Debug < Trace.Info);
+  Alcotest.(check bool) "info below warn" true (Trace.Info < Trace.Warn);
+  List.iter
+    (fun s ->
+      let name = Trace.severity_to_string s in
+      Alcotest.(check bool) ("round trip " ^ name) true
+        (Trace.severity_of_string name = Some s))
+    [ Trace.Debug; Trace.Info; Trace.Warn ]
+
+let test_recorder_counts_drops () =
+  let trace = Trace.create () in
+  let get = Trace.recorder ~capacity:10 trace in
+  for i = 1 to 25 do
+    Trace.emit trace ~now:(float_of_int i) (fun () ->
+        Trace.Poll_started { poller = i; au = 0; poll_id = i; inner_candidates = 0 })
+  done;
+  let record = get () in
+  Alcotest.(check int) "retained" 10 (List.length record.Trace.events);
+  Alcotest.(check int) "dropped" 15 record.Trace.dropped;
+  (* The ring keeps the most recent events: 16..25. *)
+  let times = List.map fst record.Trace.events in
+  Alcotest.(check (list (float 1e-9))) "newest retained"
+    (List.init 10 (fun i -> float_of_int (16 + i)))
+    times
+
+let test_recorder_under_capacity_drops_nothing () =
+  let trace = Trace.create () in
+  let get = Trace.recorder ~capacity:100 trace in
+  for i = 1 to 7 do
+    Trace.emit trace ~now:(float_of_int i) (fun () ->
+        Trace.Vote_sent { voter = 1; poller = 2; au = 0; poll_id = i })
+  done;
+  let record = get () in
+  Alcotest.(check int) "retained" 7 (List.length record.Trace.events);
+  Alcotest.(check int) "dropped" 0 record.Trace.dropped
+
+(* -- Registry ------------------------------------------------------------ *)
+
+let test_registry_counters_and_gauges () =
+  let registry = Registry.create () in
+  let c = Registry.counter registry "polls" in
+  Registry.Counter.incr c;
+  Registry.Counter.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Registry.Counter.value c);
+  Alcotest.(check int) "same instrument" 5
+    (Registry.Counter.value (Registry.counter registry "polls"));
+  let g = Registry.gauge registry "damaged" in
+  Registry.Gauge.set g 3.;
+  Registry.Gauge.add g 1.5;
+  Alcotest.(check (float 1e-9)) "gauge" 4.5 (Registry.Gauge.value g);
+  Alcotest.check_raises "kind clash" (Invalid_argument "Registry: \"polls\" already registered as a counter")
+    (fun () -> ignore (Registry.gauge registry "polls"))
+
+let test_registry_histogram_quantiles () =
+  let registry = Registry.create () in
+  let h = Registry.histogram ~window:2048 registry "gap" in
+  for i = 1 to 1000 do
+    Registry.Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Registry.Histogram.count h);
+  Alcotest.(check (float 1.)) "median" 500.5 (Registry.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1.5)) "p90" 900. (Registry.Histogram.quantile h 0.9);
+  Alcotest.(check (float 0.)) "min" 1. (Registry.Histogram.min h);
+  Alcotest.(check (float 0.)) "max" 1000. (Registry.Histogram.max h);
+  Alcotest.(check (float 1e-6)) "mean" 500.5 (Registry.Histogram.mean h)
+
+let test_registry_histogram_window_evicts () =
+  let registry = Registry.create () in
+  let h = Registry.histogram ~window:10 registry "w" in
+  for i = 1 to 30 do
+    Registry.Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "lifetime count" 30 (Registry.Histogram.count h);
+  Alcotest.(check (float 0.)) "window min is recent" 21. (Registry.Histogram.min h);
+  Alcotest.(check (float 0.)) "window max" 30. (Registry.Histogram.max h)
+
+let test_registry_snapshot () =
+  let registry = Registry.create () in
+  Registry.Counter.incr (Registry.counter registry "b_counter");
+  Registry.Gauge.set (Registry.gauge registry "a_gauge") 2.;
+  Registry.Histogram.observe (Registry.histogram registry "c_hist") 7.;
+  let snapshot = Registry.snapshot registry in
+  Alcotest.(check (list string)) "sorted names" [ "a_gauge"; "b_counter"; "c_hist" ]
+    (List.map fst snapshot);
+  match List.assoc "c_hist" snapshot with
+  | Json.Assoc fields ->
+    Alcotest.(check bool) "hist has p50" true (List.mem_assoc "p50" fields)
+  | _ -> Alcotest.fail "histogram snapshot shape"
+
+(* -- Series -------------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "obs_test" ".out" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  loop []
+
+let test_series_csv () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let series = Series.create ~format:Series.Csv ~columns:[ "t"; "x"; "label" ] oc in
+      Series.append series [ Json.Float 1.5; Json.Int 2; Json.String "plain" ];
+      Series.append series [ Json.Float 2.5; Json.Int 3; Json.String "needs,\"quoting\"" ];
+      close_out oc;
+      match read_lines path with
+      | [ header; row1; row2 ] ->
+        Alcotest.(check string) "header" "t,x,label" header;
+        Alcotest.(check string) "row" "1.5,2,plain" row1;
+        Alcotest.(check string) "quoted row" "2.5,3,\"needs,\"\"quoting\"\"\"" row2
+      | lines -> Alcotest.failf "expected 3 lines, got %d" (List.length lines))
+
+let test_series_jsonl () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let series = Series.create ~format:Series.Jsonl ~columns:[ "t"; "x" ] oc in
+      Series.append series [ Json.Float 1.; Json.Int 10 ];
+      Series.append series [ Json.Float 2.; Json.Int 20 ];
+      close_out oc;
+      let rows =
+        List.map
+          (fun line -> Result.get_ok (Json.of_string line))
+          (read_lines path)
+      in
+      Alcotest.(check int) "rows" 2 (List.length rows);
+      Alcotest.(check (option int)) "column value" (Some 20)
+        (Option.bind (Json.member "x" (List.nth rows 1)) Json.to_int))
+
+let test_series_format_of_path () =
+  Alcotest.(check bool) "jsonl" true (Series.format_of_path "a/b.jsonl" = Series.Jsonl);
+  Alcotest.(check bool) "json" true (Series.format_of_path "B.JSON" = Series.Jsonl);
+  Alcotest.(check bool) "csv" true (Series.format_of_path "out.csv" = Series.Csv);
+  Alcotest.(check bool) "other" true (Series.format_of_path "out.dat" = Series.Csv)
+
+(* -- Sampler ------------------------------------------------------------- *)
+
+let test_sampler_tick_alignment () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create ~replicas:10 ~start:0. in
+  let times = ref [] in
+  let sampler =
+    Sampler.attach ~engine ~metrics ~interval:10. (fun s ->
+        times := s.Metrics.time :: !times)
+  in
+  (* Samples at 10,20,...,100 all fire inside run_until ~limit:100. *)
+  Engine.run_until engine ~limit:100.;
+  Alcotest.(check int) "ticks" 10 (Sampler.ticks sampler);
+  Alcotest.(check (list (float 1e-9))) "aligned times"
+    (List.init 10 (fun i -> 10. *. float_of_int (i + 1)))
+    (List.rev !times);
+  (* A partial trailing interval produces no sample. *)
+  Engine.run_until engine ~limit:105.;
+  Alcotest.(check int) "no partial tick" 10 (Sampler.ticks sampler);
+  Engine.run_until engine ~limit:110.;
+  Alcotest.(check int) "next full tick" 11 (Sampler.ticks sampler);
+  Sampler.stop sampler;
+  Engine.run_until engine ~limit:200.;
+  Alcotest.(check int) "stopped" 11 (Sampler.ticks sampler)
+
+let test_sampler_sees_metric_changes () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create ~replicas:10 ~start:0. in
+  let damaged = ref [] in
+  let _sampler =
+    Sampler.attach ~engine ~metrics ~interval:10. (fun s ->
+        damaged := s.Metrics.damaged_replicas :: !damaged)
+  in
+  ignore (Engine.schedule engine ~at:5. (fun () -> Metrics.on_replica_damaged metrics ~now:5.));
+  ignore
+    (Engine.schedule engine ~at:15. (fun () -> Metrics.on_replica_repaired metrics ~now:15.));
+  Engine.run_until engine ~limit:20.;
+  Alcotest.(check (list int)) "damage then repair visible" [ 1; 0 ] (List.rev !damaged)
+
+let test_sampler_series_writer_deltas () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let series = Series.create ~format:Series.Jsonl ~columns:Sampler.columns oc in
+      let writer = Sampler.series_writer ~seed:3 series in
+      let metrics = Metrics.create ~replicas:10 ~start:0. in
+      Metrics.on_invitation_considered metrics;
+      Metrics.on_invitation_considered metrics;
+      writer (Metrics.sample metrics ~now:Duration.day);
+      Metrics.on_invitation_considered metrics;
+      writer (Metrics.sample metrics ~now:(2. *. Duration.day));
+      close_out oc;
+      let rows = List.map (fun l -> Result.get_ok (Json.of_string l)) (read_lines path) in
+      let considered row =
+        Option.get (Option.bind (Json.member "invitations_considered" row) Json.to_int)
+      in
+      (* Cumulative 2 then 3 -> per-interval deltas 2 then 1. *)
+      Alcotest.(check (list int)) "deltas" [ 2; 1 ] (List.map considered rows);
+      Alcotest.(check (option int)) "seed column" (Some 3)
+        (Option.bind (Json.member "seed" (List.hd rows)) Json.to_int))
+
+(* -- Engine stats -------------------------------------------------------- *)
+
+let test_engine_stats () =
+  let engine = Engine.create () in
+  let ids = List.init 5 (fun i -> Engine.schedule engine ~at:(float_of_int (i + 1)) ignore) in
+  Engine.cancel engine (List.nth ids 0);
+  Engine.cancel engine (List.nth ids 1);
+  Engine.cancel engine (List.nth ids 1);
+  (* double cancel is a no-op *)
+  Engine.run engine;
+  let stats = Engine.stats engine in
+  Alcotest.(check int) "scheduled" 5 stats.Engine.scheduled;
+  Alcotest.(check int) "cancelled" 2 stats.Engine.cancelled;
+  Alcotest.(check int) "executed" 3 stats.Engine.executed;
+  Alcotest.(check int) "pending" 0 stats.Engine.pending;
+  Alcotest.(check int) "heap high-water" 5 stats.Engine.max_heap_depth
+
+(* -- Metrics hardening --------------------------------------------------- *)
+
+let test_repair_underflow_clamps () =
+  let metrics = Metrics.create ~replicas:4 ~start:0. in
+  (* Repair with nothing damaged: must not abort, must be counted. *)
+  Metrics.on_replica_repaired metrics ~now:1.;
+  Metrics.on_replica_damaged metrics ~now:2.;
+  Metrics.on_replica_repaired metrics ~now:3.;
+  Metrics.on_replica_repaired metrics ~now:4.;
+  let summary = Metrics.finalize metrics ~now:10. in
+  Alcotest.(check int) "underflows counted" 2 summary.Metrics.repair_underflows;
+  let sample = Metrics.sample metrics ~now:10. in
+  Alcotest.(check int) "damage clamped at zero" 0 sample.Metrics.damaged_replicas
+
+(* -- Duration parsing ---------------------------------------------------- *)
+
+let test_duration_of_string () =
+  let ok s expect =
+    match Duration.of_string s with
+    | Ok v -> Alcotest.(check (float 1e-6)) s expect v
+    | Error msg -> Alcotest.failf "%s: %s" s msg
+  in
+  ok "7d" (Duration.of_days 7.);
+  ok "12h" (12. *. Duration.hour);
+  ok "90" 90.;
+  ok "90s" 90.;
+  ok "5m" (5. *. Duration.minute);
+  ok "2w" (Duration.of_days 14.);
+  ok "1mo" Duration.month;
+  ok "0.5y" (Duration.of_years 0.5);
+  ok " 3d " (Duration.of_days 3.);
+  List.iter
+    (fun s ->
+      match Duration.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "x"; "-5d"; "5q"; ""; "d"; "1.2.3h" ]
+
+(* -- End to end: Scenario observability ---------------------------------- *)
+
+let test_scenario_observability_end_to_end () =
+  let trace_path = Filename.temp_file "obs_trace" ".jsonl" in
+  let metrics_path = Filename.temp_file "obs_metrics" ".csv" in
+  Fun.protect
+    ~finally:(fun () ->
+      Experiments.Scenario.set_observability None;
+      Sys.remove trace_path;
+      Sys.remove metrics_path)
+    (fun () ->
+      let scale =
+        {
+          Experiments.Scenario.peers = 10;
+          aus = 1;
+          quorum = 3;
+          max_disagree = 1;
+          outer_circle = 3;
+          reference_target = 6;
+          years = 0.25;
+          runs = 2;
+          seed = 5;
+        }
+      in
+      let cfg = Experiments.Scenario.config scale in
+      Experiments.Scenario.set_observability
+        (Some
+           {
+             Experiments.Scenario.default_observe with
+             Experiments.Scenario.trace_out = Some trace_path;
+             metrics_out = Some metrics_path;
+             sample_interval = Duration.of_days 7.;
+           });
+      (* Two runs, both appending, exercising the multi-run path. *)
+      ignore
+        (Experiments.Scenario.run_avg ~cfg scale Experiments.Scenario.No_attack);
+      Experiments.Scenario.set_observability None;
+      (* Trace file: every line parses back to a typed event. *)
+      let trace_lines = read_lines trace_path in
+      Alcotest.(check bool) "trace nonempty" true (List.length trace_lines > 10);
+      List.iter
+        (fun line ->
+          match
+            Result.bind (Json.of_string line) (fun json -> Trace.of_json json)
+          with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "trace line %S: %s" line msg)
+        trace_lines;
+      (* Metrics file: one header plus 13 weekly samples per run. *)
+      match read_lines metrics_path with
+      | [] -> Alcotest.fail "empty metrics file"
+      | header :: rows ->
+        Alcotest.(check string) "header" (String.concat "," Sampler.columns) header;
+        (* 0.25 y = 91.25 days -> 13 full 7-day intervals per run. *)
+        Alcotest.(check int) "rows" 26 (List.length rows);
+        let seeds =
+          List.sort_uniq compare
+            (List.map (fun row -> List.hd (String.split_on_char ',' row)) rows)
+        in
+        Alcotest.(check (list string)) "both runs present" [ "5"; "6" ] seeds)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "observability"
+    [
+      ( "json",
+        [
+          quick "round trip" test_json_round_trip;
+          quick "rejects garbage" test_json_rejects_garbage;
+          quick "numbers" test_json_numbers;
+        ] );
+      ( "trace",
+        [
+          quick "jsonl round trip (all kinds)" test_trace_jsonl_round_trip;
+          quick "sink fan-out" test_trace_sink_fanout;
+          quick "filter sink" test_trace_filter_sink;
+          quick "severity order" test_trace_severity_order;
+          quick "ring recorder counts drops" test_recorder_counts_drops;
+          quick "recorder under capacity" test_recorder_under_capacity_drops_nothing;
+        ] );
+      ( "registry",
+        [
+          quick "counters and gauges" test_registry_counters_and_gauges;
+          quick "histogram quantiles" test_registry_histogram_quantiles;
+          quick "histogram window" test_registry_histogram_window_evicts;
+          quick "snapshot" test_registry_snapshot;
+        ] );
+      ( "series",
+        [
+          quick "csv" test_series_csv;
+          quick "jsonl" test_series_jsonl;
+          quick "format by path" test_series_format_of_path;
+        ] );
+      ( "sampler",
+        [
+          quick "tick alignment with run_until" test_sampler_tick_alignment;
+          quick "sees metric changes" test_sampler_sees_metric_changes;
+          quick "series writer deltas" test_sampler_series_writer_deltas;
+        ] );
+      ( "engine",
+        [ quick "profiling stats" test_engine_stats ] );
+      ( "metrics",
+        [ quick "repair underflow clamps" test_repair_underflow_clamps ] );
+      ( "duration",
+        [ quick "of_string" test_duration_of_string ] );
+      ( "scenario",
+        [ quick "end-to-end files" test_scenario_observability_end_to_end ] );
+    ]

@@ -180,7 +180,9 @@ let test_trace_captures_poll_lifecycle () =
   let population = Population.create ~seed:5 tiny_cfg in
   let get_events = Trace.recorder (Population.trace population) in
   Population.run population ~until:(Duration.of_months 8.);
-  let events = get_events () in
+  let record = get_events () in
+  let events = record.Trace.events in
+  Alcotest.(check int) "ring not exceeded" 0 record.Trace.dropped;
   Alcotest.(check bool) "events recorded" true (List.length events > 100);
   let count p = List.length (List.filter (fun (_, e) -> p e) events) in
   let starts = count (function Trace.Poll_started _ -> true | _ -> false) in
@@ -208,7 +210,7 @@ let test_trace_free_when_unobserved () =
   let run ~observe =
     let population = Population.create ~seed:9 tiny_cfg in
     (if observe then
-       let (_ : unit -> (float * Trace.event) list) =
+       let (_ : unit -> Trace.record) =
          Trace.recorder (Population.trace population)
        in
        ());
