@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench profile clean
+.PHONY: all build test check smoke chaos-smoke bench profile clean
 
 all: build
 
@@ -22,6 +22,14 @@ smoke: build
 	@test "$$(wc -l < /tmp/m.csv)" -gt 1 || \
 	  { echo "smoke: /tmp/m.csv has no sample rows" >&2; exit 1; }
 	@echo "smoke: OK"
+
+# Fault-injection smoke: a small deployment under the acceptance fault
+# mix; the chaos command exits non-zero if any invariant fails.
+chaos-smoke: build
+	dune exec bin/lockss_sim.exe -- chaos --peers 15 --aus 2 --quorum 4 \
+	  --years 1 --seed 3 \
+	  --loss 0.05 --jitter 0.5 --dup 0.02 --churn 0.01 --fault-seed 7
+	@echo "chaos-smoke: OK"
 
 bench:
 	dune exec bench/main.exe

@@ -3,10 +3,12 @@
 
      lockss_sim run        -- one scenario, fully parameterised
      lockss_sim reproduce  -- regenerate a paper figure/table
-     lockss_sim ablate     -- defense ablation table *)
+     lockss_sim ablate     -- defense ablation table
+     lockss_sim chaos      -- fault injection + invariant checks *)
 
 module Duration = Repro_prelude.Duration
 module Scenario = Experiments.Scenario
+module Chaos = Experiments.Chaos
 open Cmdliner
 
 (* -- Shared options ---------------------------------------------------- *)
@@ -47,6 +49,73 @@ let interval_months =
     value
     & opt float 3.0
     & info [ "interval-months" ] ~docv:"M" ~doc:"Inter-poll interval in months.")
+
+(* -- Fault-injection options (shared by run and chaos) ----------------- *)
+
+(* [mix_term defaults] builds the --loss/--jitter/--dup/--churn family;
+   [run] defaults everything to zero (faults opt-in), [chaos] defaults to
+   the standard chaos mix. *)
+let mix_term (d : Chaos.mix) =
+  let loss =
+    Arg.(
+      value
+      & opt float d.Chaos.loss
+      & info [ "loss" ] ~docv:"P" ~doc:"Per-copy message loss probability in [0,1].")
+  in
+  let jitter =
+    Arg.(
+      value
+      & opt float d.Chaos.jitter
+      & info [ "jitter" ] ~docv:"S"
+          ~doc:"Maximum extra delivery latency in seconds (drawn uniformly per copy).")
+  in
+  let dup =
+    Arg.(
+      value
+      & opt float d.Chaos.duplication
+      & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability in [0,1].")
+  in
+  let churn =
+    Arg.(
+      value
+      & opt float d.Chaos.churn_per_day
+      & info [ "churn" ] ~docv:"R" ~doc:"Crashes per peer per day (Poisson schedule).")
+  in
+  let downtime_days =
+    Arg.(
+      value
+      & opt float (d.Chaos.downtime /. Duration.day)
+      & info [ "downtime-days" ] ~docv:"D" ~doc:"Days a crashed peer stays down.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt int d.Chaos.fault_seed
+      & info [ "fault-seed" ] ~docv:"S"
+          ~doc:
+            "Seed of the dedicated fault randomness stream; equal seeds replay \
+             identical fault traces.")
+  in
+  let make loss jitter duplication churn_per_day downtime_days fault_seed =
+    {
+      Chaos.loss;
+      jitter;
+      duplication;
+      churn_per_day;
+      downtime = Duration.of_days downtime_days;
+      fault_seed;
+    }
+  in
+  Term.(const make $ loss $ jitter $ dup $ churn $ downtime_days $ fault_seed)
+
+let zero_mix =
+  {
+    Chaos.default_mix with
+    Chaos.loss = 0.;
+    jitter = 0.;
+    duplication = 0.;
+    churn_per_day = 0.;
+  }
 
 (* -- Observability options (shared by run and reproduce) --------------- *)
 
@@ -192,9 +261,14 @@ let attack_of kind ~coverage ~duration_days ~years =
 
 let run_cmd =
   let action peers aus quorum years runs seed capacity mttf interval_months kind coverage
-      duration_days observe =
+      duration_days mix observe =
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let cfg = config_of scale ~capacity ~mttf ~interval_months in
+    let fault_cfg = Chaos.faults_config mix in
+    let cfg =
+      if Narses.Faults.is_none fault_cfg then cfg
+      else { cfg with Lockss.Config.faults = Some fault_cfg }
+    in
     (try Lockss.Config.validate cfg
      with Invalid_argument msg ->
        Printf.eprintf "invalid configuration: %s\n" msg;
@@ -218,10 +292,50 @@ let run_cmd =
   let term =
     Term.(
       const action $ peers $ aus $ quorum $ years $ runs $ seed $ capacity $ mttf
-      $ interval_months $ attack_kind $ coverage $ duration_days $ observe_term)
+      $ interval_months $ attack_kind $ coverage $ duration_days $ mix_term zero_mix
+      $ observe_term)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one simulated deployment, optionally under attack.")
+    (Cmd.info "run"
+       ~doc:
+         "Run one simulated deployment, optionally under attack and/or injected \
+          network faults.")
+    term
+
+(* -- chaos command ----------------------------------------------------- *)
+
+let chaos_cmd =
+  let ablation =
+    Arg.(
+      value
+      & flag
+      & info [ "ablation" ]
+          ~doc:"Also print the faults × pipe-stoppage ablation table (4 extra runs).")
+  in
+  let action peers aus quorum years runs seed kind coverage duration_days mix ablation =
+    let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
+    let attack = attack_of kind ~coverage ~duration_days ~years in
+    (try Narses.Faults.validate (Chaos.faults_config mix)
+     with Invalid_argument msg ->
+       Printf.eprintf "invalid fault mix: %s\n" msg;
+       exit 2);
+    let report = Chaos.run ~scale ~attack mix in
+    Format.printf "%a" Chaos.pp_report report;
+    if ablation then Repro_prelude.Table.print (Chaos.ablation ~scale mix);
+    if not (Chaos.all_green report) then exit 1
+  in
+  let term =
+    Term.(
+      const action $ peers $ aus $ quorum $ years $ runs $ seed $ attack_kind $ coverage
+      $ duration_days $ mix_term Chaos.default_mix $ ablation)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a scenario under an injected fault mix (loss, jitter, duplication, \
+          churn) and check protocol invariants: liveness, no stuck polls, no leaked \
+          timeouts, message conservation, churn accounting and bounded degradation \
+          versus the fault-free paired run. Exit status 1 if any invariant fails.")
     term
 
 (* -- reproduce command ------------------------------------------------- *)
@@ -420,6 +534,7 @@ let () =
             run_cmd;
             reproduce_cmd;
             ablate_cmd;
+            chaos_cmd;
             subversion_cmd;
             reciprocity_cmd;
             extensions_cmd;

@@ -42,6 +42,7 @@ type t = {
   disk_mttf_years : float;
   aus_per_disk : int;
   network_model : Narses.Net.model;
+  faults : Narses.Faults.config option;
   au_coverage : float;
   reads_per_replica_per_day : float;
 }
@@ -89,6 +90,7 @@ let default =
     disk_mttf_years = 5.0;
     aus_per_disk = 50;
     network_model = Narses.Net.Delay_only;
+    faults = None;
     au_coverage = 1.0;
     reads_per_replica_per_day = 0.;
   }
@@ -157,6 +159,7 @@ let validate t =
     (t.background_load >= 0. && t.background_load < 1.)
     "background_load must be in [0,1)";
   check (t.au_coverage > 0. && t.au_coverage <= 1.) "au_coverage must be in (0,1]";
+  Option.iter Narses.Faults.validate t.faults;
   check
     (int_of_float (Float.round (t.au_coverage *. float_of_int t.loyal_peers))
      > t.inner_circle_factor * t.quorum)

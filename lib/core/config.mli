@@ -79,6 +79,11 @@ type t = {
   network_model : Narses.Net.model;
       (** the paper uses [Delay_only]; [Shared_bottleneck] adds
           first-order congestion as a fidelity ablation *)
+  faults : Narses.Faults.config option;
+      (** when set, a seeded {!Narses.Faults} injector interposes message
+          loss, latency jitter, duplication and node churn between send
+          and delivery; [None] (the default and the paper's setup) keeps
+          the network perfectly reliable *)
   (* Collection diversity *)
   au_coverage : float;
       (** fraction of peers holding each AU. 1.0 is the paper's setup

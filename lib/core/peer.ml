@@ -68,6 +68,9 @@ type t = {
   aus : au_state array;
   mutable poll_counter : int;
   voter_sessions : (Ids.Identity.t * Ids.Au_id.t * int, voter_session) Hashtbl.t;
+  closed_sessions : (Ids.Identity.t * Ids.Au_id.t * int, unit) Hashtbl.t;
+  closed_ring : (Ids.Identity.t * Ids.Au_id.t * int) option array;
+  mutable closed_next : int;
   mutable active : bool;
 }
 
@@ -110,6 +113,20 @@ let charge_and_delay ctx peer ~work =
 let charge ctx ~work = Metrics.charge_loyal ctx.metrics work
 
 let session_key session = (session.vs_poller, session.vs_au, session.vs_poll_id)
+
+let closed_session_capacity = 512
+
+let note_session_closed peer key =
+  if not (Hashtbl.mem peer.closed_sessions key) then begin
+    (match peer.closed_ring.(peer.closed_next) with
+    | Some evicted -> Hashtbl.remove peer.closed_sessions evicted
+    | None -> ());
+    peer.closed_ring.(peer.closed_next) <- Some key;
+    peer.closed_next <- (peer.closed_next + 1) mod Array.length peer.closed_ring;
+    Hashtbl.replace peer.closed_sessions key ()
+  end
+
+let session_recently_closed peer key = Hashtbl.mem peer.closed_sessions key
 
 let fallback_identities peer st ~now =
   let known_good =

@@ -76,9 +76,15 @@ type t = {
   aus : au_state array;
   mutable poll_counter : int;
   voter_sessions : (Ids.Identity.t * Ids.Au_id.t * int, voter_session) Hashtbl.t;
+  closed_sessions : (Ids.Identity.t * Ids.Au_id.t * int, unit) Hashtbl.t;
+      (** recently closed voter-session keys, so duplicate deliveries of
+          an already-handled Poll are dropped instead of opening a ghost
+          session (bounded by [closed_ring]) *)
+  closed_ring : (Ids.Identity.t * Ids.Au_id.t * int) option array;
+  mutable closed_next : int;
   mutable active : bool;
       (** dormant peers (churn experiments) ignore all traffic and call no
-          polls until activated *)
+          polls until activated; fault-injected crashes also clear it *)
 }
 
 type ctx = {
@@ -120,6 +126,18 @@ val charge : ctx -> work:float -> unit
 
 (** [session_key session] is the key the voter-session table uses. *)
 val session_key : voter_session -> Ids.Identity.t * Ids.Au_id.t * int
+
+(** Capacity of the recently-closed session memory (per peer). *)
+val closed_session_capacity : int
+
+(** [note_session_closed peer key] remembers that the voter session [key]
+    has been handled to completion; the memory holds the most recent
+    {!closed_session_capacity} keys. *)
+val note_session_closed : t -> Ids.Identity.t * Ids.Au_id.t * int -> unit
+
+(** [session_recently_closed peer key] is [true] when a duplicate Poll
+    for [key] should be ignored rather than admitted as a new session. *)
+val session_recently_closed : t -> Ids.Identity.t * Ids.Au_id.t * int -> bool
 
 (** [fallback_identities peer au_state] lists peers suitable for topping
     up the reference list: non-debt known peers plus friends, minus

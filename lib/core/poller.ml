@@ -359,6 +359,8 @@ let rec start_poll ctx (peer : Peer.t) (st : Peer.au_state) =
   ignore
     (Engine.schedule_in ctx.Peer.engine ~after:cfg.Config.inter_poll_interval (fun () ->
          start_poll ctx peer st));
+  if not peer.Peer.active then ()  (* crashed: keep the clock, skip the tick *)
+  else
   match st.Peer.current_poll with
   | Some _ -> ()  (* previous poll overran; skip this tick *)
   | None ->

@@ -7,6 +7,8 @@ type t = {
   ctx : Peer.ctx;
   topology : Narses.Topology.t;
   partition : Narses.Partition.t;
+  faults : Narses.Faults.t option;
+  crashed_by_fault : bool array;
   rng : Rng.t;
   extra : Narses.Topology.node list;
 }
@@ -96,6 +98,9 @@ let make_peer cfg rng holding node =
     aus;
     poll_counter = 0;
     voter_sessions = Hashtbl.create 64;
+    closed_sessions = Hashtbl.create Peer.closed_session_capacity;
+    closed_ring = Array.make Peer.closed_session_capacity None;
+    closed_next = 0;
     active = true;
   }
 
@@ -169,6 +174,63 @@ let schedule_background_load t (peer : Peer.t) =
     book ()
   end
 
+(* A fault-injected crash, unlike a Partition stoppage, loses the node's
+   volatile protocol state: in-flight polls abort (their timers are
+   cancelled, so nothing leaks) and voter sessions vanish. The peer's
+   poll clocks keep ticking — {!Poller.start_poll} skips its tick while
+   the peer is inactive — so a restarted peer resumes polling at its old
+   cadence instead of rescheduling. *)
+let crash_peer t ~node =
+  let peer = t.ctx.Peer.peers.(node) in
+  if peer.Peer.active then begin
+    let engine = t.ctx.Peer.engine in
+    let now = Engine.now engine in
+    peer.Peer.active <- false;
+    t.crashed_by_fault.(node) <- true;
+    Array.iter
+      (fun (st : Peer.au_state) ->
+        match st.Peer.current_poll with
+        | None -> ()
+        | Some poll ->
+          List.iter
+            (fun (c : Peer.candidate) ->
+              match c.Peer.status with
+              | Peer.Awaiting_ack id | Peer.Awaiting_vote id ->
+                Engine.cancel engine id;
+                c.Peer.status <- Peer.Failed
+              | Peer.Not_invited | Peer.Voted | Peer.Failed -> ())
+            poll.Peer.candidates;
+          (match poll.Peer.repair_timer with
+          | Some id ->
+            Engine.cancel engine id;
+            poll.Peer.repair_timer <- None
+          | None -> ());
+          poll.Peer.phase <- Peer.Concluded;
+          st.Peer.current_poll <- None)
+      peer.Peer.aus;
+    Hashtbl.iter
+      (fun _key (session : Peer.voter_session) ->
+        (match session.Peer.vs_state with
+        | Peer.Awaiting_proof id | Peer.Voted_waiting_receipt id ->
+          Narses.Engine.cancel engine id
+        | Peer.Computing | Peer.Closed -> ());
+        (match session.Peer.vs_reservation with
+        | Some r -> Effort.Task_schedule.cancel peer.Peer.schedule ~now r
+        | None -> ());
+        session.Peer.vs_state <- Peer.Closed;
+        Peer.note_session_closed peer (Peer.session_key session))
+      peer.Peer.voter_sessions;
+    Hashtbl.reset peer.Peer.voter_sessions
+  end
+
+(* Only peers taken down by {!crash_peer} come back: a dormant peer that
+   has never joined must stay dormant until {!activate}. *)
+let restart_peer t ~node =
+  if t.crashed_by_fault.(node) then begin
+    t.crashed_by_fault.(node) <- false;
+    t.ctx.Peer.peers.(node).Peer.active <- true
+  end
+
 let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
   Config.validate cfg;
   if dormant < 0 then invalid_arg "Population.create: dormant must be non-negative";
@@ -178,7 +240,15 @@ let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
   let nodes = loyal + extra_nodes in
   let topology = Narses.Topology.create ~rng:(Rng.split rng) ~nodes in
   let partition = Narses.Partition.create ~nodes in
-  let net = Narses.Net.create ~model:cfg.Config.network_model ~engine ~topology ~partition () in
+  let faults =
+    match cfg.Config.faults with
+    | None -> None
+    | Some fault_cfg -> Some (Narses.Faults.create ~engine ~nodes fault_cfg)
+  in
+  let net =
+    Narses.Net.create ~model:cfg.Config.network_model ?faults ~engine ~topology
+      ~partition ()
+  in
   let holding = assign_holdings cfg (Rng.split rng) ~loyal in
   let replicas =
     Array.fold_left
@@ -209,6 +279,8 @@ let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
       ctx;
       topology;
       partition;
+      faults;
+      crashed_by_fault = Array.make nodes false;
       rng;
       extra = List.init extra_nodes (fun i -> loyal + i);
     }
@@ -216,6 +288,25 @@ let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
   Array.iter
     (fun peer -> Narses.Net.register net peer.Peer.node (dispatch ctx peer))
     peers;
+  (match faults with
+  | None -> ()
+  | Some f ->
+    (* Bridge fault events onto the protocol trace bus, and let churn
+       crash/restart the initially-active loyal peers. *)
+    Narses.Faults.set_observer f (fun ~time event ->
+        Trace.emit ctx.Peer.trace ~now:time (fun () ->
+            match event with
+            | Narses.Faults.Dropped { src; dst } -> Trace.Fault_dropped { src; dst }
+            | Narses.Faults.Duplicated { src; dst } -> Trace.Fault_duplicated { src; dst }
+            | Narses.Faults.Delayed { src; dst; extra } ->
+              Trace.Fault_delayed { src; dst; extra }
+            | Narses.Faults.Crashed { node } -> Trace.Node_crashed { node }
+            | Narses.Faults.Restarted { node } -> Trace.Node_restarted { node }));
+    Narses.Faults.on_crash f (fun node ->
+        if node < cfg.Config.loyal_peers then crash_peer t ~node);
+    Narses.Faults.on_restart f (fun node ->
+        if node < cfg.Config.loyal_peers then restart_peer t ~node);
+    Narses.Faults.start_churn f ~nodes:(List.init cfg.Config.loyal_peers (fun i -> i)));
   (* Start every (peer, AU) poll clock at a random phase so the population
      begins desynchronized, and attach each peer's damage process. *)
   Array.iter
@@ -243,6 +334,7 @@ let trace t = t.ctx.Peer.trace
 let engine t = t.ctx.Peer.engine
 let topology t = t.topology
 let partition t = t.partition
+let faults t = t.faults
 let split_rng t = Rng.split t.rng
 let loyal_nodes t =
   Array.to_list t.ctx.Peer.peers
@@ -292,5 +384,5 @@ let dormant_nodes t =
   Array.to_list t.ctx.Peer.peers
   |> List.filter_map (fun p -> if p.Peer.active then None else Some p.Peer.node)
 
-let run t ~until = Engine.run_until t.ctx.Peer.engine ~limit:until
+let run ?max_events t ~until = Engine.run_until ?max_events t.ctx.Peer.engine ~limit:until
 let summary t = Metrics.finalize t.ctx.Peer.metrics ~now:(Engine.now t.ctx.Peer.engine)

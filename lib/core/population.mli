@@ -26,6 +26,11 @@ val engine : t -> Narses.Engine.t
 val topology : t -> Narses.Topology.t
 val partition : t -> Narses.Partition.t
 
+(** [faults t] is the fault injector, when [cfg.faults] asked for one.
+    Its events are already bridged onto {!trace} and its churn schedule
+    drives {!crash_peer} / {!restart_peer} on the loyal peers. *)
+val faults : t -> Narses.Faults.t option
+
 (** [split_rng t] derives an independent random stream (for adversary
     modules) without perturbing the population's own streams. *)
 val split_rng : t -> Repro_prelude.Rng.t
@@ -40,6 +45,19 @@ val dormant_nodes : t -> Narses.Topology.node list
     calling polls (random phase) and suffering storage damage, and begins
     answering protocol traffic. Idempotent. *)
 val activate : t -> node:Narses.Topology.node -> unit
+
+(** [crash_peer t ~node] takes an active loyal peer down the way churn
+    does: unlike a {!partition} stoppage — which silently eats traffic
+    while protocol state lives on — a crash aborts the peer's in-flight
+    polls, cancels their timers, discards its voter sessions (releasing
+    schedule reservations) and stops it answering traffic. Its poll
+    clocks keep ticking idle so a later restart resumes the old cadence.
+    No-op on an already-inactive peer. *)
+val crash_peer : t -> node:Narses.Topology.node -> unit
+
+(** [restart_peer t ~node] brings a {!crash_peer}ed node back with a
+    clean slate. Peers that are dormant for other reasons stay down. *)
+val restart_peer : t -> node:Narses.Topology.node -> unit
 
 val extra_nodes : t -> Narses.Topology.node list
 
@@ -58,8 +76,11 @@ val default_handler :
     publisher content (for tests and progress reporting). *)
 val damaged_replicas : t -> int
 
-(** [run t ~until] executes the simulation up to absolute time [until]. *)
-val run : t -> until:float -> unit
+(** [run ?max_events t ~until] executes the simulation up to absolute
+    time [until]; [max_events] bounds the number of fired events, raising
+    {!Narses.Engine.Event_limit_exceeded} instead of hanging on a
+    runaway schedule. *)
+val run : ?max_events:int -> t -> until:float -> unit
 
 (** [summary t] finalises metrics at the current simulation time. *)
 val summary : t -> Metrics.summary

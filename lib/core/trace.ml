@@ -32,6 +32,11 @@ type event =
       poll_id : int;
       outcome : Metrics.poll_outcome;
     }
+  | Fault_dropped of { src : Ids.Identity.t; dst : Ids.Identity.t }
+  | Fault_duplicated of { src : Ids.Identity.t; dst : Ids.Identity.t }
+  | Fault_delayed of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
+  | Node_crashed of { node : Ids.Identity.t }
+  | Node_restarted of { node : Ids.Identity.t }
 
 type t = { mutable subscribers : (time:float -> event -> unit) list }
 
@@ -86,6 +91,18 @@ let pp_event ppf = function
     in
     Format.fprintf ppf "poll %d: %a concludes on %a: %s" poll_id Ids.Identity.pp poller
       Ids.Au_id.pp au outcome
+  | Fault_dropped { src; dst } ->
+    Format.fprintf ppf "fault: message %a -> %a dropped" Ids.Identity.pp src
+      Ids.Identity.pp dst
+  | Fault_duplicated { src; dst } ->
+    Format.fprintf ppf "fault: message %a -> %a duplicated" Ids.Identity.pp src
+      Ids.Identity.pp dst
+  | Fault_delayed { src; dst; extra } ->
+    Format.fprintf ppf "fault: message %a -> %a delayed by %a" Ids.Identity.pp src
+      Ids.Identity.pp dst Repro_prelude.Duration.pp extra
+  | Node_crashed { node } -> Format.fprintf ppf "fault: %a crashed" Ids.Identity.pp node
+  | Node_restarted { node } ->
+    Format.fprintf ppf "fault: %a restarted" Ids.Identity.pp node
 
 (* -- Taxonomy ---------------------------------------------------------- *)
 
@@ -93,10 +110,11 @@ type severity = Debug | Info | Warn
 
 let severity = function
   | Solicitation_sent _ | Invitation_refused _ | Invitation_accepted _ | Vote_sent _
-  | Evaluation_started _ ->
+  | Evaluation_started _ | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ ->
     Debug
   | Poll_started _ | Invitation_dropped _ | Repair_applied _
-  | Poll_concluded { outcome = Metrics.Success; _ } ->
+  | Poll_concluded { outcome = Metrics.Success; _ }
+  | Node_crashed _ | Node_restarted _ ->
     Info
   | Poll_concluded { outcome = Metrics.Inquorate | Metrics.Alarmed; _ } -> Warn
 
@@ -119,6 +137,11 @@ let kind = function
   | Evaluation_started _ -> "evaluation_started"
   | Repair_applied _ -> "repair_applied"
   | Poll_concluded _ -> "poll_concluded"
+  | Fault_dropped _ -> "fault_dropped"
+  | Fault_duplicated _ -> "fault_duplicated"
+  | Fault_delayed _ -> "fault_delayed"
+  | Node_crashed _ -> "node_crashed"
+  | Node_restarted _ -> "node_restarted"
 
 let all_kinds =
   [
@@ -131,6 +154,11 @@ let all_kinds =
     "evaluation_started";
     "repair_applied";
     "poll_concluded";
+    "fault_dropped";
+    "fault_duplicated";
+    "fault_delayed";
+    "node_crashed";
+    "node_restarted";
   ]
 
 let involves event id =
@@ -144,6 +172,10 @@ let involves event id =
   | Invitation_accepted { voter; poller; _ }
   | Vote_sent { voter; poller; _ } ->
     eq voter || eq poller
+  | Fault_dropped { src; dst } | Fault_duplicated { src; dst }
+  | Fault_delayed { src; dst; _ } ->
+    eq src || eq dst
+  | Node_crashed { node } | Node_restarted { node } -> eq node
 
 let au_of = function
   | Poll_started { au; _ }
@@ -155,7 +187,10 @@ let au_of = function
   | Evaluation_started { au; _ }
   | Repair_applied { au; _ }
   | Poll_concluded { au; _ } ->
-    au
+    Some au
+  | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ | Node_crashed _
+  | Node_restarted _ ->
+    None
 
 (* -- JSON round-trip --------------------------------------------------- *)
 
@@ -239,6 +274,11 @@ let to_json ~time event =
         ("poll_id", Json.Int poll_id);
         ("outcome", Json.String (outcome_to_string outcome));
       ]
+    | Fault_dropped { src; dst } | Fault_duplicated { src; dst } ->
+      [ ("src", Json.Int src); ("dst", Json.Int dst) ]
+    | Fault_delayed { src; dst; extra } ->
+      [ ("src", Json.Int src); ("dst", Json.Int dst); ("extra", Json.Float extra) ]
+    | Node_crashed { node } | Node_restarted { node } -> [ ("node", Json.Int node) ]
   in
   Json.Assoc
     ([
@@ -319,6 +359,25 @@ let of_json json =
         field "outcome" (fun v -> Option.bind (Json.string_value v) outcome_of_string)
       in
       Ok (Poll_concluded { poller; au; poll_id; outcome })
+    | "fault_dropped" ->
+      let* src = int "src" in
+      let* dst = int "dst" in
+      Ok (Fault_dropped { src; dst })
+    | "fault_duplicated" ->
+      let* src = int "src" in
+      let* dst = int "dst" in
+      Ok (Fault_duplicated { src; dst })
+    | "fault_delayed" ->
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* extra = field "extra" Json.to_float in
+      Ok (Fault_delayed { src; dst; extra })
+    | "node_crashed" ->
+      let* node = int "node" in
+      Ok (Node_crashed { node })
+    | "node_restarted" ->
+      let* node = int "node" in
+      Ok (Node_restarted { node })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
   Ok (time, event)
@@ -353,7 +412,12 @@ let filter_sink ?min_severity ?peer ?au ?kinds inner ~time event =
     | None -> true
     | Some min -> severity_at_least min (severity event))
     && (match peer with None -> true | Some id -> involves event id)
-    && (match au with None -> true | Some a -> Ids.Au_id.equal a (au_of event))
+    && (match au with
+       | None -> true
+       | Some a -> (
+         match au_of event with
+         | Some event_au -> Ids.Au_id.equal a event_au
+         | None -> false))
     && match kinds with None -> true | Some ks -> List.mem (kind event) ks
   in
   if pass then inner ~time event

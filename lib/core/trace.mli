@@ -45,6 +45,12 @@ type event =
       poll_id : int;
       outcome : Metrics.poll_outcome;
     }
+  | Fault_dropped of { src : Ids.Identity.t; dst : Ids.Identity.t }
+      (** injected message loss (or a copy lost to a crashed endpoint) *)
+  | Fault_duplicated of { src : Ids.Identity.t; dst : Ids.Identity.t }
+  | Fault_delayed of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
+  | Node_crashed of { node : Ids.Identity.t }  (** churn took the node down *)
+  | Node_restarted of { node : Ids.Identity.t }
 
 type t
 
@@ -83,8 +89,9 @@ val all_kinds : string list
     (poller, voter or claimed identity). *)
 val involves : event -> Ids.Identity.t -> bool
 
-(** [au_of e] is the archival unit the event concerns. *)
-val au_of : event -> Ids.Au_id.t
+(** [au_of e] is the archival unit the event concerns; [None] for fault
+    and churn events, which are not tied to any AU. *)
+val au_of : event -> Ids.Au_id.t option
 
 (** {2:sinks Sinks} *)
 

@@ -9,7 +9,11 @@ let find_session peer ~identity ~au ~poll_id =
 
 let close_session (peer : Peer.t) (session : Peer.voter_session) =
   session.Peer.vs_state <- Peer.Closed;
-  Hashtbl.remove peer.Peer.voter_sessions (Peer.session_key session)
+  let key = Peer.session_key session in
+  Hashtbl.remove peer.Peer.voter_sessions key;
+  (* Remember the key so a duplicate delivery of the original Poll cannot
+     reopen a ghost session after the fact. *)
+  Peer.note_session_closed peer key
 
 (* Cost, to this peer, of admitting one invitation for consideration:
    session establishment plus schedule lookup and bookkeeping. *)
@@ -77,10 +81,23 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
       end
     in
     if not effort_ok then Known_peers.punish st.Peer.known ~now identity
-    else if Hashtbl.mem peer.Peer.voter_sessions (identity, au, poll_id) then
-      (* Duplicate invitation for a live session: ignore. *)
-      ()
-    else if
+    else begin
+      match Hashtbl.find_opt peer.Peer.voter_sessions (identity, au, poll_id) with
+      | Some { Peer.vs_state = Peer.Awaiting_proof _; _ } ->
+        (* Duplicate invitation for a session still awaiting its proof:
+           our ack may have been lost, so repeat it instead of leaving the
+           poller to retry into silence. *)
+        reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = true })
+      | Some _ ->
+        (* Duplicate invitation for a live session past acceptance: ignore. *)
+        ()
+      | None ->
+        if Peer.session_recently_closed peer (identity, au, poll_id) then
+          (* Stale duplicate of an invitation already handled to completion:
+             admitting it would open a ghost session whose receipt timeout
+             unfairly punishes the poller. *)
+          ()
+        else if
       (* Section 9 extension (off by default): the busier the peer already
          is, the less likely it accepts — so an attacker must spend ever
          more effort for each additional unit of the victim's time. *)
@@ -135,6 +152,7 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
         Trace.emit ctx.Peer.trace ~now (fun () ->
             Trace.Invitation_accepted { voter = peer.Peer.identity; poller = identity; au });
         reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = true })
+    end
     end
 
 let deliver_vote ctx (peer : Peer.t) (session : Peer.voter_session) () =

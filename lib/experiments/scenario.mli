@@ -81,6 +81,11 @@ val set_observability : observe option -> unit
 
 val observability : unit -> observe option
 
+(** [build ~cfg ~seed attack] constructs the population with the attack
+    attached but does not run it — for harnesses (like {!Chaos}) that
+    need to subscribe observers or probe engine state mid-run. *)
+val build : cfg:Lockss.Config.t -> seed:int -> attack -> Lockss.Population.t
+
 (** [run_one ~cfg ~seed ~years attack] builds a population, attaches the
     attack, runs the horizon and returns the finalised metrics. Honors
     {!set_observability}. *)

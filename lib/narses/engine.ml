@@ -66,7 +66,28 @@ let step t =
     end;
     true
 
-let run_until t ~limit =
+exception Event_limit_exceeded of string
+
+let limit_exceeded t budget =
+  raise
+    (Event_limit_exceeded
+       (Printf.sprintf
+          "Engine: event budget %d exhausted at t=%g with %d events pending \
+           (likely a self-scheduling loop)"
+          budget t.clock t.live_count))
+
+let run_until ?max_events t ~limit =
+  let start = t.executed in
+  (* The budget counts live executions only; popping cancelled events is
+     free, so a run that ends in a burst of cancellations cannot trip it. *)
+  let over () =
+    match max_events with
+    | None -> false
+    | Some budget ->
+      if t.executed - start >= budget && t.live_count > 0 then
+        limit_exceeded t budget;
+      false
+  in
   let rec loop () =
     match Repro_prelude.Heap.peek t.queue with
     | None -> ()
@@ -74,13 +95,24 @@ let run_until t ~limit =
       (* Leave future events queued; just advance the clock. *)
       ()
     | Some _ ->
+      ignore (over ());
       ignore (step t);
       loop ()
   in
   loop ();
   if limit > t.clock then t.clock <- limit
 
-let run t = while step t do () done
+let run ?max_events t =
+  match max_events with
+  | None -> while step t do () done
+  | Some budget ->
+    let start = t.executed in
+    let rec loop () =
+      if t.executed - start >= budget && t.live_count > 0 then
+        limit_exceeded t budget
+      else if step t then loop ()
+    in
+    loop ()
 let executed t = t.executed
 
 type stats = {

@@ -32,14 +32,23 @@ val cancel : t -> event_id -> unit
 (** [pending t] is the number of live (uncancelled, unfired) events. *)
 val pending : t -> int
 
-(** [run_until t ~limit] executes events in time order until the queue is
-    empty or the next event is strictly after [limit]; the clock finishes
-    at [limit] or at the last event time, whichever is later. *)
-val run_until : t -> limit:float -> unit
+(** Raised by {!run} and {!run_until} when [max_events] executions have
+    fired and live events remain; the message reports the budget, the
+    simulated time reached and the pending count. *)
+exception Event_limit_exceeded of string
 
-(** [run t] executes events until the queue is empty. Diverges if events
-    schedule unboundedly many successors. *)
-val run : t -> unit
+(** [run_until ?max_events t ~limit] executes events in time order until
+    the queue is empty or the next event is strictly after [limit]; the
+    clock finishes at [limit] or at the last event time, whichever is
+    later. With [max_events], raises {!Event_limit_exceeded} instead of
+    looping forever when events keep scheduling same-time successors
+    (cancelled events do not count against the budget). *)
+val run_until : ?max_events:int -> t -> limit:float -> unit
+
+(** [run ?max_events t] executes events until the queue is empty.
+    Without [max_events] it diverges if events schedule unboundedly many
+    successors; with it, {!Event_limit_exceeded} is raised instead. *)
+val run : ?max_events:int -> t -> unit
 
 (** [executed t] is the count of events that have fired, for tests and
     throughput benchmarks. *)

@@ -1,0 +1,100 @@
+(** Deterministic fault injection for the network substrate.
+
+    The paper's Narses substrate delivers every message perfectly unless
+    a pipe-stoppage {!Partition} silently suppresses it, so only one
+    fault shape ever exercises the protocol's timeout and retry
+    machinery. This module interposes a seeded fault model between
+    {!Net.send} and delivery:
+
+    - {e loss}: each message copy is dropped with a fixed probability;
+    - {e jitter}: each delivered copy gains extra latency drawn uniformly
+      from [\[0, jitter)];
+    - {e duplication}: a delivered message spawns a second,
+      independently-jittered copy;
+    - {e churn}: nodes crash on a Poisson schedule and restart after a
+      fixed downtime. Unlike a {!Partition} stoppage — which silently
+      eats traffic while the node's protocol state lives on — a crash
+      fires hooks so the owner can clear in-flight protocol state
+      (sessions, poll timers) and later resume from a clean slate.
+
+    All randomness comes from a dedicated stream seeded by
+    [config.fault_seed], split off per concern, so identical seeds replay
+    identical fault traces regardless of what the protocol layer draws
+    from its own generators. Every injected fault is reported to the
+    registered observer (see {!set_observer}), which the population layer
+    bridges onto the [Lockss.Trace] bus. *)
+
+type config = {
+  loss : float;  (** per-copy drop probability, in [\[0, 1\]] *)
+  jitter : float;  (** max extra delivery latency, seconds, [>= 0] *)
+  duplication : float;  (** per-message duplication probability, [\[0, 1\]] *)
+  churn_per_day : float;  (** crash rate per node per day, [>= 0] *)
+  downtime : float;  (** seconds a crashed node stays down, [> 0] *)
+  fault_seed : int;  (** seed of the dedicated fault randomness stream *)
+}
+
+(** [none] injects nothing: all rates zero (downtime keeps its default so
+    [{ none with churn_per_day = r }] is well-formed). *)
+val none : config
+
+(** [is_none c] holds when [c] injects no faults at all. *)
+val is_none : config -> bool
+
+(** [validate c] raises [Invalid_argument] on out-of-range rates. *)
+val validate : config -> unit
+
+type event =
+  | Dropped of { src : int; dst : int }  (** a message copy was lost *)
+  | Duplicated of { src : int; dst : int }  (** an extra copy was spawned *)
+  | Delayed of { src : int; dst : int; extra : float }
+      (** a copy will arrive [extra] seconds later than the network model
+          alone would deliver it *)
+  | Crashed of { node : int }
+  | Restarted of { node : int }
+
+type t
+
+(** [create ~engine ~nodes config] validates [config] and builds the
+    injector for a [nodes]-node network. Churn does not start until
+    {!start_churn}. *)
+val create : engine:Engine.t -> nodes:int -> config -> t
+
+val config : t -> config
+
+(** [set_observer t f] installs the (single) fault-event observer,
+    called synchronously with the current simulated time. *)
+val set_observer : t -> (time:float -> event -> unit) -> unit
+
+(** [on_crash t f] / [on_restart t f] register hooks called with the node
+    index when churn takes it down / brings it back. Multiple hooks run
+    in registration order. *)
+val on_crash : t -> (int -> unit) -> unit
+
+val on_restart : t -> (int -> unit) -> unit
+
+(** [start_churn t ~nodes] begins an independent Poisson crash schedule
+    (rate [churn_per_day]) for each listed node. Call at most once. *)
+val start_churn : t -> nodes:int list -> unit
+
+val is_down : t -> int -> bool
+
+(** [down_count t] is the number of nodes currently crashed. *)
+val down_count : t -> int
+
+(** [plan t ~src ~dst] decides the fate of one message about to be sent:
+    the returned list holds one extra-latency value per copy to deliver —
+    [[]] when the message is lost, two elements when it is duplicated.
+    Counts and reports the faults it injects. *)
+val plan : t -> src:int -> dst:int -> float list
+
+(** [note_down_drop t ~src ~dst] records a message lost because an
+    endpoint was crashed (at send or delivery time); used by {!Net}. *)
+val note_down_drop : t -> src:int -> dst:int -> unit
+
+(** Cumulative injection counters, for conservation checks. *)
+val dropped_count : t -> int
+
+val duplicated_count : t -> int
+val delayed_count : t -> int
+val crash_count : t -> int
+val restart_count : t -> int

@@ -5,6 +5,7 @@ type 'msg t = {
   engine : Engine.t;
   topology : Topology.t;
   partition : Partition.t;
+  faults : Faults.t option;
   handlers : (src:Topology.node -> 'msg -> unit) option array;
   active : int array;  (* concurrent transfers touching each node's link *)
   mutable sent : int;
@@ -13,12 +14,13 @@ type 'msg t = {
   mutable bytes_delivered : int;
 }
 
-let create ?(model = Delay_only) ~engine ~topology ~partition () =
+let create ?(model = Delay_only) ?faults ~engine ~topology ~partition () =
   {
     model;
     engine;
     topology;
     partition;
+    faults;
     handlers = Array.make (Topology.node_count topology) None;
     active = Array.make (Topology.node_count topology) 0;
     sent = 0;
@@ -43,27 +45,50 @@ let transfer_delay t ~src ~dst ~bytes =
     Topology.path_latency t.topology ~src ~dst
     +. (8. *. float_of_int bytes /. bottleneck)
 
+let endpoint_down t ~src ~dst =
+  match t.faults with
+  | None -> false
+  | Some f -> Faults.is_down f src || Faults.is_down f dst
+
 let send t ~src ~dst ~bytes msg =
   t.sent <- t.sent + 1;
   if Partition.blocked t.partition ~src ~dst then t.dropped <- t.dropped + 1
+  else if endpoint_down t ~src ~dst then begin
+    (* A crashed endpoint can neither transmit nor receive. *)
+    Faults.note_down_drop (Option.get t.faults) ~src ~dst;
+    t.dropped <- t.dropped + 1
+  end
   else begin
     let delay = transfer_delay t ~src ~dst ~bytes in
-    t.active.(src) <- t.active.(src) + 1;
-    t.active.(dst) <- t.active.(dst) + 1;
-    let deliver () =
-      t.active.(src) <- t.active.(src) - 1;
-      t.active.(dst) <- t.active.(dst) - 1;
-      if Partition.blocked t.partition ~src ~dst then t.dropped <- t.dropped + 1
-      else begin
-        match t.handlers.(dst) with
-        | None -> t.dropped <- t.dropped + 1
-        | Some handler ->
-          t.delivered <- t.delivered + 1;
-          t.bytes_delivered <- t.bytes_delivered + bytes;
-          handler ~src msg
-      end
+    let schedule_copy extra =
+      t.active.(src) <- t.active.(src) + 1;
+      t.active.(dst) <- t.active.(dst) + 1;
+      let deliver () =
+        t.active.(src) <- t.active.(src) - 1;
+        t.active.(dst) <- t.active.(dst) - 1;
+        if Partition.blocked t.partition ~src ~dst then t.dropped <- t.dropped + 1
+        else if endpoint_down t ~src ~dst then begin
+          (* Crashed mid-flight: the copy reaches a dead process. *)
+          Faults.note_down_drop (Option.get t.faults) ~src ~dst;
+          t.dropped <- t.dropped + 1
+        end
+        else begin
+          match t.handlers.(dst) with
+          | None -> t.dropped <- t.dropped + 1
+          | Some handler ->
+            t.delivered <- t.delivered + 1;
+            t.bytes_delivered <- t.bytes_delivered + bytes;
+            handler ~src msg
+        end
+      in
+      ignore (Engine.schedule_in t.engine ~after:(delay +. extra) deliver)
     in
-    ignore (Engine.schedule_in t.engine ~after:delay deliver)
+    match t.faults with
+    | None -> schedule_copy 0.
+    | Some faults ->
+      (match Faults.plan faults ~src ~dst with
+      | [] -> t.dropped <- t.dropped + 1  (* lost to injected message loss *)
+      | extras -> List.iter schedule_copy extras)
   end
 
 let sent_count t = t.sent

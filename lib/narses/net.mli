@@ -22,11 +22,16 @@ type model =
 
 type 'msg t
 
-(** [create ?model ~engine ~topology ~partition ()] wires an empty
-    network; every node starts without a handler, and sends to
-    handler-less nodes are counted as dropped. *)
+(** [create ?model ?faults ~engine ~topology ~partition ()] wires an
+    empty network; every node starts without a handler, and sends to
+    handler-less nodes are counted as dropped. With [faults], every send
+    passes through the {!Faults} injector: copies may be lost, delayed
+    beyond the model's transfer time, or duplicated, and messages
+    touching a crashed node are dropped at send and at delivery time.
+    Without it the network is perfectly reliable, as before. *)
 val create :
   ?model:model ->
+  ?faults:Faults.t ->
   engine:Engine.t ->
   topology:Topology.t ->
   partition:Partition.t ->
@@ -40,8 +45,10 @@ val register : 'msg t -> Topology.node -> (src:Topology.node -> 'msg -> unit) ->
 
 (** [send t ~src ~dst ~bytes msg] schedules delivery of [msg] after the
     topology-determined transfer time, unless either endpoint is stopped
-    (checked both at send and at delivery time, so a node stopped
-    mid-flight loses the message, as a flooded pipe would). *)
+    or crashed (checked both at send and at delivery time, so a node
+    stopped mid-flight loses the message, as a flooded pipe would).
+    Under fault injection one logical send can deliver zero, one or two
+    copies; {!dropped_count} counts each lost copy once. *)
 val send : 'msg t -> src:Topology.node -> dst:Topology.node -> bytes:int -> 'msg -> unit
 
 (** Counters for tests and reporting. *)

@@ -63,6 +63,11 @@ let sample_events =
     Trace.Evaluation_started { poller = 3; au = 1; poll_id = 7; votes = 6 };
     Trace.Repair_applied { poller = 3; au = 1; block = 4; version = 99; clean = true };
     Trace.Poll_concluded { poller = 3; au = 1; poll_id = 7; outcome = Metrics.Alarmed };
+    Trace.Fault_dropped { src = 3; dst = 5 };
+    Trace.Fault_duplicated { src = 3; dst = 5 };
+    Trace.Fault_delayed { src = 3; dst = 5; extra = 0.25 };
+    Trace.Node_crashed { node = 5 };
+    Trace.Node_restarted { node = 5 };
   ]
 
 let test_trace_jsonl_round_trip () =
