@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke chaos-smoke bench profile clean
+.PHONY: all build test check smoke chaos-smoke runner-smoke bench bench-parallel profile clean
 
 all: build
 
@@ -13,14 +13,15 @@ check:
 
 # End-to-end smoke: short run with tracing + metric sampling, then assert
 # the trace JSONL parses (check-trace exits non-zero on any bad line) and
-# the metrics CSV contains data rows beyond the header.
+# the metrics CSV contains data rows beyond the header. Sink paths are
+# per-run: the requested path gains a .seedS suffix (default seed is 1).
 smoke: build
-	rm -f /tmp/t.jsonl /tmp/m.csv
+	rm -f /tmp/t.seed1.jsonl /tmp/m.seed1.csv
 	dune exec bin/lockss_sim.exe -- run --years 0.1 \
 	  --trace-out /tmp/t.jsonl --metrics-out /tmp/m.csv --sample-interval 7d
-	dune exec bin/lockss_sim.exe -- check-trace /tmp/t.jsonl
-	@test "$$(wc -l < /tmp/m.csv)" -gt 1 || \
-	  { echo "smoke: /tmp/m.csv has no sample rows" >&2; exit 1; }
+	dune exec bin/lockss_sim.exe -- check-trace /tmp/t.seed1.jsonl
+	@test "$$(wc -l < /tmp/m.seed1.csv)" -gt 1 || \
+	  { echo "smoke: /tmp/m.seed1.csv has no sample rows" >&2; exit 1; }
 	@echo "smoke: OK"
 
 # Fault-injection smoke: a small deployment under the acceptance fault
@@ -31,8 +32,23 @@ chaos-smoke: build
 	  --loss 0.05 --jitter 0.5 --dup 0.02 --churn 0.01 --fault-seed 7
 	@echo "chaos-smoke: OK"
 
+# Parallel-runner smoke: the same sweep with 1 and 2 worker domains must
+# render byte-identical tables (the Runner determinism contract).
+runner-smoke: build
+	dune exec bin/lockss_sim.exe -- reproduce fig3 --peers 12 --aus 1 \
+	  --quorum 3 --years 0.5 --runs 2 --seed 3 --jobs 1 > /tmp/runner-serial.txt
+	dune exec bin/lockss_sim.exe -- reproduce fig3 --peers 12 --aus 1 \
+	  --quorum 3 --years 0.5 --runs 2 --seed 3 --jobs 2 > /tmp/runner-parallel.txt
+	cmp /tmp/runner-serial.txt /tmp/runner-parallel.txt || \
+	  { echo "runner-smoke: parallel output differs from serial" >&2; exit 1; }
+	@echo "runner-smoke: OK"
+
 bench:
 	dune exec bench/main.exe
+
+# Serial vs parallel wall-clock for the heavier sweeps, recorded as JSON.
+bench-parallel: build
+	dune exec bench/main.exe -- parallel --json BENCH_parallel.json
 
 profile:
 	dune exec bench/main.exe -- profile

@@ -10,6 +10,8 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig3 table1  # selected targets
      dune exec bench/main.exe -- --list       # available targets
+     dune exec bench/main.exe -- parallel --json BENCH_parallel.json
+                                              # serial vs parallel timings
 
    Absolute numbers are not expected to match the paper (our substrate
    is a simulator at reduced scale, not the authors' testbed); each
@@ -285,6 +287,76 @@ let run_micro () =
     (bechamel_tests ());
   Table.print table
 
+(* -- Parallel runner speedup ------------------------------------------- *)
+
+(* Optional destination for the serial/parallel comparison, set by
+   [--json FILE]. *)
+let json_out = ref None
+
+let parallel_targets =
+  [
+    ("stoppage sweep", fun () -> ignore (Stoppage.sweep ~scale ()));
+    ("baseline sweep", fun () -> ignore (Baseline.sweep ~scale ()));
+    ( "chaos paired run",
+      fun () -> ignore (Chaos.run ~scale Chaos.default_mix) );
+  ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run_parallel () =
+  section "Runner: serial vs parallel wall-clock";
+  note "Same sweeps, jobs=1 versus the auto worker count; results are";
+  note "byte-identical either way (see test/test_runner.ml), so the only";
+  note "question is wall-clock. Speedup ~1.0 is expected on one core.";
+  let auto_jobs = Experiments.Runner.default_jobs () in
+  note "workers: %d (Domain.recommended_domain_count or LOCKSS_JOBS)" auto_jobs;
+  let table = Table.create [ "target"; "serial (s)"; "parallel (s)"; "speedup" ] in
+  let entries =
+    List.map
+      (fun (name, f) ->
+        Experiments.Runner.set_jobs 1;
+        let serial = wall f in
+        Experiments.Runner.set_jobs 0;
+        let parallel = wall f in
+        let speedup = if parallel > 0. then serial /. parallel else nan in
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.2f" serial;
+            Printf.sprintf "%.2f" parallel;
+            Printf.sprintf "%.2fx" speedup;
+          ];
+        ( name,
+          Obs.Json.Assoc
+            [
+              ("target", Obs.Json.String name);
+              ("serial_s", Obs.Json.Float serial);
+              ("parallel_s", Obs.Json.Float parallel);
+              ("speedup", Obs.Json.Float speedup);
+            ] ))
+      parallel_targets
+  in
+  Experiments.Runner.set_jobs 0;
+  Table.print table;
+  match !json_out with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Obs.Json.Assoc
+        [
+          ("jobs", Obs.Json.Int auto_jobs);
+          ("targets", Obs.Json.List (List.map snd entries));
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 (* -- Driver ------------------------------------------------------------ *)
 
 let targets =
@@ -302,14 +374,27 @@ let targets =
     ("reciprocity", run_reciprocity);
     ("extensions", run_extensions);
     ("profile", run_profile);
+    ("parallel", run_parallel);
     ("micro", run_micro);
   ]
 
 (* Expensive optional targets, excluded from the default full run. *)
 let optional_targets = [ ("paper-baseline", run_paper_baseline) ]
 
+(* Pull a [--json FILE] option out of the argument list before target
+   dispatch; it only affects the [parallel] target. *)
+let rec extract_json_opt = function
+  | [] -> []
+  | "--json" :: path :: rest ->
+    json_out := Some path;
+    extract_json_opt rest
+  | "--json" :: [] ->
+    prerr_endline "--json requires a file argument";
+    exit 1
+  | arg :: rest -> arg :: extract_json_opt rest
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = extract_json_opt (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [ "--list" ] ->
     List.iter (fun (name, _) -> print_endline name) (targets @ optional_targets)

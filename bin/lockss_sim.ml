@@ -29,6 +29,25 @@ let runs =
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Root random seed.")
 
+(* Every command that fans out independent simulations honors --jobs;
+   the setting is a performance knob only — results are byte-identical
+   at any worker count. *)
+let jobs =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulation runs: $(b,1) forces serial \
+           execution, $(b,0) (default) uses $(b,LOCKSS_JOBS) or the machine's \
+           recommended domain count. Results are identical at any setting.")
+
+let set_jobs n =
+  try Experiments.Runner.set_jobs n
+  with Invalid_argument msg ->
+    Printf.eprintf "invalid --jobs: %s\n" msg;
+    exit 2
+
 let capacity =
   Arg.(
     value
@@ -260,8 +279,9 @@ let attack_of kind ~coverage ~duration_days ~years =
   | A_brute_none -> brute Adversary.Brute_force.Full
 
 let run_cmd =
-  let action peers aus quorum years runs seed capacity mttf interval_months kind coverage
-      duration_days mix observe =
+  let action peers aus quorum years runs seed jobs capacity mttf interval_months kind
+      coverage duration_days mix observe =
+    set_jobs jobs;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let cfg = config_of scale ~capacity ~mttf ~interval_months in
     let fault_cfg = Chaos.faults_config mix in
@@ -273,14 +293,13 @@ let run_cmd =
      with Invalid_argument msg ->
        Printf.eprintf "invalid configuration: %s\n" msg;
        exit 2);
-    Scenario.set_observability observe;
     let attack = attack_of kind ~coverage ~duration_days ~years in
     match attack with
     | Scenario.No_attack ->
-      let summary = Scenario.run_avg ~cfg scale Scenario.No_attack in
+      let summary = Scenario.run_avg ?observe ~cfg scale Scenario.No_attack in
       Format.printf "%a@." Lockss.Metrics.pp_summary summary
     | _ ->
-      let c = Scenario.compare_runs ~cfg scale attack in
+      let c = Scenario.compare_runs ?observe ~cfg scale attack in
       Format.printf "baseline:@.%a@.@.under attack:@.%a@.@." Lockss.Metrics.pp_summary
         c.Scenario.baseline Lockss.Metrics.pp_summary c.Scenario.attack;
       Format.printf
@@ -291,7 +310,7 @@ let run_cmd =
   in
   let term =
     Term.(
-      const action $ peers $ aus $ quorum $ years $ runs $ seed $ capacity $ mttf
+      const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs $ capacity $ mttf
       $ interval_months $ attack_kind $ coverage $ duration_days $ mix_term zero_mix
       $ observe_term)
   in
@@ -312,7 +331,9 @@ let chaos_cmd =
       & info [ "ablation" ]
           ~doc:"Also print the faults × pipe-stoppage ablation table (4 extra runs).")
   in
-  let action peers aus quorum years runs seed kind coverage duration_days mix ablation =
+  let action peers aus quorum years runs seed jobs kind coverage duration_days mix
+      ablation =
+    set_jobs jobs;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let attack = attack_of kind ~coverage ~duration_days ~years in
     (try Narses.Faults.validate (Chaos.faults_config mix)
@@ -326,8 +347,8 @@ let chaos_cmd =
   in
   let term =
     Term.(
-      const action $ peers $ aus $ quorum $ years $ runs $ seed $ attack_kind $ coverage
-      $ duration_days $ mix_term Chaos.default_mix $ ablation)
+      const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs $ attack_kind
+      $ coverage $ duration_days $ mix_term Chaos.default_mix $ ablation)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -361,8 +382,8 @@ let reproduce_cmd =
       & info [ "plot" ] ~docv:"DIR"
           ~doc:"Also write gnuplot .dat/.gp files for the figure into $(docv).")
   in
-  let action target peers aus quorum years runs seed csv_path plot_dir observe =
-    Scenario.set_observability observe;
+  let action target peers aus quorum years runs seed jobs csv_path plot_dir =
+    set_jobs jobs;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let module Table = Repro_prelude.Table in
     let stoppage = lazy (Experiments.Stoppage.sweep ~scale ()) in
@@ -396,12 +417,15 @@ let reproduce_cmd =
   in
   let term =
     Term.(
-      const action $ target $ peers $ aus $ quorum $ years $ runs $ seed $ csv $ plot
-      $ observe_term)
+      const action $ target $ peers $ aus $ quorum $ years $ runs $ seed $ jobs $ csv
+      $ plot)
   in
   Cmd.v
     (Cmd.info "reproduce"
-       ~doc:"Regenerate a figure or table from the paper's evaluation section.")
+       ~doc:
+         "Regenerate a figure or table from the paper's evaluation section, fanning \
+          the sweep's independent runs out over --jobs worker domains. (Per-run \
+          tracing/metrics files are a $(b,run)-command feature.)")
     term
 
 (* -- check-trace command ----------------------------------------------- *)
@@ -460,12 +484,13 @@ let check_trace_cmd =
 (* -- subversion command ------------------------------------------------ *)
 
 let subversion_cmd =
-  let action peers aus quorum years runs seed =
+  let action peers aus quorum years runs seed jobs =
+    set_jobs jobs;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     Repro_prelude.Table.print
       (Experiments.Subversion_attack.to_table (Experiments.Subversion_attack.sweep ~scale ()))
   in
-  let term = Term.(const action $ peers $ aus $ quorum $ years $ runs $ seed) in
+  let term = Term.(const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs) in
   Cmd.v
     (Cmd.info "subversion"
        ~doc:
@@ -476,14 +501,15 @@ let subversion_cmd =
 (* -- reciprocity command ------------------------------------------------- *)
 
 let reciprocity_cmd =
-  let action peers aus quorum years runs seed =
+  let action peers aus quorum years runs seed jobs =
+    set_jobs jobs;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     Repro_prelude.Table.print
       (Experiments.Reciprocity_attack.to_table (Experiments.Reciprocity_attack.sweep ~scale ()));
     Printf.printf "brute-force REMAINING friction at this scale (reference): %s\n"
       (Experiments.Report.ratio (Experiments.Reciprocity_attack.brute_force_reference ~scale ()))
   in
-  let term = Term.(const action $ peers $ aus $ quorum $ years $ runs $ seed) in
+  let term = Term.(const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs) in
   Cmd.v
     (Cmd.info "reciprocity"
        ~doc:"Run the grade-recovery adversary experiment the paper deferred to its \
@@ -493,7 +519,8 @@ let reciprocity_cmd =
 (* -- extensions command -------------------------------------------------- *)
 
 let extensions_cmd =
-  let action peers aus quorum years runs seed =
+  let action peers aus quorum years runs seed jobs =
+    set_jobs jobs;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     Repro_prelude.Table.print
       (Experiments.Extensions.adaptive_table (Experiments.Extensions.adaptive_acceptance ~scale ()));
@@ -505,7 +532,7 @@ let extensions_cmd =
     Repro_prelude.Table.print
       (Experiments.Extensions.combined_table (Experiments.Extensions.combined ~scale ()))
   in
-  let term = Term.(const action $ peers $ aus $ quorum $ years $ runs $ seed) in
+  let term = Term.(const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs) in
   Cmd.v
     (Cmd.info "extensions"
        ~doc:"Run the Section 9 future-work experiments: adaptive acceptance, churn, \
@@ -515,11 +542,12 @@ let extensions_cmd =
 (* -- ablate command ---------------------------------------------------- *)
 
 let ablate_cmd =
-  let action peers aus quorum years runs seed =
+  let action peers aus quorum years runs seed jobs =
+    set_jobs jobs;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     Repro_prelude.Table.print (Experiments.Ablation.to_table (Experiments.Ablation.run ~scale ()))
   in
-  let term = Term.(const action $ peers $ aus $ quorum $ years $ runs $ seed) in
+  let term = Term.(const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs) in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Show what each attrition defense buys, one ablation per row.")
     term

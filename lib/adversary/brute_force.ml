@@ -11,9 +11,9 @@ let pp_strategy ppf s =
     (match s with Intro -> "INTRO" | Remaining -> "REMAINING" | Full -> "NONE")
 
 (* Distinct from the admission-flood identity space; each instance gets
-   its own block so combined attacks cannot collide at the victims. *)
+   its own block (numbered per population) so combined attacks cannot
+   collide at the victims. *)
 let identity_space = 2_000_000
-let instances = ref 0
 
 type session = { victim : Narses.Topology.node; identity : Lockss.Ids.Identity.t }
 
@@ -155,8 +155,7 @@ let attach population ~minions ~strategy ~identities ~attempts_per_victim_au_per
   if identities <= 0 then invalid_arg "Brute_force.attach: identities must be positive";
   if attempts_per_victim_au_per_day <= 0. then
     invalid_arg "Brute_force.attach: rate must be positive";
-  let instance = !instances in
-  incr instances;
+  let instance = Lockss.Population.next_adversary_instance population in
   let ids = Array.init identities (fun i -> identity_space + (100_000 * instance) + i) in
   let t =
     {

@@ -11,6 +11,9 @@ type t = {
   crashed_by_fault : bool array;
   rng : Rng.t;
   extra : Narses.Topology.node list;
+  (* Per-population (not global) so concurrent populations on other
+     domains cannot perturb an attack's identity-block numbering. *)
+  mutable adversary_instances : int;
 }
 
 let rec dispatch ctx peer ~src (msg : Message.t) =
@@ -283,6 +286,7 @@ let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
       crashed_by_fault = Array.make nodes false;
       rng;
       extra = List.init extra_nodes (fun i -> loyal + i);
+      adversary_instances = 0;
     }
   in
   Array.iter
@@ -336,6 +340,11 @@ let topology t = t.topology
 let partition t = t.partition
 let faults t = t.faults
 let split_rng t = Rng.split t.rng
+
+let next_adversary_instance t =
+  let n = t.adversary_instances in
+  t.adversary_instances <- n + 1;
+  n
 let loyal_nodes t =
   Array.to_list t.ctx.Peer.peers
   |> List.filter_map (fun p -> if p.Peer.active then Some p.Peer.node else None)

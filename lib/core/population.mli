@@ -35,6 +35,14 @@ val faults : t -> Narses.Faults.t option
     modules) without perturbing the population's own streams. *)
 val split_rng : t -> Repro_prelude.Rng.t
 
+(** [next_adversary_instance t] allocates the next adversary instance
+    number (0, 1, …) within this deployment — effortful adversaries use
+    it to carve disjoint identity blocks, so combined attacks cannot
+    collide at the victims. Deliberately per-population rather than
+    process-global: populations running concurrently on other domains
+    must not perturb each other's numbering. *)
+val next_adversary_instance : t -> int
+
 (** [loyal_nodes t] lists the currently active loyal peers. *)
 val loyal_nodes : t -> Narses.Topology.node list
 

@@ -71,15 +71,29 @@ let compress ctx block offset =
     h4 = Int32.add ctx.h4 !e;
   }
 
+(* Compress full blocks straight out of [s] — copying only the sub-64-byte
+   stitch block and tail — so streaming many small chunks is linear in the
+   total input, not quadratic in the number of calls. *)
 let feed ctx s =
-  let data = ctx.pending ^ s in
-  let len = String.length data in
-  let blocks = len / 64 in
-  let ctx = ref { ctx with length = Int64.add ctx.length (Int64.of_int (String.length s)) } in
-  for i = 0 to blocks - 1 do
-    ctx := compress !ctx data (i * 64)
-  done;
-  { !ctx with pending = String.sub data (blocks * 64) (len - (blocks * 64)) }
+  let slen = String.length s in
+  let length = Int64.add ctx.length (Int64.of_int slen) in
+  let plen = String.length ctx.pending in
+  if plen + slen < 64 then { ctx with pending = ctx.pending ^ s; length }
+  else begin
+    let acc = ref { ctx with length } in
+    (* Complete the buffered tail into one block, then run over [s]. *)
+    let pos = ref 0 in
+    if plen > 0 then begin
+      let need = 64 - plen in
+      acc := compress !acc (ctx.pending ^ String.sub s 0 need) 0;
+      pos := need
+    end;
+    while slen - !pos >= 64 do
+      acc := compress !acc s !pos;
+      pos := !pos + 64
+    done;
+    { !acc with pending = String.sub s !pos (slen - !pos) }
+  end
 
 let finalize ctx =
   let bit_length = Int64.mul ctx.length 8L in

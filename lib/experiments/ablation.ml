@@ -25,19 +25,36 @@ let row_of ~group ~variant ~baseline summary =
   }
 
 (* Each group runs a paper-design configuration and variants against the
-   same attack; the group's first row is the paper design itself. *)
-let group ~scale ~group:name ~attack variants =
-  match variants with
-  | [] -> []
-  | (_, baseline_cfg) :: _ ->
-    let baseline = Scenario.run_avg ~cfg:baseline_cfg scale attack in
-    List.map
-      (fun (variant, cfg) ->
-        let summary =
-          if cfg == baseline_cfg then baseline else Scenario.run_avg ~cfg scale attack
-        in
-        row_of ~group:name ~variant ~baseline summary)
-      variants
+   same attack; the group's first row is the paper design itself (and the
+   group's baseline for ratio metrics). [groups] flattens every variant
+   of every group into one Runner job list so the whole ablation table
+   fans out at once, then reassembles rows in group order. *)
+let groups ~scale specs =
+  let jobs =
+    List.concat_map
+      (fun (name, attack, variants) ->
+        List.map (fun (variant, cfg) -> (name, attack, variant, cfg)) variants)
+      specs
+  in
+  let summaries =
+    Runner.map (fun (_, attack, _, cfg) -> Scenario.run_avg ~cfg scale attack) jobs
+  in
+  let rows = List.combine jobs summaries in
+  List.concat_map
+    (fun (name, _, variants) ->
+      let of_group =
+        List.filter_map
+          (fun ((n, _, variant, _), summary) ->
+            if n = name then Some (variant, summary) else None)
+          rows
+      in
+      match (variants, of_group) with
+      | (_, _) :: _, (_, baseline) :: _ ->
+        List.map
+          (fun (variant, summary) -> row_of ~group:name ~variant ~baseline summary)
+          of_group
+      | _ -> [])
+    specs
 
 let run ?(scale = Scenario.bench) () =
   let cfg = Scenario.config scale in
@@ -54,58 +71,54 @@ let run ?(scale = Scenario.bench) () =
     Scenario.Brute_force
       { strategy = Adversary.Brute_force.Intro; rate = 5.; identities = 50 }
   in
-  let desync_group =
-    (* Contention stress: constrained capacity, no adversary needed. *)
-    let loaded = { cfg with Lockss.Config.capacity = 0.003 } in
-    group ~scale ~group:"desynchronization" ~attack:Scenario.No_attack
-      [
-        ("individual solicitation (paper)", loaded);
-        ("synchronous quorum", { loaded with Lockss.Config.desynchronized = false });
-      ]
-  in
-  let introductions_group =
-    group ~scale ~group:"introductions" ~attack:flood
-      [
-        ("introductions on (paper)", cfg);
-        ("introductions off", { cfg with Lockss.Config.introductions_enabled = false });
-      ]
-  in
-  let effort_group =
-    group ~scale ~group:"effort balancing" ~attack:intro_attack
-      [
-        ("effort balancing on (paper)", cfg);
-        ( "effort balancing off",
-          { cfg with Lockss.Config.effort_balancing_enabled = false } );
-      ]
-  in
-  let refractory_group =
-    group ~scale ~group:"refractory period" ~attack:flood
-      [
-        ("1 day (paper)", cfg);
-        ( "6 hours",
-          { cfg with Lockss.Config.refractory_period = Duration.of_days 0.25 } );
-        ("4 days", { cfg with Lockss.Config.refractory_period = Duration.of_days 4. });
-      ]
-  in
-  let drops_group =
-    group ~scale ~group:"drop probabilities" ~attack:flood
-      [
-        ("0.90 / 0.80 (paper)", cfg);
-        ( "0.50 / 0.40",
-          { cfg with Lockss.Config.drop_unknown = 0.5; drop_debt = 0.4 } );
-        ("no admission control", { cfg with Lockss.Config.admission_control_enabled = false });
-      ]
-  in
-  let network_group =
-    group ~scale ~group:"network model" ~attack:Scenario.No_attack
-      [
-        ("delay-only (paper)", cfg);
-        ( "shared-bottleneck congestion",
-          { cfg with Lockss.Config.network_model = Narses.Net.Shared_bottleneck } );
-      ]
-  in
-  desync_group @ introductions_group @ effort_group @ refractory_group @ drops_group
-  @ network_group
+  (* Contention stress: constrained capacity, no adversary needed. *)
+  let loaded = { cfg with Lockss.Config.capacity = 0.003 } in
+  groups ~scale
+    [
+      ( "desynchronization",
+        Scenario.No_attack,
+        [
+          ("individual solicitation (paper)", loaded);
+          ("synchronous quorum", { loaded with Lockss.Config.desynchronized = false });
+        ] );
+      ( "introductions",
+        flood,
+        [
+          ("introductions on (paper)", cfg);
+          ("introductions off", { cfg with Lockss.Config.introductions_enabled = false });
+        ] );
+      ( "effort balancing",
+        intro_attack,
+        [
+          ("effort balancing on (paper)", cfg);
+          ( "effort balancing off",
+            { cfg with Lockss.Config.effort_balancing_enabled = false } );
+        ] );
+      ( "refractory period",
+        flood,
+        [
+          ("1 day (paper)", cfg);
+          ( "6 hours",
+            { cfg with Lockss.Config.refractory_period = Duration.of_days 0.25 } );
+          ("4 days", { cfg with Lockss.Config.refractory_period = Duration.of_days 4. });
+        ] );
+      ( "drop probabilities",
+        flood,
+        [
+          ("0.90 / 0.80 (paper)", cfg);
+          ( "0.50 / 0.40",
+            { cfg with Lockss.Config.drop_unknown = 0.5; drop_debt = 0.4 } );
+          ( "no admission control",
+            { cfg with Lockss.Config.admission_control_enabled = false } );
+        ] );
+      ( "network model",
+        Scenario.No_attack,
+        [
+          ("delay-only (paper)", cfg);
+          ( "shared-bottleneck congestion",
+            { cfg with Lockss.Config.network_model = Narses.Net.Shared_bottleneck } );
+        ] );
+    ]
 
 let to_table rows =
   let table =

@@ -24,25 +24,36 @@ let default_rate = 24.
 let sweep ?(scale = Scenario.bench) ?(durations = default_durations)
     ?(coverages = default_coverages) ?(rate = default_rate) () =
   let cfg = Scenario.config scale in
-  let baseline = Scenario.run_avg ~cfg scale Scenario.No_attack in
-  List.concat_map
-    (fun coverage ->
-      List.map
-        (fun duration ->
-          let attack =
-            Scenario.Admission_flood { coverage; duration; recuperation; rate }
-          in
-          let summary = Scenario.run_avg ~cfg scale attack in
-          let c = Scenario.ratios ~baseline ~attack:summary in
-          {
-            coverage;
-            duration;
-            access_failure = c.Scenario.access_failure;
-            delay_ratio = c.Scenario.delay_ratio;
-            friction = c.Scenario.friction;
-          })
-        durations)
-    coverages
+  let grid =
+    List.concat_map
+      (fun coverage -> List.map (fun duration -> (coverage, duration)) durations)
+      coverages
+  in
+  (* Baseline and grid points fan out over Runner workers as one job
+     list, merged back in grid order. *)
+  let summaries =
+    Runner.map
+      (fun attack -> Scenario.run_avg ~cfg scale attack)
+      (Scenario.No_attack
+      :: List.map
+           (fun (coverage, duration) ->
+             Scenario.Admission_flood { coverage; duration; recuperation; rate })
+           grid)
+  in
+  match summaries with
+  | [] -> assert false
+  | baseline :: attacked ->
+    List.map2
+      (fun (coverage, duration) summary ->
+        let c = Scenario.ratios ~baseline ~attack:summary in
+        {
+          coverage;
+          duration;
+          access_failure = c.Scenario.access_failure;
+          delay_ratio = c.Scenario.delay_ratio;
+          friction = c.Scenario.friction;
+        })
+      grid attacked
 
 let metric_table ~header value points =
   let table = Table.create [ "coverage"; "attack duration"; header ] in

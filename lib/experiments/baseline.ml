@@ -16,33 +16,37 @@ let collections (scale : Scenario.scale) = [ scale.Scenario.aus; 3 * scale.Scena
 
 let sweep ?(scale = Scenario.bench) ?(intervals = default_intervals)
     ?(mttfs = default_mttfs) ?collections:(colls = collections scale) () =
-  List.concat_map
-    (fun collection ->
-      List.concat_map
-        (fun mttf_years ->
-          List.map
-            (fun interval ->
-              let cfg =
-                {
-                  (Scenario.config scale) with
-                  Lockss.Config.aus = collection;
-                  inter_poll_interval = interval;
-                  disk_mttf_years = mttf_years;
-                }
-              in
-              let spread = Scenario.run_spread ~cfg scale Scenario.No_attack in
-              {
-                interval;
-                mttf_years;
-                collection;
-                access_failure =
-                  spread.Scenario.mean.Lockss.Metrics.access_failure_probability;
-                afp_min = spread.Scenario.afp_min;
-                afp_max = spread.Scenario.afp_max;
-              })
-            intervals)
-        mttfs)
-    colls
+  let grid =
+    List.concat_map
+      (fun collection ->
+        List.concat_map
+          (fun mttf_years ->
+            List.map (fun interval -> (collection, mttf_years, interval)) intervals)
+          mttfs)
+      colls
+  in
+  (* Every grid point is an independent spread of runs: fan out over
+     Runner workers, results merged back in grid order. *)
+  Runner.map
+    (fun (collection, mttf_years, interval) ->
+      let cfg =
+        {
+          (Scenario.config scale) with
+          Lockss.Config.aus = collection;
+          inter_poll_interval = interval;
+          disk_mttf_years = mttf_years;
+        }
+      in
+      let spread = Scenario.run_spread ~cfg scale Scenario.No_attack in
+      {
+        interval;
+        mttf_years;
+        collection;
+        access_failure = spread.Scenario.mean.Lockss.Metrics.access_failure_probability;
+        afp_min = spread.Scenario.afp_min;
+        afp_max = spread.Scenario.afp_max;
+      })
+    grid
 
 let to_table points =
   let table =

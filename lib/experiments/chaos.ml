@@ -163,17 +163,23 @@ let run ?(scale = Scenario.bench) ?(attack = Scenario.No_attack) mix =
   let cfg = { base_cfg with Lockss.Config.faults = Some (faults_config mix) } in
   let seed = scale.Scenario.seed in
   let horizon = Duration.of_years scale.Scenario.years in
-  let population = Scenario.build ~cfg ~seed attack in
-  let engine = Lockss.Population.engine population in
-  Lockss.Population.run ~max_events:event_budget population ~until:(horizon /. 2.);
-  let pending_mid = Engine.pending engine in
-  Lockss.Population.run ~max_events:event_budget population ~until:horizon;
-  let pending_end = Engine.pending engine in
-  let faulty = Lockss.Population.summary population in
-  let fault_free =
-    Scenario.run_one
-      ~cfg:{ base_cfg with Lockss.Config.faults = None }
-      ~seed ~years:scale.Scenario.years attack
+  (* The faulted run and its fault-free pair share nothing (each builds
+     its own population from the seed), so they run on two domains when
+     available; results are deterministic either way. *)
+  let (population, pending_mid, pending_end, faulty), fault_free =
+    Runner.both
+      (fun () ->
+        let population = Scenario.build ~cfg ~seed attack in
+        let engine = Lockss.Population.engine population in
+        Lockss.Population.run ~max_events:event_budget population ~until:(horizon /. 2.);
+        let pending_mid = Engine.pending engine in
+        Lockss.Population.run ~max_events:event_budget population ~until:horizon;
+        let pending_end = Engine.pending engine in
+        (population, pending_mid, pending_end, Lockss.Population.summary population))
+      (fun () ->
+        Scenario.run_one
+          ~cfg:{ base_cfg with Lockss.Config.faults = None }
+          ~seed ~years:scale.Scenario.years attack)
   in
   let comparison = Scenario.ratios ~baseline:fault_free ~attack:faulty in
   let injected_drops, injected_dups, injected_delays, crashes, restarts =
@@ -237,25 +243,33 @@ let stoppage_attack scale =
 let ablation ?(scale = Scenario.bench) mix =
   let cfg = Scenario.config scale in
   let faulty_cfg = { cfg with Lockss.Config.faults = Some (faults_config mix) } in
-  let row label run_cfg attack =
-    let s =
-      Scenario.run_one ~cfg:run_cfg ~seed:scale.Scenario.seed
-        ~years:scale.Scenario.years attack
-    in
+  let stoppage = stoppage_attack scale in
+  let cells =
     [
-      label;
-      Printf.sprintf "%.4f" s.Lockss.Metrics.access_failure_probability;
-      string_of_int s.Lockss.Metrics.polls_succeeded;
-      string_of_int s.Lockss.Metrics.polls_inquorate;
-      string_of_int s.Lockss.Metrics.polls_alarmed;
+      ("fault-free", cfg, Scenario.No_attack);
+      ("faults only", faulty_cfg, Scenario.No_attack);
+      ("stoppage only", cfg, stoppage);
+      ("stoppage + faults", faulty_cfg, stoppage);
     ]
   in
-  let stoppage = stoppage_attack scale in
+  let rows =
+    Runner.map
+      (fun (label, run_cfg, attack) ->
+        let s =
+          Scenario.run_one ~cfg:run_cfg ~seed:scale.Scenario.seed
+            ~years:scale.Scenario.years attack
+        in
+        [
+          label;
+          Printf.sprintf "%.4f" s.Lockss.Metrics.access_failure_probability;
+          string_of_int s.Lockss.Metrics.polls_succeeded;
+          string_of_int s.Lockss.Metrics.polls_inquorate;
+          string_of_int s.Lockss.Metrics.polls_alarmed;
+        ])
+      cells
+  in
   let table =
     Table.create [ "condition"; "access failure"; "polls ok"; "inquorate"; "alarmed" ]
   in
-  Table.add_row table (row "fault-free" cfg Scenario.No_attack);
-  Table.add_row table (row "faults only" faulty_cfg Scenario.No_attack);
-  Table.add_row table (row "stoppage only" cfg stoppage);
-  Table.add_row table (row "stoppage + faults" faulty_cfg stoppage);
+  List.iter (Table.add_row table) rows;
   table

@@ -23,15 +23,44 @@ let sweep ?(scale = Scenario.bench) ?collections ?(rate = default_rate)
     | Some c -> c
     | None -> [ scale.Scenario.aus; 3 * scale.Scenario.aus ]
   in
-  List.concat_map
-    (fun collection ->
-      let cfg = { (Scenario.config scale) with Lockss.Config.aus = collection } in
-      let baseline = Scenario.run_avg ~cfg scale Scenario.No_attack in
-      List.map
-        (fun strategy ->
-          let attack = Scenario.Brute_force { strategy; rate; identities } in
-          let summary = Scenario.run_avg ~cfg scale attack in
-          let c = Scenario.ratios ~baseline ~attack:summary in
+  (* One job per (collection, attack) cell, the per-collection baseline
+     included, all fanned out over Runner workers at once. *)
+  let cells =
+    List.concat_map
+      (fun collection ->
+        let cfg = { (Scenario.config scale) with Lockss.Config.aus = collection } in
+        (collection, cfg, None)
+        :: List.map (fun strategy -> (collection, cfg, Some strategy)) strategies)
+      collections
+  in
+  let summaries =
+    Runner.map
+      (fun (_, cfg, strategy) ->
+        let attack =
+          match strategy with
+          | None -> Scenario.No_attack
+          | Some strategy -> Scenario.Brute_force { strategy; rate; identities }
+        in
+        Scenario.run_avg ~cfg scale attack)
+      cells
+  in
+  let by_cell = List.combine cells summaries in
+  List.filter_map
+    (fun ((collection, _, strategy), summary) ->
+      match strategy with
+      | None -> None
+      | Some strategy ->
+        let baseline =
+          match
+            List.find_opt
+              (fun ((c, _, s), _) -> c = collection && s = None)
+              by_cell
+          with
+          | Some (_, baseline) -> baseline
+          | None -> assert false
+        in
+        let c = Scenario.ratios ~baseline ~attack:summary in
+        Some
           {
             strategy;
             collection;
@@ -40,8 +69,7 @@ let sweep ?(scale = Scenario.bench) ?collections ?(rate = default_rate)
             delay_ratio = c.Scenario.delay_ratio;
             access_failure = c.Scenario.access_failure;
           })
-        strategies)
-    collections
+    by_cell
 
 let to_table rows =
   let table =

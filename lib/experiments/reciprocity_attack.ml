@@ -12,26 +12,44 @@ type row = {
 
 let sweep ?(scale = Scenario.bench) ?(fractions = [ 0.1; 0.2; 0.3 ]) ?(rate = 5.) () =
   let cfg = Scenario.config scale in
-  let baseline = Scenario.run_avg ~cfg scale Scenario.No_attack in
-  List.map
-    (fun fraction ->
-      let population = Lockss.Population.create ~seed:scale.Scenario.seed cfg in
-      let attack =
-        Adversary.Reciprocity.attach population ~fraction
-          ~attempts_per_victim_au_per_day:rate
-      in
-      Lockss.Population.run population ~until:(Duration.of_years scale.Scenario.years);
-      let summary = Lockss.Population.summary population in
-      let c = Scenario.ratios ~baseline ~attack:summary in
-      {
-        fraction;
-        defections = Adversary.Reciprocity.defections attack;
-        honest_votes = Adversary.Reciprocity.honest_votes attack;
-        friction = c.Scenario.friction;
-        cost_ratio = c.Scenario.cost_ratio;
-        delay_ratio = c.Scenario.delay_ratio;
-      })
-    fractions
+  (* The baseline average and each compromised-fraction run are
+     independent; run them all as one Runner job list. *)
+  let results =
+    Runner.map
+      (function
+        | `Baseline -> `Baseline (Scenario.run_avg ~cfg scale Scenario.No_attack)
+        | `Fraction fraction ->
+          let population = Lockss.Population.create ~seed:scale.Scenario.seed cfg in
+          let attack =
+            Adversary.Reciprocity.attach population ~fraction
+              ~attempts_per_victim_au_per_day:rate
+          in
+          Lockss.Population.run population
+            ~until:(Duration.of_years scale.Scenario.years);
+          `Row
+            ( fraction,
+              Lockss.Population.summary population,
+              Adversary.Reciprocity.defections attack,
+              Adversary.Reciprocity.honest_votes attack ))
+      (`Baseline :: List.map (fun f -> `Fraction f) fractions)
+  in
+  match results with
+  | `Baseline baseline :: rows ->
+    List.map
+      (function
+        | `Row (fraction, summary, defections, honest_votes) ->
+          let c = Scenario.ratios ~baseline ~attack:summary in
+          {
+            fraction;
+            defections;
+            honest_votes;
+            friction = c.Scenario.friction;
+            cost_ratio = c.Scenario.cost_ratio;
+            delay_ratio = c.Scenario.delay_ratio;
+          }
+        | `Baseline _ -> assert false)
+      rows
+  | _ -> assert false
 
 let brute_force_reference ?(scale = Scenario.bench) () =
   let cfg = Scenario.config scale in

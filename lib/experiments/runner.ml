@@ -1,0 +1,105 @@
+(* Work-stealing parallel map over independent simulation jobs.
+
+   Jobs are keyed by their index in the input list; workers claim
+   indices from a shared atomic cursor and write results into a
+   per-index slot, so the merge is a plain in-order array read and the
+   output cannot depend on scheduling. *)
+
+let env_jobs () =
+  match Sys.getenv_opt "LOCKSS_JOBS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let default_jobs () =
+  match env_jobs () with Some n -> n | None -> Domain.recommended_domain_count ()
+
+(* 0 = no override (use the heuristic). An [Atomic.t] rather than a
+   [ref] so a worker reading it mid-run is well-defined. *)
+let override = Atomic.make 0
+
+let set_jobs n =
+  if n < 0 then invalid_arg "Runner.set_jobs: negative job count";
+  Atomic.set override n
+
+let jobs () =
+  let n = Atomic.get override in
+  if n > 0 then n else default_jobs ()
+
+(* Workers flag themselves so nested maps degrade to serial execution
+   instead of spawning domains recursively. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type 'b slot = Done of 'b | Failed of exn * Printexc.raw_backtrace | Pending
+
+let map ?jobs:requested f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let k =
+    let j = match requested with Some j -> max 1 j | None -> jobs () in
+    min j n
+  in
+  if n = 0 then []
+  else if k <= 1 || Domain.DLS.get in_worker then
+    Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make n Pending in
+    let cursor = Atomic.make 0 in
+    let work () =
+      let rec go () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (results.(i) <-
+            (try Done (f items.(i))
+             with e -> Failed (e, Printexc.get_raw_backtrace ())));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned =
+      List.init (k - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker true;
+              work ()))
+    in
+    (* The calling domain participates too; it is marked as a worker for
+       the duration so jobs it runs inline keep nested maps serial. *)
+    Domain.DLS.set in_worker true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker false) work;
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+           | Pending -> assert false)
+         results)
+  end
+
+let both f g =
+  if jobs () <= 1 || Domain.DLS.get in_worker then
+    let a = f () in
+    let b = g () in
+    (a, b)
+  else begin
+    let d =
+      Domain.spawn (fun () ->
+          Domain.DLS.set in_worker true;
+          g ())
+    in
+    Domain.DLS.set in_worker true;
+    let a =
+      match Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker false) f with
+      | a -> Ok a
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    (* Join before re-raising so a failure on one side never leaks the
+       other side's domain. [Domain.join] re-raises [g]'s exception. *)
+    let b = Domain.join d in
+    match a with
+    | Ok a -> (a, b)
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+  end

@@ -1,0 +1,48 @@
+(** Work-stealing parallel execution of independent simulation jobs.
+
+    The paper's evaluation is a grid of independent randomized runs —
+    seeds × attack parameters × configurations — and every simulation
+    holds all of its mutable state (engine, RNG streams, metrics, trace
+    bus) inside its own {!Lockss.Population.t}. Jobs therefore share
+    nothing and can run on separate OCaml 5 domains.
+
+    Determinism contract: {!map} applies [f] to each element exactly
+    once, in any order and on any domain, and returns the results in
+    submission order. Because each job derives all of its randomness
+    from its own seed and touches no cross-job state, parallel output is
+    byte-identical to serial output for the same job list. A job's
+    exception is re-raised in the caller (lowest job index wins when
+    several jobs fail).
+
+    Nesting is safe and cheap: a {!map} issued from inside a worker runs
+    serially on that worker, so sweeps that parallelise over grid points
+    may call {!Scenario.run_all} (which itself maps over seeds) without
+    spawning domains recursively. *)
+
+(** [default_jobs ()] is the [LOCKSS_JOBS] environment variable when set
+    to a positive integer, otherwise [Domain.recommended_domain_count
+    ()]. *)
+val default_jobs : unit -> int
+
+(** [set_jobs n] overrides the process-wide worker count: [n >= 1] forces
+    exactly [n] workers ([1] = serial), [0] restores the
+    {!default_jobs} heuristic. Raises [Invalid_argument] on negative
+    [n]. This is a performance knob only — it never changes results. *)
+val set_jobs : int -> unit
+
+(** [jobs ()] is the worker count {!map} will use: the {!set_jobs}
+    override when non-zero, else {!default_jobs}. *)
+val jobs : unit -> int
+
+(** [map ?jobs f items] applies [f] to every element of [items] on up to
+    [jobs] domains (default {!val-jobs}[ ()], clamped to the job count)
+    and returns the results in input order. Work-stealing: idle workers
+    pull the next unclaimed index from a shared atomic cursor, so a
+    long-running job never blocks the rest of the grid behind it. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [both f g] runs the two thunks concurrently (on two domains when
+    {!val-jobs}[ () > 1] and not already inside a worker) and returns
+    both results — the paired faulted/fault-free runs of the chaos
+    harness, and any other two-sided comparison. *)
+val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b

@@ -131,32 +131,39 @@ let default_observe =
     sample_interval = Duration.of_days 7.;
   }
 
-let observability_setting : observe option ref = ref None
-let set_observability o = observability_setting := o
-let observability () = !observability_setting
+(* [suffix_path path tag] inserts [.tag] before the extension:
+   "out/m.csv" -> "out/m.seed3.csv". Observability output is per run —
+   every job owns its files exclusively, so parallel jobs never share an
+   output channel. *)
+let suffix_path path tag =
+  let ext = Filename.extension path in
+  let base = if ext = "" then path else Filename.remove_extension path in
+  Printf.sprintf "%s.%s%s" base tag ext
 
-let file_is_empty path =
-  (not (Sys.file_exists path))
-  ||
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  close_in ic;
-  len = 0
+let seeded_path path ~seed = suffix_path path (Printf.sprintf "seed%d" seed)
 
-let open_append path =
-  open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+(* [tag_observe tag obs] retargets both outputs so a second role in the
+   same experiment (the no-attack side of a paired comparison) cannot
+   collide with the first at equal seeds. *)
+let tag_observe tag obs =
+  {
+    obs with
+    trace_out = Option.map (fun p -> suffix_path p tag) obs.trace_out;
+    metrics_out = Option.map (fun p -> suffix_path p tag) obs.metrics_out;
+  }
 
-(* Subscribe the configured trace sink and metrics sampler to a freshly
-   built population; returns a cleanup closing whatever was opened. *)
-let subscribe_observers ~seed population =
-  match !observability_setting with
+(* Subscribe the requested trace sink and metrics sampler to a freshly
+   built population; returns a cleanup closing whatever was opened. Each
+   run writes (truncating) its own seed-suffixed files. *)
+let subscribe_observers ~observe ~seed population =
+  match observe with
   | None -> Fun.id
   | Some obs ->
     let cleanups = ref [] in
     (match obs.trace_out with
     | None -> ()
     | Some path ->
-      let oc = open_append path in
+      let oc = open_out (seeded_path path ~seed) in
       Lockss.Trace.subscribe
         (Lockss.Population.trace population)
         (Lockss.Trace.jsonl_sink ~min_severity:obs.trace_level oc);
@@ -164,12 +171,11 @@ let subscribe_observers ~seed population =
     (match obs.metrics_out with
     | None -> ()
     | Some path ->
-      let header = file_is_empty path in
-      let oc = open_append path in
+      let oc = open_out (seeded_path path ~seed) in
       let series =
         Obs.Series.create
           ~format:(Obs.Series.format_of_path path)
-          ~columns:Lockss.Sampler.columns ~header oc
+          ~columns:Lockss.Sampler.columns oc
       in
       let ctx = Lockss.Population.ctx population in
       let sampler =
@@ -192,9 +198,9 @@ let build ~cfg ~seed attack =
   ignore (attach population (Lockss.Population.extra_nodes population) attack);
   population
 
-let run_one ~cfg ~seed ~years attack =
+let run_one ?observe ~cfg ~seed ~years attack =
   let population = build ~cfg ~seed attack in
-  let cleanup = subscribe_observers ~seed population in
+  let cleanup = subscribe_observers ~observe ~seed population in
   Fun.protect ~finally:cleanup (fun () ->
       Lockss.Population.run population ~until:(Duration.of_years years);
       Lockss.Population.summary population)
@@ -206,10 +212,10 @@ type profile = {
   run_cpu_s : float;
 }
 
-let run_one_profiled ~cfg ~seed ~years attack =
+let run_one_profiled ?observe ~cfg ~seed ~years attack =
   let t0 = Sys.time () in
   let population = build ~cfg ~seed attack in
-  let cleanup = subscribe_observers ~seed population in
+  let cleanup = subscribe_observers ~observe ~seed population in
   Fun.protect ~finally:cleanup (fun () ->
       let t1 = Sys.time () in
       Lockss.Population.run population ~until:(Duration.of_years years);
@@ -232,9 +238,28 @@ let mean_summaries (summaries : Lockss.Metrics.summary list) =
       int_of_float
         (Float.round (List.fold_left (fun acc s -> acc +. float_of_int (f s)) 0. summaries /. n))
     in
+    let isum f = List.fold_left (fun acc s -> acc + f s) 0 summaries in
+    (* A run with zero reads has no empirical failure rate (NaN), and one
+       NaN would poison the cross-run mean: average over the runs that
+       read at all, NaN only when none did. *)
+    let read_failure =
+      let observed =
+        List.filter_map
+          (fun s ->
+            if s.Lockss.Metrics.reads > 0 then
+              Some s.Lockss.Metrics.empirical_read_failure
+            else None)
+          summaries
+      in
+      match observed with
+      | [] -> nan
+      | _ ->
+        List.fold_left ( +. ) 0. observed /. float_of_int (List.length observed)
+    in
     {
       first with
-      Lockss.Metrics.access_failure_probability =
+      Lockss.Metrics.horizon = favg (fun s -> s.Lockss.Metrics.horizon);
+      access_failure_probability =
         favg (fun s -> s.Lockss.Metrics.access_failure_probability);
       polls_succeeded = iavg (fun s -> s.Lockss.Metrics.polls_succeeded);
       polls_inquorate = iavg (fun s -> s.Lockss.Metrics.polls_inquorate);
@@ -247,17 +272,22 @@ let mean_summaries (summaries : Lockss.Metrics.summary list) =
       invitations_considered = iavg (fun s -> s.Lockss.Metrics.invitations_considered);
       invitations_dropped = iavg (fun s -> s.Lockss.Metrics.invitations_dropped);
       repairs = iavg (fun s -> s.Lockss.Metrics.repairs);
+      (* Anomaly counters are summed, not averaged: a single underflow in
+         any run must stay visible in the aggregate. *)
+      repair_underflows = isum (fun s -> s.Lockss.Metrics.repair_underflows);
       votes_supplied = iavg (fun s -> s.Lockss.Metrics.votes_supplied);
       reads = iavg (fun s -> s.Lockss.Metrics.reads);
       reads_failed = iavg (fun s -> s.Lockss.Metrics.reads_failed);
-      empirical_read_failure = favg (fun s -> s.Lockss.Metrics.empirical_read_failure);
+      empirical_read_failure = read_failure;
     }
 
-let run_all ~cfg scale attack =
-  List.init scale.runs (fun i ->
-      run_one ~cfg ~seed:(scale.seed + i) ~years:scale.years attack)
+let run_all ?observe ~cfg scale attack =
+  Runner.map
+    (fun i -> run_one ?observe ~cfg ~seed:(scale.seed + i) ~years:scale.years attack)
+    (List.init scale.runs Fun.id)
 
-let run_avg ~cfg scale attack = mean_summaries (run_all ~cfg scale attack)
+let run_avg ?observe ~cfg scale attack =
+  mean_summaries (run_all ?observe ~cfg scale attack)
 
 type spread = {
   mean : Lockss.Metrics.summary;
@@ -265,8 +295,8 @@ type spread = {
   afp_max : float;
 }
 
-let run_spread ~cfg scale attack =
-  let runs = run_all ~cfg scale attack in
+let run_spread ?observe ~cfg scale attack =
+  let runs = run_all ?observe ~cfg scale attack in
   let afps = List.map (fun s -> s.Lockss.Metrics.access_failure_probability) runs in
   {
     mean = mean_summaries runs;
@@ -300,7 +330,14 @@ let ratios ~baseline ~attack =
         attack.Lockss.Metrics.loyal_effort;
   }
 
-let compare_runs ~cfg scale attack =
-  let baseline = run_avg ~cfg scale No_attack in
-  let attack_summary = run_avg ~cfg scale attack in
+let compare_runs ?observe ~cfg scale attack =
+  (* Both sides reuse the same seeds, so the baseline's sinks are
+     retargeted to [.baseline]-suffixed paths. The two averaged sweeps
+     are independent; run them on separate domains when available. *)
+  let baseline_observe = Option.map (tag_observe "baseline") observe in
+  let baseline, attack_summary =
+    Runner.both
+      (fun () -> run_avg ?observe:baseline_observe ~cfg scale No_attack)
+      (fun () -> run_avg ?observe ~cfg scale attack)
+  in
   ratios ~baseline ~attack:attack_summary

@@ -54,18 +54,22 @@ type attack =
 
 (** {2 Observability}
 
-    Every scenario run — whether launched directly, by a figure sweep or
-    by the CLI — consults a process-wide observability setting, so
-    turning on tracing or time-series sampling requires no per-experiment
-    plumbing. *)
+    Observability is a per-run argument, threaded explicitly from the
+    caller down to each job: simulation runs execute on multiple domains
+    ({!Runner}), so there is no process-wide setting and no shared
+    output channel. Each run writes its own files, the configured paths
+    suffixed with the run's seed ([m.csv] becomes [m.seed3.csv]), so a
+    multi-run sweep yields one file per seed. *)
 
 type observe = {
   trace_out : string option;
-      (** append protocol events as JSONL ({!Lockss.Trace.to_json}) here *)
+      (** write protocol events as JSONL ({!Lockss.Trace.to_json}) to
+          this path, suffixed per run by seed *)
   trace_level : Lockss.Trace.severity;  (** minimum severity written *)
   metrics_out : string option;
-      (** append periodic metric samples here; [.jsonl]/[.json] selects
-          JSONL, anything else CSV (columns {!Lockss.Sampler.columns}) *)
+      (** write periodic metric samples to this path, suffixed per run
+          by seed; [.jsonl]/[.json] selects JSONL, anything else CSV
+          (columns {!Lockss.Sampler.columns}) *)
   sample_interval : float;  (** seconds of simulated time between samples *)
 }
 
@@ -73,24 +77,26 @@ type observe = {
     7-day sampling interval. *)
 val default_observe : observe
 
-(** [set_observability o] installs (or with [None] clears) the
-    process-wide setting consulted by {!run_one}. Output files are opened
-    in append mode per run, so multi-run sweeps accumulate into one file,
-    distinguished by the [seed] column. *)
-val set_observability : observe option -> unit
+(** [seeded_path path ~seed] is the per-run output path derived from a
+    configured [path]: [.seed<N>] inserted before the extension. *)
+val seeded_path : string -> seed:int -> string
 
-val observability : unit -> observe option
+(** [tag_observe tag obs] retargets both output paths with an extra
+    [.tag] suffix — used by paired comparisons whose two sides reuse the
+    same seeds ({!compare_runs} tags its no-attack side [baseline]). *)
+val tag_observe : string -> observe -> observe
 
 (** [build ~cfg ~seed attack] constructs the population with the attack
     attached but does not run it — for harnesses (like {!Chaos}) that
     need to subscribe observers or probe engine state mid-run. *)
 val build : cfg:Lockss.Config.t -> seed:int -> attack -> Lockss.Population.t
 
-(** [run_one ~cfg ~seed ~years attack] builds a population, attaches the
-    attack, runs the horizon and returns the finalised metrics. Honors
-    {!set_observability}. *)
-val run_one : cfg:Lockss.Config.t -> seed:int -> years:float -> attack ->
-  Lockss.Metrics.summary
+(** [run_one ?observe ~cfg ~seed ~years attack] builds a population,
+    attaches the attack, runs the horizon and returns the finalised
+    metrics, writing the run's trace/metrics files when [observe] is
+    given. *)
+val run_one : ?observe:observe -> cfg:Lockss.Config.t -> seed:int -> years:float ->
+  attack -> Lockss.Metrics.summary
 
 (** One scenario run with engine profiling attached: the summary plus the
     engine's event statistics and the CPU seconds spent building the
@@ -104,11 +110,28 @@ type profile = {
 }
 
 val run_one_profiled :
-  cfg:Lockss.Config.t -> seed:int -> years:float -> attack -> profile
+  ?observe:observe -> cfg:Lockss.Config.t -> seed:int -> years:float -> attack ->
+  profile
 
-(** [run_avg ~cfg scale attack] averages [scale.runs] runs over seeds
-    [scale.seed], [scale.seed+1], …. *)
-val run_avg : cfg:Lockss.Config.t -> scale -> attack -> Lockss.Metrics.summary
+(** [run_all ?observe ~cfg scale attack] runs seeds [scale.seed],
+    [scale.seed+1], … in parallel over {!Runner} workers and returns the
+    summaries in seed order — byte-identical to a serial loop. *)
+val run_all :
+  ?observe:observe -> cfg:Lockss.Config.t -> scale -> attack ->
+  Lockss.Metrics.summary list
+
+(** [run_avg ?observe ~cfg scale attack] is {!mean_summaries} of
+    {!run_all}: [scale.runs] runs averaged ({!run_all}'s parallelism
+    included). *)
+val run_avg :
+  ?observe:observe -> cfg:Lockss.Config.t -> scale -> attack ->
+  Lockss.Metrics.summary
+
+(** [mean_summaries summaries] averages metrics across runs. Counters
+    average (rounded); anomaly counters ([repair_underflows]) sum so a
+    single anomaly stays visible; [empirical_read_failure] averages over
+    the runs that performed reads (NaN only when none did). *)
+val mean_summaries : Lockss.Metrics.summary list -> Lockss.Metrics.summary
 
 type spread = {
   mean : Lockss.Metrics.summary;
@@ -116,9 +139,9 @@ type spread = {
   afp_max : float;  (** highest, matching the min/max bars of Figure 2 *)
 }
 
-(** [run_spread ~cfg scale attack] is {!run_avg} plus the across-run
-    extremes of the access-failure probability. *)
-val run_spread : cfg:Lockss.Config.t -> scale -> attack -> spread
+(** [run_spread ?observe ~cfg scale attack] is {!run_avg} plus the
+    across-run extremes of the access-failure probability. *)
+val run_spread : ?observe:observe -> cfg:Lockss.Config.t -> scale -> attack -> spread
 
 type comparison = {
   attack : Lockss.Metrics.summary;
@@ -133,6 +156,9 @@ type comparison = {
 val ratios : baseline:Lockss.Metrics.summary -> attack:Lockss.Metrics.summary ->
   comparison
 
-(** [compare_runs ~cfg scale attack] runs both sides and returns the
-    comparison. *)
-val compare_runs : cfg:Lockss.Config.t -> scale -> attack -> comparison
+(** [compare_runs ?observe ~cfg scale attack] runs both sides (on two
+    domains when available) and returns the comparison; the baseline
+    side's observability paths are tagged [baseline] because both sides
+    reuse the same seeds. *)
+val compare_runs :
+  ?observe:observe -> cfg:Lockss.Config.t -> scale -> attack -> comparison

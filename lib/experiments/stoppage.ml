@@ -16,25 +16,36 @@ let recuperation = Duration.of_days 30.
 let sweep ?(scale = Scenario.bench) ?(durations = default_durations)
     ?(coverages = default_coverages) () =
   let cfg = Scenario.config scale in
-  let baseline = Scenario.run_avg ~cfg scale Scenario.No_attack in
-  List.concat_map
-    (fun coverage ->
-      List.map
-        (fun duration ->
-          let attack =
-            Scenario.Pipe_stoppage { coverage; duration; recuperation }
-          in
-          let summary = Scenario.run_avg ~cfg scale attack in
-          let c = Scenario.ratios ~baseline ~attack:summary in
-          {
-            coverage;
-            duration;
-            access_failure = c.Scenario.access_failure;
-            delay_ratio = c.Scenario.delay_ratio;
-            friction = c.Scenario.friction;
-          })
-        durations)
-    coverages
+  let grid =
+    List.concat_map
+      (fun coverage -> List.map (fun duration -> (coverage, duration)) durations)
+      coverages
+  in
+  (* The baseline and every grid point are independent averaged runs: one
+     job each, fanned out over Runner workers, merged in grid order. *)
+  let summaries =
+    Runner.map
+      (fun attack -> Scenario.run_avg ~cfg scale attack)
+      (Scenario.No_attack
+      :: List.map
+           (fun (coverage, duration) ->
+             Scenario.Pipe_stoppage { coverage; duration; recuperation })
+           grid)
+  in
+  match summaries with
+  | [] -> assert false
+  | baseline :: attacked ->
+    List.map2
+      (fun (coverage, duration) summary ->
+        let c = Scenario.ratios ~baseline ~attack:summary in
+        {
+          coverage;
+          duration;
+          access_failure = c.Scenario.access_failure;
+          delay_ratio = c.Scenario.delay_ratio;
+          friction = c.Scenario.friction;
+        })
+      grid attacked
 
 let metric_table ~header value points =
   let table = Table.create [ "coverage"; "attack duration"; header ] in

@@ -30,14 +30,16 @@ let run_one ~cfg ~seed ~years ~fraction ~strategy =
 
 let sweep ?(scale = Scenario.bench) ?(fractions = default_fractions) () =
   let cfg = Scenario.config scale in
-  List.concat_map
-    (fun strategy ->
-      List.map
-        (fun fraction ->
-          run_one ~cfg ~seed:scale.Scenario.seed ~years:scale.Scenario.years ~fraction
-            ~strategy)
-        fractions)
-    [ Adversary.Subversion.Aggressive; Adversary.Subversion.Patient ]
+  let grid =
+    List.concat_map
+      (fun strategy -> List.map (fun fraction -> (strategy, fraction)) fractions)
+      [ Adversary.Subversion.Aggressive; Adversary.Subversion.Patient ]
+  in
+  Runner.map
+    (fun (strategy, fraction) ->
+      run_one ~cfg ~seed:scale.Scenario.seed ~years:scale.Scenario.years ~fraction
+        ~strategy)
+    grid
 
 let to_table rows =
   let table =

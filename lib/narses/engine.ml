@@ -78,24 +78,24 @@ let limit_exceeded t budget =
 
 let run_until ?max_events t ~limit =
   let start = t.executed in
-  (* The budget counts live executions only; popping cancelled events is
-     free, so a run that ends in a burst of cancellations cannot trip it. *)
-  let over () =
-    match max_events with
-    | None -> false
-    | Some budget ->
-      if t.executed - start >= budget && t.live_count > 0 then
-        limit_exceeded t budget;
-      false
-  in
+  (* The budget counts live executions only. Cancelled heads are drained
+     for free *before* the budget check, so an exactly-exhausted budget
+     whose remaining in-horizon events are all dead finishes normally
+     instead of tripping — the check fires only when a live event within
+     [limit] is actually about to run. *)
   let rec loop () =
     match Repro_prelude.Heap.peek t.queue with
     | None -> ()
+    | Some ev when not ev.live ->
+      ignore (Repro_prelude.Heap.pop t.queue);
+      loop ()
     | Some ev when ev.time > limit ->
       (* Leave future events queued; just advance the clock. *)
       ()
     | Some _ ->
-      ignore (over ());
+      (match max_events with
+      | Some budget when t.executed - start >= budget -> limit_exceeded t budget
+      | Some _ | None -> ());
       ignore (step t);
       loop ()
   in

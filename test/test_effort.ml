@@ -156,6 +156,31 @@ let test_sha1_peek_is_pure () =
     "a9993e364706816aba3e25717850c26c9cd0d89d"
     (Sha1.to_hex (Sha1.peek ctx'))
 
+let test_sha1_chunked_feed_boundaries () =
+  (* Regression: feed used to re-buffer the whole pending prefix on each
+     call (quadratic in chunk count) and the rewrite compresses full
+     blocks straight from the input, so every path through the 64-byte
+     block boundary — sub-block, one-less, exact, one-more — must match
+     the one-shot digest. *)
+  let message =
+    String.init 1000 (fun i -> Char.chr (((i * 37) + (i / 7)) land 0xff))
+  in
+  let whole = sha1_hex message in
+  List.iter
+    (fun chunk ->
+      let ctx = ref (Sha1.init ()) in
+      let pos = ref 0 in
+      while !pos < String.length message do
+        let len = min chunk (String.length message - !pos) in
+        ctx := Sha1.feed !ctx (String.sub message !pos len);
+        pos := !pos + len
+      done;
+      Alcotest.(check string)
+        (Printf.sprintf "%d-byte chunks = oneshot" chunk)
+        whole
+        (Sha1.to_hex (Sha1.peek !ctx)))
+    [ 1; 63; 64; 65; 128; 1000 ]
+
 let prop_sha1_injective_in_practice =
   QCheck2.Test.make ~name:"distinct short strings hash distinctly" ~count:200
     QCheck2.Gen.(pair string_small string_small)
@@ -280,6 +305,7 @@ let () =
           quick "rfc vectors" test_sha1_rfc_vectors;
           Alcotest.test_case "million a" `Slow test_sha1_million_a;
           quick "streaming" test_sha1_streaming_matches_oneshot;
+          quick "chunk boundaries" test_sha1_chunked_feed_boundaries;
           quick "peek pure" test_sha1_peek_is_pure;
           QCheck_alcotest.to_alcotest prop_sha1_injective_in_practice;
         ] );

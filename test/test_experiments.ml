@@ -48,6 +48,65 @@ let test_run_avg_averages () =
   in
   Alcotest.(check (float 1e-6)) "averaged effort" expected avg.Lockss.Metrics.loyal_effort
 
+(* A synthetic summary for aggregation tests; fields that mean_summaries
+   touches are parameterised, the rest hold arbitrary benign values. *)
+let summary_stub ~horizon ~underflows ~reads ~reads_failed =
+  {
+    Lockss.Metrics.horizon;
+    replicas = 10;
+    access_failure_probability = 1e-4;
+    polls_succeeded = 100;
+    polls_inquorate = 2;
+    polls_alarmed = 0;
+    mean_success_gap = Duration.of_days 30.;
+    loyal_effort = 1e6;
+    adversary_effort = 0.;
+    effort_per_successful_poll = 1e4;
+    invitations_considered = 50;
+    invitations_dropped = 5;
+    repairs = 3;
+    repair_underflows = underflows;
+    votes_supplied = 400;
+    reads;
+    reads_failed;
+    empirical_read_failure =
+      (if reads > 0 then float_of_int reads_failed /. float_of_int reads else nan);
+  }
+
+let test_mean_summaries_aggregation () =
+  (* Underflow counters must be summed (one anomaly in any run stays
+     visible), the horizon averaged, and the empirical read-failure rate
+     averaged only over the runs that read at all. *)
+  let s1 =
+    summary_stub ~horizon:(Duration.of_years 1.) ~underflows:2 ~reads:100
+      ~reads_failed:10
+  in
+  let s2 =
+    summary_stub ~horizon:(Duration.of_years 3.) ~underflows:0 ~reads:0
+      ~reads_failed:0
+  in
+  let s3 =
+    summary_stub ~horizon:(Duration.of_years 2.) ~underflows:1 ~reads:100
+      ~reads_failed:30
+  in
+  let m = Scenario.mean_summaries [ s1; s2; s3 ] in
+  Alcotest.(check int) "underflows summed" 3 m.Lockss.Metrics.repair_underflows;
+  Alcotest.(check (float 1e-6)) "horizon averaged" (Duration.of_years 2.)
+    m.Lockss.Metrics.horizon;
+  (* s2 read nothing: its NaN must not poison the mean. (0.10 + 0.30) / 2. *)
+  Alcotest.(check (float 1e-9)) "read failure over reading runs" 0.2
+    m.Lockss.Metrics.empirical_read_failure;
+  (* All runs read-free: NaN is the honest answer. *)
+  let none =
+    Scenario.mean_summaries
+      [
+        summary_stub ~horizon:1. ~underflows:0 ~reads:0 ~reads_failed:0;
+        summary_stub ~horizon:1. ~underflows:0 ~reads:0 ~reads_failed:0;
+      ]
+  in
+  Alcotest.(check bool) "NaN when no run read" true
+    (Float.is_nan none.Lockss.Metrics.empirical_read_failure)
+
 let test_ratios_baseline_is_one () =
   let cfg = Scenario.config micro in
   let s = Scenario.run_one ~cfg ~seed:3 ~years:1. Scenario.No_attack in
@@ -189,6 +248,7 @@ let () =
           quick "config of scale" test_config_of_scale;
           quick "deterministic" test_run_one_deterministic;
           quick "averaging" test_run_avg_averages;
+          quick "aggregation" test_mean_summaries_aggregation;
           quick "identity ratios" test_ratios_baseline_is_one;
           slow "infinite ratios" test_ratios_infinite_when_no_successes;
         ] );

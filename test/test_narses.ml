@@ -87,6 +87,27 @@ let test_engine_run_until_limit () =
   Alcotest.(check (list (float 1e-9))) "late event fires later" [ 1.; 2.; 10. ]
     (List.rev !fired)
 
+let test_engine_budget_ignores_cancelled () =
+  (* Regression: run_until used to charge its event budget before
+     draining cancelled entries at the heap head, so a burst of
+     cancellations could raise Event_limit_exceeded even though no live
+     event beyond the budget would ever execute. *)
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule engine ~at:1. (fun () -> incr fired));
+  (* Cancelled debris sitting at the heap head within the time limit... *)
+  List.iter
+    (fun at ->
+      let id = Engine.schedule engine ~at ignore in
+      Engine.cancel engine id)
+    [ 2.; 3.; 4. ];
+  (* ...and a live event beyond the limit that must stay pending. *)
+  ignore (Engine.schedule engine ~at:100. ignore);
+  (* Budget 1 covers exactly the one live event inside the limit. *)
+  Engine.run_until ~max_events:1 engine ~limit:10.;
+  Alcotest.(check int) "live event executed" 1 !fired;
+  Alcotest.(check int) "late event untouched" 1 (Engine.pending engine)
+
 let prop_engine_never_runs_backwards =
   QCheck2.Test.make ~name:"events never run out of time order" ~count:100
     QCheck2.Gen.(list_size (int_range 1 100) (float_range 0. 1000.))
@@ -276,6 +297,7 @@ let () =
           quick "cancel twice" test_engine_cancel_twice_harmless;
           quick "events schedule events" test_engine_events_scheduling_events;
           quick "run_until" test_engine_run_until_limit;
+          quick "budget ignores cancelled" test_engine_budget_ignores_cancelled;
           QCheck_alcotest.to_alcotest prop_engine_never_runs_backwards;
         ] );
       ( "topology",

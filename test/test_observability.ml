@@ -375,11 +375,14 @@ let test_duration_of_string () =
 let test_scenario_observability_end_to_end () =
   let trace_path = Filename.temp_file "obs_trace" ".jsonl" in
   let metrics_path = Filename.temp_file "obs_metrics" ".csv" in
+  let seeds = [ 5; 6 ] in
+  let seeded path seed = Experiments.Scenario.seeded_path path ~seed in
+  let per_seed path = List.map (fun seed -> seeded path seed) seeds in
   Fun.protect
     ~finally:(fun () ->
-      Experiments.Scenario.set_observability None;
-      Sys.remove trace_path;
-      Sys.remove metrics_path)
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        ((trace_path :: metrics_path :: per_seed trace_path) @ per_seed metrics_path))
     (fun () ->
       let scale =
         {
@@ -395,41 +398,50 @@ let test_scenario_observability_end_to_end () =
         }
       in
       let cfg = Experiments.Scenario.config scale in
-      Experiments.Scenario.set_observability
-        (Some
-           {
-             Experiments.Scenario.default_observe with
-             Experiments.Scenario.trace_out = Some trace_path;
-             metrics_out = Some metrics_path;
-             sample_interval = Duration.of_days 7.;
-           });
-      (* Two runs, both appending, exercising the multi-run path. *)
+      let observe =
+        {
+          Experiments.Scenario.default_observe with
+          Experiments.Scenario.trace_out = Some trace_path;
+          metrics_out = Some metrics_path;
+          sample_interval = Duration.of_days 7.;
+        }
+      in
+      (* Two runs; each writes its own seed-suffixed trace and metrics file. *)
       ignore
-        (Experiments.Scenario.run_avg ~cfg scale Experiments.Scenario.No_attack);
-      Experiments.Scenario.set_observability None;
-      (* Trace file: every line parses back to a typed event. *)
-      let trace_lines = read_lines trace_path in
-      Alcotest.(check bool) "trace nonempty" true (List.length trace_lines > 10);
+        (Experiments.Scenario.run_avg ~observe ~cfg scale
+           Experiments.Scenario.No_attack);
       List.iter
-        (fun line ->
-          match
-            Result.bind (Json.of_string line) (fun json -> Trace.of_json json)
-          with
-          | Ok _ -> ()
-          | Error msg -> Alcotest.failf "trace line %S: %s" line msg)
-        trace_lines;
-      (* Metrics file: one header plus 13 weekly samples per run. *)
-      match read_lines metrics_path with
-      | [] -> Alcotest.fail "empty metrics file"
-      | header :: rows ->
-        Alcotest.(check string) "header" (String.concat "," Sampler.columns) header;
-        (* 0.25 y = 91.25 days -> 13 full 7-day intervals per run. *)
-        Alcotest.(check int) "rows" 26 (List.length rows);
-        let seeds =
-          List.sort_uniq compare
-            (List.map (fun row -> List.hd (String.split_on_char ',' row)) rows)
-        in
-        Alcotest.(check (list string)) "both runs present" [ "5"; "6" ] seeds)
+        (fun seed ->
+          (* Trace file: every line parses back to a typed event. *)
+          let trace_lines = read_lines (seeded trace_path seed) in
+          Alcotest.(check bool)
+            (Printf.sprintf "trace nonempty (seed %d)" seed)
+            true
+            (List.length trace_lines > 10);
+          List.iter
+            (fun line ->
+              match
+                Result.bind (Json.of_string line) (fun json -> Trace.of_json json)
+              with
+              | Ok _ -> ()
+              | Error msg -> Alcotest.failf "trace line %S: %s" line msg)
+            trace_lines;
+          (* Metrics file: one header plus 13 weekly samples for this run. *)
+          match read_lines (seeded metrics_path seed) with
+          | [] -> Alcotest.failf "empty metrics file (seed %d)" seed
+          | header :: rows ->
+            Alcotest.(check string) "header" (String.concat "," Sampler.columns) header;
+            (* 0.25 y = 91.25 days -> 13 full 7-day intervals. *)
+            Alcotest.(check int) (Printf.sprintf "rows (seed %d)" seed) 13
+              (List.length rows);
+            let row_seeds =
+              List.sort_uniq compare
+                (List.map (fun row -> List.hd (String.split_on_char ',' row)) rows)
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "seed column (seed %d)" seed)
+              [ string_of_int seed ] row_seeds)
+        seeds)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in

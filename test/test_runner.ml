@@ -1,0 +1,205 @@
+(* Tests for Experiments.Runner: the work-stealing parallel map must be
+   a drop-in replacement for serial iteration — same results, same
+   order, same bytes in every rendered table — and actually faster when
+   more than one core is available. *)
+
+module Duration = Repro_prelude.Duration
+open Experiments
+
+(* A very small, fast scale with enough runs/grid points to exercise the
+   cursor with more jobs than workers. *)
+let micro =
+  {
+    Scenario.peers = 12;
+    aus = 1;
+    quorum = 3;
+    max_disagree = 1;
+    outer_circle = 3;
+    reference_target = 6;
+    years = 0.5;
+    runs = 2;
+    seed = 11;
+  }
+
+(* Run [f] with a forced worker count, restoring the auto heuristic
+   afterwards even on failure. *)
+let with_jobs n f =
+  Runner.set_jobs n;
+  Fun.protect ~finally:(fun () -> Runner.set_jobs 0) f
+
+(* -- Map semantics ----------------------------------------------------- *)
+
+let test_map_preserves_order () =
+  let items = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "squares in order (%d jobs)" jobs)
+        (List.map (fun x -> x * x) items)
+        (Runner.map ~jobs (fun x -> x * x) items))
+    [ 1; 2; 4; 7 ]
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Runner.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Runner.map ~jobs:4 succ [ 1 ])
+
+exception Boom of int
+
+let test_map_reraises_lowest_index () =
+  List.iter
+    (fun jobs ->
+      match
+        Runner.map ~jobs (fun x -> if x >= 3 then raise (Boom x) else x)
+          [ 0; 1; 2; 3; 4; 5 ]
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+        Alcotest.(check int)
+          (Printf.sprintf "lowest failing index wins (%d jobs)" jobs)
+          3 x)
+    [ 1; 4 ]
+
+let test_map_nested_runs_serially () =
+  (* A map inside a worker must not spawn further domains — it runs
+     inline, so the nested call still returns correct, ordered results. *)
+  let result =
+    Runner.map ~jobs:4
+      (fun outer -> Runner.map ~jobs:4 (fun inner -> (outer * 10) + inner) [ 0; 1; 2 ])
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested results intact"
+    [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] ]
+    result
+
+let test_both_pairs_results () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let a, b = Runner.both (fun () -> 6 * 7) (fun () -> "ok") in
+          Alcotest.(check int) "left" 42 a;
+          Alcotest.(check string) "right" "ok" b))
+    [ 1; 2 ];
+  match Runner.both (fun () -> raise (Boom 1)) (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 1 -> ()
+
+let test_set_jobs_validation () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Runner.set_jobs: negative job count") (fun () ->
+      Runner.set_jobs (-1));
+  with_jobs 3 (fun () -> Alcotest.(check int) "override visible" 3 (Runner.jobs ()));
+  Alcotest.(check bool) "heuristic restored" true (Runner.jobs () >= 1)
+
+(* -- Determinism: parallel output is byte-identical to serial --------- *)
+
+let render_stoppage_tables () =
+  let points =
+    Stoppage.sweep ~scale:micro
+      ~durations:[ Duration.of_days 30.; Duration.of_days 90. ]
+      ~coverages:[ 0.3; 1.0 ] ()
+  in
+  String.concat "\n"
+    (List.map Repro_prelude.Table.render
+       [
+         Stoppage.fig3_table points;
+         Stoppage.fig4_table points;
+         Stoppage.fig5_table points;
+       ])
+
+let test_stoppage_sweep_byte_identical () =
+  let serial = with_jobs 1 render_stoppage_tables in
+  List.iter
+    (fun jobs ->
+      let parallel = with_jobs jobs render_stoppage_tables in
+      Alcotest.(check string)
+        (Printf.sprintf "fig3-5 tables identical (%d jobs)" jobs)
+        serial parallel)
+    [ 2; 4 ]
+
+let test_chaos_paired_run_byte_identical () =
+  let report () =
+    Format.asprintf "%a" Chaos.pp_report (Chaos.run ~scale:micro Chaos.default_mix)
+  in
+  let serial = with_jobs 1 report in
+  let parallel = with_jobs 2 report in
+  Alcotest.(check string) "chaos report identical" serial parallel
+
+let test_run_all_and_spread_identical () =
+  let cfg = Scenario.config micro in
+  let scale = { micro with Scenario.runs = 3 } in
+  let all () = Scenario.run_all ~cfg scale Scenario.No_attack in
+  let serial = with_jobs 1 all in
+  let parallel = with_jobs 3 all in
+  Alcotest.(check int) "same run count" (List.length serial) (List.length parallel);
+  List.iteri
+    (fun i (s, p) ->
+      Alcotest.(check int)
+        (Printf.sprintf "run %d polls" i)
+        s.Lockss.Metrics.polls_succeeded p.Lockss.Metrics.polls_succeeded;
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "run %d effort" i)
+        s.Lockss.Metrics.loyal_effort p.Lockss.Metrics.loyal_effort;
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "run %d afp" i)
+        s.Lockss.Metrics.access_failure_probability
+        p.Lockss.Metrics.access_failure_probability)
+    (List.combine serial parallel);
+  let spread () = Scenario.run_spread ~cfg scale Scenario.No_attack in
+  let s = with_jobs 1 spread in
+  let p = with_jobs 3 spread in
+  Alcotest.(check (float 0.)) "spread min" s.Scenario.afp_min p.Scenario.afp_min;
+  Alcotest.(check (float 0.)) "spread max" s.Scenario.afp_max p.Scenario.afp_max;
+  Alcotest.(check (float 0.)) "spread mean effort" s.Scenario.mean.Lockss.Metrics.loyal_effort
+    p.Scenario.mean.Lockss.Metrics.loyal_effort
+
+(* -- Wall-clock: parallel beats serial when cores allow ---------------- *)
+
+let test_parallel_faster_on_multicore () =
+  if Domain.recommended_domain_count () < 2 then
+    (* One visible core (CI containers): the speedup claim is vacuous
+       here; determinism is covered above either way. *)
+    ()
+  else begin
+    let work () =
+      ignore
+        (Runner.map
+           (fun seed ->
+             let cfg = Scenario.config micro in
+             Scenario.run_one ~cfg ~seed ~years:1. Scenario.No_attack)
+           (List.init 4 (fun i -> micro.Scenario.seed + i)))
+    in
+    let wall f =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let serial = wall (fun () -> with_jobs 1 work) in
+    let parallel = wall (fun () -> with_jobs 2 work) in
+    Alcotest.(check bool)
+      (Printf.sprintf "parallel (%.2fs) < serial (%.2fs)" parallel serial)
+      true (parallel < serial)
+  end
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "runner"
+    [
+      ( "map",
+        [
+          quick "order preserved" test_map_preserves_order;
+          quick "empty and singleton" test_map_empty_and_singleton;
+          quick "exception propagation" test_map_reraises_lowest_index;
+          quick "nested maps serial" test_map_nested_runs_serially;
+          quick "both" test_both_pairs_results;
+          quick "set_jobs validation" test_set_jobs_validation;
+        ] );
+      ( "determinism",
+        [
+          slow "stoppage sweep byte-identical" test_stoppage_sweep_byte_identical;
+          slow "chaos paired run byte-identical" test_chaos_paired_run_byte_identical;
+          slow "run_all and run_spread identical" test_run_all_and_spread_identical;
+        ] );
+      ("wall-clock", [ slow "parallel faster on multicore" test_parallel_faster_on_multicore ]);
+    ]
