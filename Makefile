@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke chaos-smoke runner-smoke bench bench-parallel profile clean
+.PHONY: all build test check smoke trace-report-smoke chaos-smoke runner-smoke bench bench-parallel bench-obs profile clean
 
 all: build
 
@@ -23,6 +23,21 @@ smoke: build
 	@test "$$(wc -l < /tmp/m.seed1.csv)" -gt 1 || \
 	  { echo "smoke: /tmp/m.seed1.csv has no sample rows" >&2; exit 1; }
 	@echo "smoke: OK"
+
+# Offline-analyzer smoke: a short fault-free baseline traced at debug
+# level must reconstruct into spans and a ledger with zero anomalies
+# (trace-report exits non-zero on any anomaly).
+trace-report-smoke: build
+	rm -f /tmp/tr-smoke.seed1.jsonl /tmp/tr-smoke-spans.seed1.jsonl /tmp/tr-smoke-ledger.seed1.json
+	dune exec bin/lockss_sim.exe -- run --years 0.2 \
+	  --trace-out /tmp/tr-smoke.jsonl --trace-level debug \
+	  --spans-out /tmp/tr-smoke-spans.jsonl --ledger-out /tmp/tr-smoke-ledger.json
+	dune exec bin/lockss_sim.exe -- trace-report /tmp/tr-smoke.seed1.jsonl
+	@grep -q '"ok": *true' /tmp/tr-smoke-ledger.seed1.json || \
+	  { echo "trace-report-smoke: ledger did not reconcile with metrics" >&2; exit 1; }
+	@test -s /tmp/tr-smoke-spans.seed1.jsonl || \
+	  { echo "trace-report-smoke: no spans written" >&2; exit 1; }
+	@echo "trace-report-smoke: OK"
 
 # Fault-injection smoke: a small deployment under the acceptance fault
 # mix; the chaos command exits non-zero if any invariant fails.
@@ -49,6 +64,11 @@ bench:
 # Serial vs parallel wall-clock for the heavier sweeps, recorded as JSON.
 bench-parallel: build
 	dune exec bench/main.exe -- parallel --json BENCH_parallel.json
+
+# Observability overhead: tracing disabled vs live span+ledger builders
+# vs full file sinks, recorded as JSON.
+bench-obs: build
+	dune exec bench/main.exe -- obs --json BENCH_obs.json
 
 profile:
 	dune exec bench/main.exe -- profile

@@ -357,6 +357,97 @@ let run_parallel () =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* -- Observability overhead --------------------------------------------- *)
+
+(* The trace bus is pay-for-what-you-watch: emission takes a thunk and
+   does nothing without subscribers. This target quantifies "nothing",
+   the live span+ledger builders, and the full file sinks. *)
+let run_obs () =
+  section "Observability overhead (trace bus, span+ledger builders, file sinks)";
+  note "Same quarter-year micro simulation per variant; overhead is the";
+  note "wall-clock ratio against the no-subscribers run.";
+  let cfg = Scenario.config micro_scale in
+  let years = micro_scale.Scenario.years in
+  let repeats = 5 in
+  let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name in
+  let cleanup paths =
+    List.iter
+      (fun p ->
+        let seeded = Scenario.seeded_path p ~seed:micro_scale.Scenario.seed in
+        if Sys.file_exists seeded then Sys.remove seeded)
+      paths
+  in
+  let live_paths = [ tmp "bench_obs_spans.jsonl"; tmp "bench_obs_ledger.json" ] in
+  let full_paths = tmp "bench_obs_trace.jsonl" :: live_paths in
+  let variants =
+    [
+      ("tracing disabled", None, []);
+      ( "live span+ledger",
+        Some
+          {
+            Scenario.default_observe with
+            Scenario.spans_out = Some (List.nth live_paths 0);
+            ledger_out = Some (List.nth live_paths 1);
+          },
+        live_paths );
+      ( "full file sinks",
+        Some
+          {
+            Scenario.default_observe with
+            Scenario.trace_out = Some (tmp "bench_obs_trace.jsonl");
+            trace_level = Lockss.Trace.Debug;
+            spans_out = Some (List.nth live_paths 0);
+            ledger_out = Some (List.nth live_paths 1);
+          },
+        full_paths );
+    ]
+  in
+  let table = Table.create [ "variant"; "mean wall (s)"; "overhead" ] in
+  let measured =
+    List.map
+      (fun (name, observe, paths) ->
+        let total = ref 0. in
+        for _ = 1 to repeats do
+          total :=
+            !total
+            +. wall (fun () ->
+                   ignore
+                     (Scenario.run_one ?observe ~cfg ~seed:micro_scale.Scenario.seed
+                        ~years Scenario.No_attack))
+        done;
+        cleanup paths;
+        (name, !total /. float_of_int repeats))
+      variants
+  in
+  let baseline = match measured with (_, s) :: _ -> s | [] -> nan in
+  let entries =
+    List.map
+      (fun (name, mean_s) ->
+        let overhead = if baseline > 0. then mean_s /. baseline else nan in
+        Table.add_row table
+          [ name; Printf.sprintf "%.3f" mean_s; Printf.sprintf "%.2fx" overhead ];
+        Obs.Json.Assoc
+          [
+            ("variant", Obs.Json.String name);
+            ("mean_s", Obs.Json.Float mean_s);
+            ("overhead", Obs.Json.Float overhead);
+          ])
+      measured
+  in
+  Table.print table;
+  match !json_out with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Obs.Json.Assoc
+        [ ("repeats", Obs.Json.Int repeats); ("variants", Obs.Json.List entries) ]
+    in
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 (* -- Driver ------------------------------------------------------------ *)
 
 let targets =
@@ -375,6 +466,7 @@ let targets =
     ("extensions", run_extensions);
     ("profile", run_profile);
     ("parallel", run_parallel);
+    ("obs", run_obs);
     ("micro", run_micro);
   ]
 

@@ -183,9 +183,28 @@ let sample_interval =
           "Simulated time between metric samples, e.g. $(b,7d), $(b,12h), $(b,1mo) \
            (default 7d).")
 
+let spans_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans-out" ] ~docv:"FILE"
+        ~doc:
+          "Write reconstructed poll spans to $(docv) as JSONL, one object per poll: \
+           phase timestamps, vote/repair counts, correlated effort and outcome.")
+
+let ledger_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-peer provable-effort ledger (spent and received per protocol \
+           phase) plus its reconciliation against the run's metrics to $(docv) as JSON.")
+
 let observe_term =
-  let make trace_out trace_level metrics_out sample_interval =
-    if trace_out = None && metrics_out = None then None
+  let make trace_out trace_level metrics_out sample_interval spans_out ledger_out =
+    if trace_out = None && metrics_out = None && spans_out = None && ledger_out = None
+    then None
     else
       Some
         {
@@ -193,9 +212,13 @@ let observe_term =
           trace_level;
           metrics_out;
           sample_interval;
+          spans_out;
+          ledger_out;
         }
   in
-  Term.(const make $ trace_out $ trace_level $ metrics_out $ sample_interval)
+  Term.(
+    const make $ trace_out $ trace_level $ metrics_out $ sample_interval $ spans_out
+    $ ledger_out)
 
 let scale_of ~peers ~aus ~quorum ~years ~runs ~seed =
   let quorum = max 2 quorum in
@@ -461,15 +484,47 @@ let check_trace_cmd =
            | Ok json ->
              (match Lockss.Trace.of_json json with
              | Error msg -> fail ("not a trace event: " ^ msg)
-             | Ok (_, event) ->
+             | Ok (time, event) ->
                incr events;
                let kind = Lockss.Trace.kind event in
+               (* The typed event must survive re-serialization: compare
+                  events, not JSON values, because the float writer may
+                  legitimately narrow 4320.0 to the literal 4320. *)
+               (match
+                  Obs.Json.of_string
+                    (Obs.Json.to_string (Lockss.Trace.to_json ~time event))
+                with
+               | Error msg -> fail ("re-serialized event does not parse: " ^ msg)
+               | Ok json' -> (
+                 match Lockss.Trace.of_json json' with
+                 | Error msg -> fail ("re-serialized event does not round-trip: " ^ msg)
+                 | Ok (time', event') ->
+                   if not (Float.equal time' time && event' = event) then
+                     fail ("event changed across JSON round-trip: " ^ kind)));
+               (* Poll-scoped events must carry the full correlation key
+                  so the span builder and ledger can attribute them. *)
+               let require_int name =
+                 match Option.bind (Obs.Json.member name json) Obs.Json.to_int with
+                 | Some _ -> ()
+                 | None ->
+                   fail (Printf.sprintf "missing correlation field %S on %s" name kind)
+               in
+               (match kind with
+               | "poll_started" | "solicitation_sent" | "invitation_refused"
+               | "invitation_accepted" | "vote_sent" | "evaluation_started"
+               | "repair_applied" | "poll_concluded" ->
+                 List.iter require_int [ "poller"; "au"; "poll_id" ]
+               | "invitation_dropped" ->
+                 List.iter require_int [ "voter"; "claimed"; "au"; "poll_id" ]
+               | "effort_received" ->
+                 List.iter require_int [ "peer"; "from"; "au"; "poll_id" ]
+               | _ -> ());
                Hashtbl.replace by_kind kind
                  (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind kind)))
          end
        done
      with End_of_file -> close_in ic);
-    Printf.printf "%s: %d events, all parse\n" path !events;
+    Printf.printf "%s: %d events, all parse and round-trip\n" path !events;
     Hashtbl.fold (fun kind count acc -> (kind, count) :: acc) by_kind []
     |> List.sort compare
     |> List.iter (fun (kind, count) -> Printf.printf "  %-20s %d\n" kind count)
@@ -478,8 +533,46 @@ let check_trace_cmd =
     (Cmd.info "check-trace"
        ~doc:
          "Validate a --trace-out JSONL file: every line must parse back into a typed \
-          event. Prints event counts by kind. Exit status 1 on the first bad line.")
+          event, survive a re-serialization round-trip, and carry the full \
+          (poller, au, poll_id) correlation key when poll-scoped. Prints event counts \
+          by kind. Exit status 1 on the first bad line.")
     Term.(const action $ file)
+
+(* -- trace-report command ----------------------------------------------- *)
+
+let trace_report_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace file written with --trace-out.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as one JSON object instead of human-readable text.")
+  in
+  let action path as_json =
+    let analyzer = Obs.Analyze.create () in
+    (try Obs.Analyze.read_file analyzer path
+     with Sys_error msg ->
+       Printf.eprintf "cannot open %s: %s\n" path msg;
+       exit 2);
+    if as_json then print_endline (Obs.Json.to_string (Obs.Analyze.report_json analyzer))
+    else Format.printf "%a@." Obs.Analyze.pp_report analyzer;
+    if Obs.Analyze.anomaly_count analyzer > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Analyze a --trace-out JSONL file offline: reconstruct poll spans, per-phase \
+          latency distributions and the per-peer effort ledger, and list anomalies \
+          (orphaned events, abandoned polls, duplicate conclusions, poller activity \
+          after conclusion, malformed lines). Exit status 1 when any anomaly is found \
+          — a fault-free baseline trace reports none. Effort tables need a trace \
+          written at --trace-level debug.")
+    Term.(const action $ file $ json_flag)
 
 (* -- subversion command ------------------------------------------------ *)
 
@@ -567,4 +660,5 @@ let () =
             reciprocity_cmd;
             extensions_cmd;
             check_trace_cmd;
+            trace_report_cmd;
           ]))

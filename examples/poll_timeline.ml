@@ -32,6 +32,9 @@ let involves_watched event =
   | Trace.Invitation_refused { poller; _ } | Trace.Invitation_accepted { poller; _ } ->
     poller = watched_peer
   | Trace.Vote_sent { poller; _ } -> poller = watched_peer
+  | Trace.Effort_charged _ | Trace.Effort_received _ ->
+    (* Effort accounting is too chatty for a timeline. *)
+    false
   | Trace.Fault_dropped _ | Trace.Fault_duplicated _ | Trace.Fault_delayed _
   | Trace.Node_crashed _ | Trace.Node_restarted _ ->
     false

@@ -34,7 +34,11 @@ type t = {
 
 let ctx t = Lockss.Population.ctx t.population
 let cfg t = (ctx t).Lockss.Peer.cfg
-let charge t work = Lockss.Metrics.charge_adversary (ctx t).Lockss.Peer.metrics work
+(* All adversary work is booked through [Peer.charge_adversary] so the
+   trace-derived effort ledger attributes it to the spending identity and
+   the poll it targets. *)
+let charge t ~who ~phase ?poller ?au ?poll_id work =
+  Lockss.Peer.charge_adversary (ctx t) ~who ~phase ?poller ?au ?poll_id work
 
 let next_identity t =
   let id = t.identities.(t.next_identity_index mod Array.length t.identities) in
@@ -74,14 +78,18 @@ let rec lane t ~victim ~au () =
     let intro_cost = Lockss.Config.intro_effort cfg in
     (* If the defenders ablated effort balancing away, nobody verifies
        proofs — the adversary ships free forgeries instead of paying. *)
+    let charge_solicitation work =
+      charge t ~who:identity ~phase:Lockss.Trace.Solicitation ~poller:identity ~au
+        ~poll_id work
+    in
     let intro =
       if cfg.Lockss.Config.effort_balancing_enabled then begin
-        charge t intro_cost;
+        charge_solicitation intro_cost;
         Proof.generate ~rng:t.rng ~cost:intro_cost
       end
       else Proof.forged ~claimed_cost:intro_cost
     in
-    charge t cfg.Lockss.Config.cost.Effort.Cost_model.session_setup_seconds;
+    charge_solicitation cfg.Lockss.Config.cost.Effort.Cost_model.session_setup_seconds;
     send t ~minion ~identity ~dst:victim ~au (Lockss.Message.Poll { poll_id; intro })
   end;
   let delay = Rng.uniform t.rng ~lo:(0.5 *. t.period) ~hi:(1.5 *. t.period) in
@@ -103,7 +111,8 @@ let on_poll_ack t ~minion ~au ~poll_id ~accepted =
         let remaining_cost = Lockss.Config.remaining_effort cfg in
         let remaining =
           if cfg.Lockss.Config.effort_balancing_enabled then begin
-            charge t remaining_cost;
+            charge t ~who:session.identity ~phase:Lockss.Trace.Solicitation
+              ~poller:session.identity ~au ~poll_id remaining_cost;
             Proof.generate ~rng:t.rng ~cost:remaining_cost
           end
           else Proof.forged ~claimed_cost:remaining_cost
@@ -133,7 +142,8 @@ let on_vote t ~minion ~au ~poll_id ~(vote : Lockss.Vote.t) =
         Cost_model.mbf_verify_seconds cfg.Lockss.Config.cost
           ~generation_cost:(Lockss.Config.vote_proof_cost cfg)
       in
-      charge t eval_cost;
+      charge t ~who:session.identity ~phase:Lockss.Trace.Evaluation
+        ~poller:session.identity ~au ~poll_id eval_cost;
       send t ~minion ~identity:session.identity ~dst:session.victim ~au
         (Lockss.Message.Evaluation_receipt
            { poll_id; receipt = Lockss.Vote.expected_receipt vote }));

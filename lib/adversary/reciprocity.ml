@@ -37,7 +37,13 @@ type t = {
 
 let ctx t = Lockss.Population.ctx t.population
 let cfg t = (ctx t).Lockss.Peer.cfg
-let charge t work = Lockss.Metrics.charge_adversary (ctx t).Lockss.Peer.metrics work
+(* All adversary work is booked through [Peer.charge_adversary] so the
+   trace-derived effort ledger attributes it to the spending minion and
+   the poll it concerns. *)
+let charge t ~who ~phase ?poller ?au ?poll_id work =
+  Lockss.Peer.charge_adversary (ctx t) ~who ~phase ?poller ?au ?poll_id work
+
+let minion_identity t minion = (ctx t).Lockss.Peer.peers.(minion).Lockss.Peer.identity
 
 let send t ~minion ~to_identity ~au payload =
   let sender = (ctx t).Lockss.Peer.peers.(minion).Lockss.Peer.identity in
@@ -53,7 +59,9 @@ let send_honest_vote t ~minion (session : voter_session) () =
   let cfg = cfg t in
   let peer = (ctx t).Lockss.Peer.peers.(minion) in
   let st = Lockss.Peer.au_state peer session.rv_au in
-  charge t (Lockss.Config.vote_work cfg);
+  charge t ~who:peer.Lockss.Peer.identity ~phase:Lockss.Trace.Voting
+    ~poller:session.rv_poller ~au:session.rv_au ~poll_id:session.rv_poll_id
+    (Lockss.Config.vote_work cfg);
   t.honest_votes <- t.honest_votes + 1;
   let proof = Proof.generate ~rng:t.rng ~cost:(Lockss.Config.vote_proof_cost cfg) in
   (* Nominations push fellow minions into the victim's discovery. *)
@@ -97,7 +105,8 @@ let on_voter_message t ~minion (msg : Lockss.Message.t) =
            (send_honest_vote t ~minion session)))
   | Lockss.Message.Repair_request { poll_id; block } ->
     if Hashtbl.mem t.voter_sessions (minion, identity, au, poll_id) then begin
-      charge t
+      charge t ~who:peer.Lockss.Peer.identity ~phase:Lockss.Trace.Repair
+        ~poller:identity ~au ~poll_id
         (Cost_model.hash_seconds cfg.Lockss.Config.cost ~bytes:cfg.Lockss.Config.block_bytes);
       let version =
         Lockss.Replica.version (Lockss.Peer.au_state peer au).Lockss.Peer.replica block
@@ -144,7 +153,9 @@ let rec lane t ~minion ~victim ~au () =
       (Engine.schedule_in engine ~after:(Duration.of_days 10.) (fun () ->
            Hashtbl.remove t.busy_lanes lane_key));
     let intro_cost = Lockss.Config.intro_effort cfg in
-    charge t (intro_cost +. cfg.Lockss.Config.cost.Effort.Cost_model.session_setup_seconds);
+    let sender = minion_identity t minion in
+    charge t ~who:sender ~phase:Lockss.Trace.Solicitation ~poller:sender ~au ~poll_id
+      (intro_cost +. cfg.Lockss.Config.cost.Effort.Cost_model.session_setup_seconds);
     let intro = Proof.generate ~rng:t.rng ~cost:intro_cost in
     let victim_identity = (ctx t).Lockss.Peer.peers.(victim).Lockss.Peer.identity in
     send t ~minion ~to_identity:victim_identity ~au (Lockss.Message.Poll { poll_id; intro })
@@ -166,7 +177,9 @@ let on_defect_reply t ~minion (msg : Lockss.Message.t) =
       else begin
         let cfg = cfg t in
         let remaining_cost = Lockss.Config.remaining_effort cfg in
-        charge t remaining_cost;
+        let sender = minion_identity t minion in
+        charge t ~who:sender ~phase:Lockss.Trace.Solicitation ~poller:sender ~au
+          ~poll_id remaining_cost;
         let remaining = Proof.generate ~rng:t.rng ~cost:remaining_cost in
         let victim_identity =
           (ctx t).Lockss.Peer.peers.(session.df_victim).Lockss.Peer.identity

@@ -41,7 +41,11 @@ type t = {
 
 let ctx t = Lockss.Population.ctx t.population
 let cfg t = (ctx t).Lockss.Peer.cfg
-let charge t work = Lockss.Metrics.charge_adversary (ctx t).Lockss.Peer.metrics work
+(* All adversary work is booked through [Peer.charge_adversary] so the
+   trace-derived effort ledger attributes it to the spending minion and
+   the poll it concerns. *)
+let charge t ~who ~phase ?poller ?au ?poll_id work =
+  Lockss.Peer.charge_adversary (ctx t) ~who ~phase ?poller ?au ?poll_id work
 
 let invited_minions t ~poller ~au ~poll_id =
   match Hashtbl.find_opt t.invitations (poller, au, poll_id) with
@@ -96,7 +100,9 @@ let send_vote t ~minion (session : session) () =
   if attack then t.corrupt_votes <- t.corrupt_votes + 1;
   (* Do the honest amount of work: the vote must survive effort
      verification and the receipt exchange to keep the minion's grades. *)
-  charge t (Lockss.Config.vote_work cfg);
+  charge t ~who:peer.Lockss.Peer.identity ~phase:Lockss.Trace.Voting
+    ~poller:session.sv_poller ~au:session.sv_au ~poll_id:session.sv_poll_id
+    (Lockss.Config.vote_work cfg);
   let proof = Proof.generate ~rng:t.rng ~cost:(Lockss.Config.vote_proof_cost cfg) in
   let snapshot =
     if attack then [ (target_block, corrupt_version) ]
@@ -152,7 +158,9 @@ let on_voter_message t ~minion ~src (msg : Lockss.Message.t) =
     (match Hashtbl.find_opt t.sessions (minion, identity, au, poll_id) with
     | None -> ()
     | Some session ->
-      charge t (Cost_model.hash_seconds cfg.Lockss.Config.cost ~bytes:cfg.Lockss.Config.block_bytes);
+      charge t ~who:peer.Lockss.Peer.identity ~phase:Lockss.Trace.Repair
+        ~poller:identity ~au ~poll_id
+        (Cost_model.hash_seconds cfg.Lockss.Config.cost ~bytes:cfg.Lockss.Config.block_bytes);
       let version =
         if session.sv_attack && block = target_block then begin
           t.corrupt_repairs <- t.corrupt_repairs + 1;

@@ -104,13 +104,31 @@ let send ctx ~from ~to_node msg =
   let bytes = Message.wire_bytes ctx.cfg msg in
   Narses.Net.send ctx.net ~src:from.node ~dst:to_node ~bytes msg
 
-let charge_and_delay ctx peer ~work =
+let emit_charged ctx ~who ~role ~phase ?poller ?au ?poll_id work =
+  Trace.emit ctx.trace
+    ~now:(Narses.Engine.now ctx.engine)
+    (fun () ->
+      Trace.Effort_charged
+        { peer = who; role; phase; poller; au; poll_id; seconds = work })
+
+let charge ctx ~who ~phase ?poller ?au ?poll_id work =
   Metrics.charge_loyal ctx.metrics work;
+  emit_charged ctx ~who ~role:Trace.Loyal ~phase ?poller ?au ?poll_id work
+
+let charge_and_delay ctx peer ~phase ~au ~poll_id ~work =
+  charge ctx ~who:peer.identity ~phase ~poller:peer.identity ~au ~poll_id work;
   let now = Narses.Engine.now ctx.engine in
   let _, finish = Effort.Task_schedule.reserve_unchecked peer.schedule ~now ~work in
   finish
 
-let charge ctx ~work = Metrics.charge_loyal ctx.metrics work
+let charge_adversary ctx ~who ~phase ?poller ?au ?poll_id work =
+  Metrics.charge_adversary ctx.metrics work;
+  emit_charged ctx ~who ~role:Trace.Adversary ~phase ?poller ?au ?poll_id work
+
+let note_effort_received ctx ~peer ~from_ ~phase ~au ~poll_id ~seconds =
+  Trace.emit ctx.trace
+    ~now:(Narses.Engine.now ctx.engine)
+    (fun () -> Trace.Effort_received { peer; from_; phase; au; poll_id; seconds })
 
 let session_key session = (session.vs_poller, session.vs_au, session.vs_poll_id)
 

@@ -115,14 +115,58 @@ val fresh_poll_id : t -> int
     computing the wire size from the config. *)
 val send : ctx -> from:t -> to_node:Narses.Topology.node -> Message.t -> unit
 
-(** [charge_and_delay ctx peer ~work] books [work] reference-seconds on
-    the peer's schedule, charges it as loyal effort, and returns the
-    completion time at which dependent actions should run. *)
-val charge_and_delay : ctx -> t -> work:float -> float
+(** [charge ctx ~who ~phase ?poller ?au ?poll_id ~work] records loyal
+    effort that is too small to displace the schedule (verifications,
+    considerations), attributed to the spender [who], the protocol
+    [phase] and — when known — the [(poller, au, poll_id)] correlation
+    key; every charge also emits a [Trace.Effort_charged] event so
+    trace-derived ledgers reconcile with the {!Metrics} aggregates. *)
+val charge :
+  ctx ->
+  who:Ids.Identity.t ->
+  phase:Trace.effort_phase ->
+  ?poller:Ids.Identity.t ->
+  ?au:Ids.Au_id.t ->
+  ?poll_id:int ->
+  float ->
+  unit
 
-(** [charge ctx ~work] records loyal effort that is too small to displace
-    the schedule (verifications, considerations). *)
-val charge : ctx -> work:float -> unit
+(** [charge_and_delay ctx peer ~phase ~au ~poll_id ~work] books [work]
+    reference-seconds on the peer's schedule, charges it as loyal effort
+    (attributed as {!charge} with [peer] as both spender and poller),
+    and returns the completion time at which dependent actions should
+    run. Only pollers displace their schedule, so the correlation key is
+    always fully known here. *)
+val charge_and_delay :
+  ctx -> t -> phase:Trace.effort_phase -> au:Ids.Au_id.t -> poll_id:int -> work:float -> float
+
+(** [charge_adversary ctx ~who ~phase ?poller ?au ?poll_id ~work] is
+    {!charge} booked against the adversary's budget instead of the loyal
+    population's. *)
+val charge_adversary :
+  ctx ->
+  who:Ids.Identity.t ->
+  phase:Trace.effort_phase ->
+  ?poller:Ids.Identity.t ->
+  ?au:Ids.Au_id.t ->
+  ?poll_id:int ->
+  float ->
+  unit
+
+(** [note_effort_received ctx ~peer ~from_ ~phase ~au ~poll_id ~seconds]
+    emits a [Trace.Effort_received] event: [peer] verified a
+    provable-effort proof worth [seconds] supplied by [from_]. Call it
+    only after the proof actually verified (and only when effort
+    balancing is enabled, so receipts mirror real proven work). *)
+val note_effort_received :
+  ctx ->
+  peer:Ids.Identity.t ->
+  from_:Ids.Identity.t ->
+  phase:Trace.effort_phase ->
+  au:Ids.Au_id.t ->
+  poll_id:int ->
+  seconds:float ->
+  unit
 
 (** [session_key session] is the key the voter-session table uses. *)
 val session_key : voter_session -> Ids.Identity.t * Ids.Au_id.t * int

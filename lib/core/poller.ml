@@ -38,9 +38,14 @@ let rec attempt_solicitation ctx (peer : Peer.t) (st : Peer.au_state) (poll : Pe
     cand.Peer.attempts <- cand.Peer.attempts + 1;
     (* Establish the session and generate the introductory effort; the
        Poll message leaves when the proof is ready. *)
-    Peer.charge ctx ~work:cfg.Config.cost.Effort.Cost_model.session_setup_seconds;
+    Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Solicitation
+      ~poller:peer.Peer.identity ~au:st.Peer.au ~poll_id:poll.Peer.poll_id
+      cfg.Config.cost.Effort.Cost_model.session_setup_seconds;
     let intro_cost = Config.intro_effort cfg in
-    let finish = Peer.charge_and_delay ctx peer ~work:intro_cost in
+    let finish =
+      Peer.charge_and_delay ctx peer ~phase:Trace.Solicitation ~au:st.Peer.au
+        ~poll_id:poll.Peer.poll_id ~work:intro_cost
+    in
     let send_invitation () =
       match (poll.Peer.phase, cand.Peer.status) with
       | Peer.Soliciting, Peer.Not_invited ->
@@ -116,13 +121,16 @@ let schedule_solicitations ctx (peer : Peer.t) (st : Peer.au_state) (poll : Peer
 
 (* -- Evaluation and repair ------------------------------------------- *)
 
-let valid_votes ctx (st : Peer.au_state) (poll : Peer.poll) =
+let valid_votes ctx (peer : Peer.t) (st : Peer.au_state) (poll : Peer.poll) =
   let cfg = ctx.Peer.cfg in
   let now = Engine.now ctx.Peer.engine in
+  let charge_eval work =
+    Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Evaluation
+      ~poller:peer.Peer.identity ~au:st.Peer.au ~poll_id:poll.Peer.poll_id work
+  in
   List.filter
     (fun ((cand : Peer.candidate), (vote : Vote.t)) ->
-      if cfg.Config.effort_balancing_enabled then
-        Peer.charge ctx ~work:(vote_verify_cost cfg);
+      if cfg.Config.effort_balancing_enabled then charge_eval (vote_verify_cost cfg);
       let genuine =
         ((not cfg.Config.effort_balancing_enabled)
         || Proof.meets vote.Vote.proof ~required:(Config.vote_proof_cost cfg))
@@ -131,7 +139,12 @@ let valid_votes ctx (st : Peer.au_state) (poll : Peer.poll) =
       let bogus = vote.Vote.bogus in
       if bogus then
         (* Garbage hashes are detected at the cost of hashing one block. *)
-        Peer.charge ctx ~work:(block_hash_cost cfg);
+        charge_eval (block_hash_cost cfg);
+      if genuine && (not bogus) && cfg.Config.effort_balancing_enabled then
+        Peer.note_effort_received ctx ~peer:peer.Peer.identity
+          ~from_:cand.Peer.cand_identity ~phase:Trace.Voting ~au:st.Peer.au
+          ~poll_id:poll.Peer.poll_id
+          ~seconds:(Config.vote_proof_cost cfg);
       if (not genuine) || bogus then begin
         Known_peers.punish st.Peer.known ~now cand.Peer.cand_identity;
         false
@@ -291,7 +304,7 @@ let begin_evaluation ctx (peer : Peer.t) (st : Peer.au_state) (poll : Peer.poll)
       | Peer.Not_invited -> cand.Peer.status <- Peer.Failed
       | Peer.Voted | Peer.Failed -> ())
     poll.Peer.candidates;
-  let votes = valid_votes ctx st poll in
+  let votes = valid_votes ctx peer st poll in
   poll.Peer.votes <- votes;
   let inner_votes =
     List.filter_map
@@ -310,7 +323,10 @@ let begin_evaluation ctx (peer : Peer.t) (st : Peer.au_state) (poll : Peer.poll)
   else begin
     (* One pass over the local replica computes, in parallel, every hash
        each voter should have produced. *)
-    let finish = Peer.charge_and_delay ctx peer ~work:(hash_au_cost cfg) in
+    let finish =
+      Peer.charge_and_delay ctx peer ~phase:Trace.Evaluation ~au:st.Peer.au
+        ~poll_id:poll.Peer.poll_id ~work:(hash_au_cost cfg)
+    in
     ignore
       (Engine.schedule ctx.Peer.engine ~at:finish (fun () ->
            if List.length inner_votes < cfg.Config.quorum then
@@ -437,7 +453,10 @@ let on_poll_ack ctx (peer : Peer.t) ~identity ~au ~poll_id ~accepted =
           let remaining_cost = Config.remaining_effort cfg in
           (* Generate the balance of the provable effort; the PollProof
              leaves when it is ready. *)
-          let finish = Peer.charge_and_delay ctx peer ~work:remaining_cost in
+          let finish =
+            Peer.charge_and_delay ctx peer ~phase:Trace.Solicitation ~au ~poll_id
+              ~work:remaining_cost
+          in
           let nonce = Rng.bits64 peer.Peer.rng in
           cand.Peer.cand_nonce <- nonce;
           let vote_patience = cfg.Config.vote_allowance +. cfg.Config.vote_timeout_slack in
@@ -510,7 +529,9 @@ let on_repair ctx (peer : Peer.t) ~identity:_ ~au ~poll_id ~block ~version =
         (* Validate and install the repair, then re-evaluate the block. A
            repair from a malign voter can corrupt a previously clean
            replica — track both transition directions. *)
-        Peer.charge ctx ~work:(2. *. block_hash_cost cfg);
+        Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Repair
+          ~poller:peer.Peer.identity ~au:st.Peer.au ~poll_id
+          (2. *. block_hash_cost cfg);
         Metrics.on_repair ctx.Peer.metrics;
         let was_damaged = Replica.is_damaged st.Peer.replica in
         let became_clean = Replica.write st.Peer.replica ~block ~version in
@@ -520,6 +541,7 @@ let on_repair ctx (peer : Peer.t) ~identity:_ ~au ~poll_id ~block ~version =
               {
                 poller = peer.Peer.identity;
                 au = st.Peer.au;
+                poll_id;
                 block;
                 version;
                 clean = not now_damaged;

@@ -1,5 +1,35 @@
 module Json = Obs.Json
 
+(* -- Effort taxonomy ---------------------------------------------------- *)
+
+type effort_role = Loyal | Adversary
+
+let effort_role_to_string = function Loyal -> "loyal" | Adversary -> "adversary"
+
+let effort_role_of_string = function
+  | "loyal" -> Some Loyal
+  | "adversary" -> Some Adversary
+  | _ -> None
+
+type effort_phase = Admission | Solicitation | Voting | Evaluation | Repair
+
+let effort_phase_to_string = function
+  | Admission -> "admission"
+  | Solicitation -> "solicitation"
+  | Voting -> "voting"
+  | Evaluation -> "evaluation"
+  | Repair -> "repair"
+
+let effort_phase_of_string = function
+  | "admission" -> Some Admission
+  | "solicitation" -> Some Solicitation
+  | "voting" -> Some Voting
+  | "evaluation" -> Some Evaluation
+  | "repair" -> Some Repair
+  | _ -> None
+
+let all_effort_phases = [ Admission; Solicitation; Voting; Evaluation; Repair ]
+
 type event =
   | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
   | Solicitation_sent of {
@@ -13,15 +43,27 @@ type event =
       voter : Ids.Identity.t;
       claimed : Ids.Identity.t;
       au : Ids.Au_id.t;
+      poll_id : int;
       reason : Admission.drop_reason;
     }
-  | Invitation_refused of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t }
-  | Invitation_accepted of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t }
+  | Invitation_refused of {
+      voter : Ids.Identity.t;
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+    }
+  | Invitation_accepted of {
+      voter : Ids.Identity.t;
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+    }
   | Vote_sent of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int }
   | Evaluation_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; votes : int }
   | Repair_applied of {
       poller : Ids.Identity.t;
       au : Ids.Au_id.t;
+      poll_id : int;
       block : int;
       version : int;
       clean : bool;
@@ -31,6 +73,23 @@ type event =
       au : Ids.Au_id.t;
       poll_id : int;
       outcome : Metrics.poll_outcome;
+    }
+  | Effort_charged of {
+      peer : Ids.Identity.t;
+      role : effort_role;
+      phase : effort_phase;
+      poller : Ids.Identity.t option;
+      au : Ids.Au_id.t option;
+      poll_id : int option;
+      seconds : float;
+    }
+  | Effort_received of {
+      peer : Ids.Identity.t;
+      from_ : Ids.Identity.t;
+      phase : effort_phase;
+      au : Ids.Au_id.t;
+      poll_id : int;
+      seconds : float;
     }
   | Fault_dropped of { src : Ids.Identity.t; dst : Ids.Identity.t }
   | Fault_duplicated of { src : Ids.Identity.t; dst : Ids.Identity.t }
@@ -50,6 +109,15 @@ let emit t ~now thunk =
     let event = thunk () in
     List.iter (fun f -> f ~time:now event) subscribers
 
+let pp_correlation ppf (poller, au, poll_id) =
+  (match poll_id with
+  | Some id -> Format.fprintf ppf " poll %d" id
+  | None -> ());
+  (match poller with
+  | Some p -> Format.fprintf ppf " by %a" Ids.Identity.pp p
+  | None -> ());
+  match au with Some a -> Format.fprintf ppf " on %a" Ids.Au_id.pp a | None -> ()
+
 let pp_event ppf = function
   | Poll_started { poller; au; poll_id; inner_candidates } ->
     Format.fprintf ppf "poll %d started by %a on %a (%d inner candidates)" poll_id
@@ -57,30 +125,30 @@ let pp_event ppf = function
   | Solicitation_sent { poller; voter; au; poll_id; attempt } ->
     Format.fprintf ppf "poll %d: %a solicits %a on %a (attempt %d)" poll_id
       Ids.Identity.pp poller Ids.Identity.pp voter Ids.Au_id.pp au attempt
-  | Invitation_dropped { voter; claimed; au; reason } ->
+  | Invitation_dropped { voter; claimed; au; poll_id; reason } ->
     let reason =
       match reason with
       | Admission.Refractory -> "refractory"
       | Admission.Random_drop -> "random drop"
       | Admission.Known_rate_limited -> "per-peer rate limit"
     in
-    Format.fprintf ppf "%a drops invitation claimed by %a on %a (%s)" Ids.Identity.pp
-      voter Ids.Identity.pp claimed Ids.Au_id.pp au reason
-  | Invitation_refused { voter; poller; au } ->
-    Format.fprintf ppf "%a refuses %a on %a (busy)" Ids.Identity.pp voter Ids.Identity.pp
-      poller Ids.Au_id.pp au
-  | Invitation_accepted { voter; poller; au } ->
-    Format.fprintf ppf "%a accepts %a on %a" Ids.Identity.pp voter Ids.Identity.pp poller
-      Ids.Au_id.pp au
+    Format.fprintf ppf "poll %d: %a drops invitation claimed by %a on %a (%s)" poll_id
+      Ids.Identity.pp voter Ids.Identity.pp claimed Ids.Au_id.pp au reason
+  | Invitation_refused { voter; poller; au; poll_id } ->
+    Format.fprintf ppf "poll %d: %a refuses %a on %a (busy)" poll_id Ids.Identity.pp
+      voter Ids.Identity.pp poller Ids.Au_id.pp au
+  | Invitation_accepted { voter; poller; au; poll_id } ->
+    Format.fprintf ppf "poll %d: %a accepts %a on %a" poll_id Ids.Identity.pp voter
+      Ids.Identity.pp poller Ids.Au_id.pp au
   | Vote_sent { voter; poller; au; poll_id } ->
     Format.fprintf ppf "poll %d: %a votes for %a on %a" poll_id Ids.Identity.pp voter
       Ids.Identity.pp poller Ids.Au_id.pp au
   | Evaluation_started { poller; au; poll_id; votes } ->
     Format.fprintf ppf "poll %d: %a evaluates %d votes on %a" poll_id Ids.Identity.pp
       poller votes Ids.Au_id.pp au
-  | Repair_applied { poller; au; block; version; clean } ->
-    Format.fprintf ppf "%a repairs %a block %d to version %d%s" Ids.Identity.pp poller
-      Ids.Au_id.pp au block version
+  | Repair_applied { poller; au; poll_id; block; version; clean } ->
+    Format.fprintf ppf "poll %d: %a repairs %a block %d to version %d%s" poll_id
+      Ids.Identity.pp poller Ids.Au_id.pp au block version
       (if clean then " (replica clean)" else "")
   | Poll_concluded { poller; au; poll_id; outcome } ->
     let outcome =
@@ -91,6 +159,14 @@ let pp_event ppf = function
     in
     Format.fprintf ppf "poll %d: %a concludes on %a: %s" poll_id Ids.Identity.pp poller
       Ids.Au_id.pp au outcome
+  | Effort_charged { peer; role; phase; poller; au; poll_id; seconds } ->
+    Format.fprintf ppf "effort: %a (%s) spends %a on %s%a" Ids.Identity.pp peer
+      (effort_role_to_string role) Repro_prelude.Duration.pp seconds
+      (effort_phase_to_string phase) pp_correlation (poller, au, poll_id)
+  | Effort_received { peer; from_; phase; au; poll_id; seconds } ->
+    Format.fprintf ppf "effort: %a proves %a of %s effort to %a%a" Ids.Identity.pp from_
+      Repro_prelude.Duration.pp seconds (effort_phase_to_string phase) Ids.Identity.pp
+      peer pp_correlation (None, Some au, Some poll_id)
   | Fault_dropped { src; dst } ->
     Format.fprintf ppf "fault: message %a -> %a dropped" Ids.Identity.pp src
       Ids.Identity.pp dst
@@ -110,7 +186,8 @@ type severity = Debug | Info | Warn
 
 let severity = function
   | Solicitation_sent _ | Invitation_refused _ | Invitation_accepted _ | Vote_sent _
-  | Evaluation_started _ | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ ->
+  | Evaluation_started _ | Effort_charged _ | Effort_received _ | Fault_dropped _
+  | Fault_duplicated _ | Fault_delayed _ ->
     Debug
   | Poll_started _ | Invitation_dropped _ | Repair_applied _
   | Poll_concluded { outcome = Metrics.Success; _ }
@@ -137,6 +214,8 @@ let kind = function
   | Evaluation_started _ -> "evaluation_started"
   | Repair_applied _ -> "repair_applied"
   | Poll_concluded _ -> "poll_concluded"
+  | Effort_charged _ -> "effort_charged"
+  | Effort_received _ -> "effort_received"
   | Fault_dropped _ -> "fault_dropped"
   | Fault_duplicated _ -> "fault_duplicated"
   | Fault_delayed _ -> "fault_delayed"
@@ -154,6 +233,8 @@ let all_kinds =
     "evaluation_started";
     "repair_applied";
     "poll_concluded";
+    "effort_charged";
+    "effort_received";
     "fault_dropped";
     "fault_duplicated";
     "fault_delayed";
@@ -172,6 +253,9 @@ let involves event id =
   | Invitation_accepted { voter; poller; _ }
   | Vote_sent { voter; poller; _ } ->
     eq voter || eq poller
+  | Effort_charged { peer; poller; _ } ->
+    eq peer || (match poller with Some p -> eq p | None -> false)
+  | Effort_received { peer; from_; _ } -> eq peer || eq from_
   | Fault_dropped { src; dst } | Fault_duplicated { src; dst }
   | Fault_delayed { src; dst; _ } ->
     eq src || eq dst
@@ -186,8 +270,10 @@ let au_of = function
   | Vote_sent { au; _ }
   | Evaluation_started { au; _ }
   | Repair_applied { au; _ }
-  | Poll_concluded { au; _ } ->
+  | Poll_concluded { au; _ }
+  | Effort_received { au; _ } ->
     Some au
+  | Effort_charged { au; _ } -> au
   | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ | Node_crashed _
   | Node_restarted _ ->
     None
@@ -217,6 +303,7 @@ let outcome_of_string = function
   | _ -> None
 
 let to_json ~time event =
+  let opt name = function None -> [] | Some v -> [ (name, Json.Int v) ] in
   let fields =
     match event with
     | Poll_started { poller; au; poll_id; inner_candidates } ->
@@ -234,17 +321,28 @@ let to_json ~time event =
         ("poll_id", Json.Int poll_id);
         ("attempt", Json.Int attempt);
       ]
-    | Invitation_dropped { voter; claimed; au; reason } ->
+    | Invitation_dropped { voter; claimed; au; poll_id; reason } ->
       [
         ("voter", Json.Int voter);
         ("claimed", Json.Int claimed);
         ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
         ("reason", Json.String (drop_reason_to_string reason));
       ]
-    | Invitation_refused { voter; poller; au } ->
-      [ ("voter", Json.Int voter); ("poller", Json.Int poller); ("au", Json.Int au) ]
-    | Invitation_accepted { voter; poller; au } ->
-      [ ("voter", Json.Int voter); ("poller", Json.Int poller); ("au", Json.Int au) ]
+    | Invitation_refused { voter; poller; au; poll_id } ->
+      [
+        ("voter", Json.Int voter);
+        ("poller", Json.Int poller);
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+      ]
+    | Invitation_accepted { voter; poller; au; poll_id } ->
+      [
+        ("voter", Json.Int voter);
+        ("poller", Json.Int poller);
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+      ]
     | Vote_sent { voter; poller; au; poll_id } ->
       [
         ("voter", Json.Int voter);
@@ -259,10 +357,11 @@ let to_json ~time event =
         ("poll_id", Json.Int poll_id);
         ("votes", Json.Int votes);
       ]
-    | Repair_applied { poller; au; block; version; clean } ->
+    | Repair_applied { poller; au; poll_id; block; version; clean } ->
       [
         ("poller", Json.Int poller);
         ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
         ("block", Json.Int block);
         ("version", Json.Int version);
         ("clean", Json.Bool clean);
@@ -273,6 +372,23 @@ let to_json ~time event =
         ("au", Json.Int au);
         ("poll_id", Json.Int poll_id);
         ("outcome", Json.String (outcome_to_string outcome));
+      ]
+    | Effort_charged { peer; role; phase; poller; au; poll_id; seconds } ->
+      [
+        ("peer", Json.Int peer);
+        ("role", Json.String (effort_role_to_string role));
+        ("phase", Json.String (effort_phase_to_string phase));
+      ]
+      @ opt "poller" poller @ opt "au" au @ opt "poll_id" poll_id
+      @ [ ("seconds", Json.Float seconds) ]
+    | Effort_received { peer; from_; phase; au; poll_id; seconds } ->
+      [
+        ("peer", Json.Int peer);
+        ("from", Json.Int from_);
+        ("phase", Json.String (effort_phase_to_string phase));
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+        ("seconds", Json.Float seconds);
       ]
     | Fault_dropped { src; dst } | Fault_duplicated { src; dst } ->
       [ ("src", Json.Int src); ("dst", Json.Int dst) ]
@@ -297,6 +413,16 @@ let of_json json =
   in
   let int name = field name Json.to_int in
   let bool name = field name Json.to_bool in
+  (* Optional correlation fields are simply omitted when unknown; [Null]
+     is accepted too so hand-written traces can be explicit. *)
+  let opt_int name =
+    match Json.member name json with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "malformed optional field %S" name))
+  in
   let* time = field "t" Json.to_float in
   let* kind = field "kind" Json.string_value in
   let* event =
@@ -318,20 +444,23 @@ let of_json json =
       let* voter = int "voter" in
       let* claimed = int "claimed" in
       let* au = int "au" in
+      let* poll_id = int "poll_id" in
       let* reason =
         field "reason" (fun v -> Option.bind (Json.string_value v) drop_reason_of_string)
       in
-      Ok (Invitation_dropped { voter; claimed; au; reason })
+      Ok (Invitation_dropped { voter; claimed; au; poll_id; reason })
     | "invitation_refused" ->
       let* voter = int "voter" in
       let* poller = int "poller" in
       let* au = int "au" in
-      Ok (Invitation_refused { voter; poller; au })
+      let* poll_id = int "poll_id" in
+      Ok (Invitation_refused { voter; poller; au; poll_id })
     | "invitation_accepted" ->
       let* voter = int "voter" in
       let* poller = int "poller" in
       let* au = int "au" in
-      Ok (Invitation_accepted { voter; poller; au })
+      let* poll_id = int "poll_id" in
+      Ok (Invitation_accepted { voter; poller; au; poll_id })
     | "vote_sent" ->
       let* voter = int "voter" in
       let* poller = int "poller" in
@@ -347,10 +476,11 @@ let of_json json =
     | "repair_applied" ->
       let* poller = int "poller" in
       let* au = int "au" in
+      let* poll_id = int "poll_id" in
       let* block = int "block" in
       let* version = int "version" in
       let* clean = bool "clean" in
-      Ok (Repair_applied { poller; au; block; version; clean })
+      Ok (Repair_applied { poller; au; poll_id; block; version; clean })
     | "poll_concluded" ->
       let* poller = int "poller" in
       let* au = int "au" in
@@ -359,6 +489,29 @@ let of_json json =
         field "outcome" (fun v -> Option.bind (Json.string_value v) outcome_of_string)
       in
       Ok (Poll_concluded { poller; au; poll_id; outcome })
+    | "effort_charged" ->
+      let* peer = int "peer" in
+      let* role =
+        field "role" (fun v -> Option.bind (Json.string_value v) effort_role_of_string)
+      in
+      let* phase =
+        field "phase" (fun v -> Option.bind (Json.string_value v) effort_phase_of_string)
+      in
+      let* poller = opt_int "poller" in
+      let* au = opt_int "au" in
+      let* poll_id = opt_int "poll_id" in
+      let* seconds = field "seconds" Json.to_float in
+      Ok (Effort_charged { peer; role; phase; poller; au; poll_id; seconds })
+    | "effort_received" ->
+      let* peer = int "peer" in
+      let* from_ = int "from" in
+      let* phase =
+        field "phase" (fun v -> Option.bind (Json.string_value v) effort_phase_of_string)
+      in
+      let* au = int "au" in
+      let* poll_id = int "poll_id" in
+      let* seconds = field "seconds" Json.to_float in
+      Ok (Effort_received { peer; from_; phase; au; poll_id; seconds })
     | "fault_dropped" ->
       let* src = int "src" in
       let* dst = int "dst" in

@@ -6,11 +6,48 @@
     lifecycles, admission decisions and repairs as they happen (see
     [examples/poll_timeline.ml] and [examples/observability_demo.ml]).
 
+    Every poll-lifecycle event carries the full causal correlation key
+    [(poller, au, poll_id)] (the dropped-invitation event carries the
+    {e claimed} poller), so a poll can be followed from solicitation
+    through evaluation to repair and conclusion — live via {!subscribe}
+    or offline from a JSONL trace ({!Obs.Span}, {!Obs.Analyze}).
+
     Beyond raw subscription, this module provides an event taxonomy
     ({!kind}, {!severity}), composable {{!sinks} sinks} (pretty-printing,
     JSONL, filtering), a lossless JSON round-trip ({!to_json} /
     {!of_json}) and a bounded-ring {!recorder} that counts what it had to
     drop instead of losing it silently. *)
+
+(** {2 Effort taxonomy}
+
+    Provable-effort accounting events classify work by who spends it and
+    in which protocol phase, mirroring the paper's effort-balancing
+    argument: charges are binned by the {e spender's} activity, receipts
+    by the phase whose work generated the proof. *)
+
+(** Whether the charge was booked against the loyal population or the
+    adversary (mirrors [Metrics.charge_loyal] / [charge_adversary]). *)
+type effort_role = Loyal | Adversary
+
+val effort_role_to_string : effort_role -> string
+val effort_role_of_string : string -> effort_role option
+
+(** The protocol phase an effort charge belongs to:
+    - [Admission]: a voter's consideration and introductory-proof
+      verification cost (including garbage invitations);
+    - [Solicitation]: a poller's session setup and introductory /
+      remaining proof generation;
+    - [Voting]: a voter's remaining-proof verification and vote
+      computation;
+    - [Evaluation]: a poller's vote-proof verification and AU hashing;
+    - [Repair]: block hashing on either side of a repair. *)
+type effort_phase = Admission | Solicitation | Voting | Evaluation | Repair
+
+val effort_phase_to_string : effort_phase -> string
+val effort_phase_of_string : string -> effort_phase option
+
+(** All effort phases, in declaration order. *)
+val all_effort_phases : effort_phase list
 
 type event =
   | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
@@ -23,18 +60,30 @@ type event =
     }
   | Invitation_dropped of {
       voter : Ids.Identity.t;
-      claimed : Ids.Identity.t;
+      claimed : Ids.Identity.t;  (** alleged poller; unauthenticated *)
       au : Ids.Au_id.t;
+      poll_id : int;
       reason : Admission.drop_reason;
     }
-  | Invitation_refused of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t }
+  | Invitation_refused of {
+      voter : Ids.Identity.t;
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+    }
       (** admitted but refused: schedule or adaptive-acceptance pushback *)
-  | Invitation_accepted of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t }
+  | Invitation_accepted of {
+      voter : Ids.Identity.t;
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+    }
   | Vote_sent of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int }
   | Evaluation_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; votes : int }
   | Repair_applied of {
       poller : Ids.Identity.t;
       au : Ids.Au_id.t;
+      poll_id : int;  (** the poll whose evaluation triggered the repair *)
       block : int;
       version : int;
       clean : bool;  (** replica fully clean after this repair *)
@@ -45,6 +94,28 @@ type event =
       poll_id : int;
       outcome : Metrics.poll_outcome;
     }
+  | Effort_charged of {
+      peer : Ids.Identity.t;  (** who spent the effort *)
+      role : effort_role;
+      phase : effort_phase;
+      poller : Ids.Identity.t option;  (** poll owner, when known *)
+      au : Ids.Au_id.t option;
+      poll_id : int option;
+      seconds : float;
+    }
+      (** provable effort spent; emitted at every [Peer.charge] /
+          [charge_and_delay] / [charge_adversary] call, so summing these
+          reconstructs the [Metrics] effort aggregates exactly *)
+  | Effort_received of {
+      peer : Ids.Identity.t;  (** the verifier *)
+      from_ : Ids.Identity.t;  (** the prover *)
+      phase : effort_phase;  (** phase whose work generated the proof *)
+      au : Ids.Au_id.t;
+      poll_id : int;
+      seconds : float;  (** the proven effort *)
+    }
+      (** a provable-effort proof verified successfully; emitted only
+          when effort balancing is enabled *)
   | Fault_dropped of { src : Ids.Identity.t; dst : Ids.Identity.t }
       (** injected message loss (or a copy lost to a crashed endpoint) *)
   | Fault_duplicated of { src : Ids.Identity.t; dst : Ids.Identity.t }
@@ -69,9 +140,10 @@ val pp_event : Format.formatter -> event -> unit
 (** {2 Taxonomy} *)
 
 (** Event severity, ordered [Debug < Info < Warn]. [Debug] is the
-    per-message chatter of healthy polls; [Info] marks poll lifecycle
-    milestones, admission drops and repairs; [Warn] marks outcomes that
-    indicate trouble (inquorate or alarmed polls). *)
+    per-message chatter of healthy polls (including effort accounting);
+    [Info] marks poll lifecycle milestones, admission drops and repairs;
+    [Warn] marks outcomes that indicate trouble (inquorate or alarmed
+    polls). *)
 type severity = Debug | Info | Warn
 
 val severity : event -> severity
@@ -86,11 +158,12 @@ val kind : event -> string
 val all_kinds : string list
 
 (** [involves e id] is [true] when [id] appears in any role of [e]
-    (poller, voter or claimed identity). *)
+    (poller, voter, claimed identity, effort spender or prover). *)
 val involves : event -> Ids.Identity.t -> bool
 
 (** [au_of e] is the archival unit the event concerns; [None] for fault
-    and churn events, which are not tied to any AU. *)
+    and churn events, which are not tied to any AU, and for effort
+    charges without a correlated AU. *)
 val au_of : event -> Ids.Au_id.t option
 
 (** {2:sinks Sinks} *)
@@ -123,10 +196,12 @@ val filter_sink :
 (** {2 JSON round-trip} *)
 
 (** [to_json ~time e] is a flat object: ["t"] (seconds), ["severity"],
-    ["kind"], then the constructor's fields. *)
+    ["kind"], then the constructor's fields. Optional correlation fields
+    of {!event.Effort_charged} are omitted when absent. *)
 val to_json : time:float -> event -> Obs.Json.t
 
-(** [of_json j] inverts {!to_json}. *)
+(** [of_json j] inverts {!to_json}. Absent or [null] optional
+    correlation fields decode to [None]. *)
 val of_json : Obs.Json.t -> (float * event, string) result
 
 (** {2 Recording} *)

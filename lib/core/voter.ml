@@ -69,15 +69,22 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
     Metrics.on_invitation_dropped ctx.Peer.metrics;
     Trace.emit ctx.Peer.trace ~now (fun () ->
         Trace.Invitation_dropped
-          { voter = peer.Peer.identity; claimed = identity; au; reason })
+          { voter = peer.Peer.identity; claimed = identity; au; poll_id; reason })
   | Admission.Admitted _ ->
     Metrics.on_invitation_considered ctx.Peer.metrics;
-    Peer.charge ctx ~work:(consideration_cost cfg);
+    Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Admission ~poller:identity ~au
+      ~poll_id (consideration_cost cfg);
     let effort_ok =
       if not cfg.Config.effort_balancing_enabled then true
       else begin
-        Peer.charge ctx ~work:(intro_verify_cost cfg);
-        Proof.meets intro ~required:(Config.intro_effort cfg)
+        Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Admission ~poller:identity
+          ~au ~poll_id (intro_verify_cost cfg);
+        let ok = Proof.meets intro ~required:(Config.intro_effort cfg) in
+        if ok then
+          Peer.note_effort_received ctx ~peer:peer.Peer.identity ~from_:identity
+            ~phase:Trace.Solicitation ~au ~poll_id
+            ~seconds:(Config.intro_effort cfg);
+        ok
       end
     in
     if not effort_ok then Known_peers.punish st.Peer.known ~now identity
@@ -111,7 +118,8 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
       Rng.bernoulli peer.Peer.rng load
     then begin
       Trace.emit ctx.Peer.trace ~now (fun () ->
-          Trace.Invitation_refused { voter = peer.Peer.identity; poller = identity; au });
+          Trace.Invitation_refused
+            { voter = peer.Peer.identity; poller = identity; au; poll_id });
       reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = false })
     end
     else begin
@@ -127,7 +135,8 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
       match Task_schedule.reserve peer.Peer.schedule ~now ~work ~deadline with
       | None ->
         Trace.emit ctx.Peer.trace ~now (fun () ->
-            Trace.Invitation_refused { voter = peer.Peer.identity; poller = identity; au });
+            Trace.Invitation_refused
+              { voter = peer.Peer.identity; poller = identity; au; poll_id });
         reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = false })
       | Some (reservation, finish) ->
         let session =
@@ -150,7 +159,8 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
         session.Peer.vs_state <- Peer.Awaiting_proof timeout;
         Hashtbl.replace peer.Peer.voter_sessions (identity, au, poll_id) session;
         Trace.emit ctx.Peer.trace ~now (fun () ->
-            Trace.Invitation_accepted { voter = peer.Peer.identity; poller = identity; au });
+            Trace.Invitation_accepted
+              { voter = peer.Peer.identity; poller = identity; au; poll_id });
         reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = true })
     end
     end
@@ -161,7 +171,9 @@ let deliver_vote ctx (peer : Peer.t) (session : Peer.voter_session) () =
     let cfg = ctx.Peer.cfg in
     let st = Peer.au_state peer session.Peer.vs_au in
     let now = Engine.now ctx.Peer.engine in
-    Peer.charge ctx ~work:(Config.vote_work cfg);
+    Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Voting
+      ~poller:session.Peer.vs_poller ~au:session.Peer.vs_au
+      ~poll_id:session.Peer.vs_poll_id (Config.vote_work cfg);
     Metrics.on_vote_supplied ctx.Peer.metrics;
     session.Peer.vs_reservation <- None;
     let proof = Proof.generate ~rng:peer.Peer.rng ~cost:(Config.vote_proof_cost cfg) in
@@ -217,8 +229,14 @@ let on_poll_proof ctx (peer : Peer.t) ~identity ~au ~poll_id ~remaining ~nonce =
       let effort_ok =
         if not cfg.Config.effort_balancing_enabled then true
         else begin
-          Peer.charge ctx ~work:(remaining_verify_cost cfg);
-          Proof.meets remaining ~required:(Config.remaining_effort cfg)
+          Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Voting ~poller:identity
+            ~au ~poll_id (remaining_verify_cost cfg);
+          let ok = Proof.meets remaining ~required:(Config.remaining_effort cfg) in
+          if ok then
+            Peer.note_effort_received ctx ~peer:peer.Peer.identity ~from_:identity
+              ~phase:Trace.Solicitation ~au ~poll_id
+              ~seconds:(Config.remaining_effort cfg);
+          ok
         end
       in
       if not effort_ok then begin
@@ -246,8 +264,9 @@ let on_repair_request ctx (peer : Peer.t) ~identity ~au ~poll_id ~block =
       let cfg = ctx.Peer.cfg in
       let st = Peer.au_state peer au in
       (* Serving a repair: fetch and hash one block. *)
-      Peer.charge ctx
-        ~work:(Cost_model.hash_seconds cfg.Config.cost ~bytes:cfg.Config.block_bytes);
+      Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Repair ~poller:identity ~au
+        ~poll_id
+        (Cost_model.hash_seconds cfg.Config.cost ~bytes:cfg.Config.block_bytes);
       let version = Replica.version st.Peer.replica block in
       reply ctx peer ~to_node:session.Peer.vs_poller_node ~au
         (Message.Repair { poll_id; block; version })
@@ -284,8 +303,11 @@ let on_garbage ctx (peer : Peer.t) ~identity ~au =
     (* The garbage got through the cheap filters; rejecting it costs one
        consideration plus one (failing) introductory-effort check. *)
     Metrics.on_invitation_considered ctx.Peer.metrics;
-    Peer.charge ctx ~work:(consideration_cost cfg);
-    if cfg.Config.effort_balancing_enabled then Peer.charge ctx ~work:(intro_verify_cost cfg);
+    Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Admission ~poller:identity ~au
+      (consideration_cost cfg);
+    if cfg.Config.effort_balancing_enabled then
+      Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Admission ~poller:identity
+        ~au (intro_verify_cost cfg);
     (* Do not learn fresh garbage identities: an entry would carry a debt
        grade, which is treated more leniently than "unknown" — and the
        adversary has unlimited identities, so remembering them would only

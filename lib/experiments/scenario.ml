@@ -121,6 +121,8 @@ type observe = {
   trace_level : Lockss.Trace.severity;
   metrics_out : string option;
   sample_interval : float;
+  spans_out : string option;
+  ledger_out : string option;
 }
 
 let default_observe =
@@ -129,6 +131,8 @@ let default_observe =
     trace_level = Lockss.Trace.Info;
     metrics_out = None;
     sample_interval = Duration.of_days 7.;
+    spans_out = None;
+    ledger_out = None;
   }
 
 (* [suffix_path path tag] inserts [.tag] before the extension:
@@ -146,10 +150,13 @@ let seeded_path path ~seed = suffix_path path (Printf.sprintf "seed%d" seed)
    same experiment (the no-attack side of a paired comparison) cannot
    collide with the first at equal seeds. *)
 let tag_observe tag obs =
+  let retag = Option.map (fun p -> suffix_path p tag) in
   {
     obs with
-    trace_out = Option.map (fun p -> suffix_path p tag) obs.trace_out;
-    metrics_out = Option.map (fun p -> suffix_path p tag) obs.metrics_out;
+    trace_out = retag obs.trace_out;
+    metrics_out = retag obs.metrics_out;
+    spans_out = retag obs.spans_out;
+    ledger_out = retag obs.ledger_out;
   }
 
 (* Subscribe the requested trace sink and metrics sampler to a freshly
@@ -188,6 +195,54 @@ let subscribe_observers ~observe ~seed population =
         (fun () ->
           Lockss.Sampler.stop sampler;
           close_out oc)
+        :: !cleanups);
+    (match (obs.spans_out, obs.ledger_out) with
+    | None, None -> ()
+    | spans_out, ledger_out ->
+      (* The live analyzer subscribes below the severity filter: span
+         and ledger reconstruction need the full Debug stream even when
+         the trace file itself is written at a higher level. One code
+         path serves live and offline analysis — the bus is bridged
+         through the same JSON representation a trace file holds. *)
+      let analyzer = Obs.Analyze.create () in
+      Lockss.Trace.subscribe
+        (Lockss.Population.trace population)
+        (fun ~time event -> Obs.Analyze.feed analyzer (Lockss.Trace.to_json ~time event));
+      cleanups :=
+        (fun () ->
+          (match spans_out with
+          | None -> ()
+          | Some path ->
+            Out_channel.with_open_text (seeded_path path ~seed) (fun oc ->
+                List.iter
+                  (fun span ->
+                    output_string oc (Obs.Json.to_string (Obs.Span.span_to_json span));
+                    output_char oc '\n')
+                  (Obs.Span.spans (Obs.Analyze.span_builder analyzer))));
+          match ledger_out with
+          | None -> ()
+          | Some path ->
+            let summary = Lockss.Population.summary population in
+            let ledger = Obs.Analyze.ledger analyzer in
+            let reconciliation =
+              Obs.Ledger.reconcile ledger
+                ~loyal_effort:summary.Lockss.Metrics.loyal_effort
+                ~adversary_effort:summary.Lockss.Metrics.adversary_effort
+                ~polls_succeeded:summary.Lockss.Metrics.polls_succeeded
+                ~polls_inquorate:summary.Lockss.Metrics.polls_inquorate
+                ~polls_alarmed:summary.Lockss.Metrics.polls_alarmed
+                ~votes_supplied:summary.Lockss.Metrics.votes_supplied
+            in
+            Out_channel.with_open_text (seeded_path path ~seed) (fun oc ->
+                output_string oc
+                  (Obs.Json.to_string
+                     (Obs.Json.Assoc
+                        [
+                          ("ledger", Obs.Ledger.to_json ledger);
+                          ( "reconciliation",
+                            Obs.Ledger.reconciliation_to_json reconciliation );
+                        ]));
+                output_char oc '\n'))
         :: !cleanups);
     fun () -> List.iter (fun f -> f ()) !cleanups
 

@@ -71,6 +71,15 @@ type observe = {
           by seed; [.jsonl]/[.json] selects JSONL, anything else CSV
           (columns {!Lockss.Sampler.columns}) *)
   sample_interval : float;  (** seconds of simulated time between samples *)
+  spans_out : string option;
+      (** write reconstructed poll spans ({!Obs.Span.span_to_json}, one
+          JSONL line per poll) to this path, suffixed per run by seed.
+          The live span builder subscribes below the severity filter, so
+          spans are complete even at [trace_level = Warn] *)
+  ledger_out : string option;
+      (** write the per-peer effort ledger plus its reconciliation
+          against the run's metrics as one JSON object to this path,
+          suffixed per run by seed *)
 }
 
 (** [default_observe] writes nothing: both outputs [None], level [Info],

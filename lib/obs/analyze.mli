@@ -1,0 +1,66 @@
+(** Offline (and live) trace analysis: poll spans, per-peer effort
+    ledger, per-phase latency distributions and anomaly detection, from
+    a stream of trace events in JSON form.
+
+    Feed events one of three ways:
+    - {!feed} with already-parsed JSON values — this is how the live
+      builders attach: bridge the trace bus through the trace
+      serialiser into [feed];
+    - {!feed_line} with raw JSONL lines (malformed lines become
+      anomalies, never exceptions);
+    - {!read_file}/{!read_channel} for whole trace files.
+
+    The report distinguishes {e anomalies} (shapes a healthy fault-free
+    run never produces — the fault-free smoke asserts there are none)
+    from {e informational} observations (open spans at end of trace,
+    voter-side events crossing a conclusion in flight). *)
+
+type t
+
+val create : unit -> t
+val span_builder : t -> Span.t
+val ledger : t -> Ledger.t
+
+(** [feed t json] routes one trace event to the span builder and the
+    ledger. *)
+val feed : t -> Json.t -> unit
+
+(** [feed_line t ~line s] parses one JSONL line and feeds it; parse
+    failures are recorded as {!Span.Malformed_line} anomalies. Blank
+    lines are ignored. *)
+val feed_line : t -> line:int -> string -> unit
+
+val read_channel : t -> in_channel -> unit
+val read_file : t -> string -> unit
+
+(** Lines seen by {!feed_line} (0 when fed live). *)
+val lines : t -> int
+
+val anomalies : t -> Span.anomaly list
+val anomaly_count : t -> int
+
+(** {2 Latency distributions} *)
+
+type dist = {
+  label : string;
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  max : float;
+}
+
+(** [phase_latencies t] summarises, over all spans that reached the
+    phase: solicitation (start to evaluation), evaluation (to first
+    repair or conclusion), repair (to conclusion), first_vote (start to
+    first vote) and total (start to conclusion). *)
+val phase_latencies : t -> dist list
+
+(** [duration_histogram t] buckets total poll durations into
+    human-scale ranges ([<1h] … [>=30d]); returns [(label, count)]. *)
+val duration_histogram : t -> (string * int) list
+
+(** {2 Reports} *)
+
+val report_json : t -> Json.t
+val pp_report : Format.formatter -> t -> unit

@@ -142,6 +142,64 @@ let prop_sessions_end_in_legal_states =
               peer.Peer.voter_sessions true)
           ctx.Peer.peers)
 
+(* -- Obs.Json round-trip -------------------------------------------------- *)
+
+let json_gen =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) (int_range (-1_000_000_000) 1_000_000_000);
+        (* Finite floats only: non-finite values deliberately serialise
+           as null and so cannot round-trip. *)
+        map (fun f -> Obs.Json.Float f) (float_range (-1e9) 1e9);
+        map (fun s -> Obs.Json.String s) (string_size ~gen:printable (int_range 0 20));
+      ]
+  in
+  let rec build depth =
+    if depth = 0 then scalar
+    else
+      oneof
+        [
+          scalar;
+          map (fun l -> Obs.Json.List l) (list_size (int_range 0 4) (build (depth - 1)));
+          map
+            (fun kvs -> Obs.Json.Assoc kvs)
+            (list_size (int_range 0 4)
+               (pair (string_size ~gen:printable (int_range 0 8)) (build (depth - 1))));
+        ]
+  in
+  build 3
+
+(* The writer prints integral floats without a fraction (4320.0 becomes
+   "4320", which parses as Int), so numbers compare through to_float. *)
+let rec json_equal a b =
+  match (a, b) with
+  | Obs.Json.Null, Obs.Json.Null -> true
+  | Obs.Json.Bool x, Obs.Json.Bool y -> x = y
+  | (Obs.Json.Int _ | Obs.Json.Float _), (Obs.Json.Int _ | Obs.Json.Float _) -> (
+    match (Obs.Json.to_float a, Obs.Json.to_float b) with
+    | Some x, Some y -> Float.equal x y
+    | _ -> false)
+  | Obs.Json.String x, Obs.Json.String y -> String.equal x y
+  | Obs.Json.List xs, Obs.Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Obs.Json.Assoc xs, Obs.Json.Assoc ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+         xs ys
+  | _ -> false
+
+let prop_json_round_trips =
+  QCheck2.Test.make ~name:"Obs.Json values round-trip through their text form"
+    ~count:500 json_gen (fun v ->
+      match Obs.Json.of_string (Obs.Json.to_string v) with
+      | Ok v' -> json_equal v v'
+      | Error _ -> false)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -151,4 +209,5 @@ let () =
           QCheck_alcotest.to_alcotest prop_runs_are_reproducible;
           QCheck_alcotest.to_alcotest prop_sessions_end_in_legal_states;
         ] );
+      ("json properties", [ QCheck_alcotest.to_alcotest prop_json_round_trips ]);
     ]

@@ -49,6 +49,37 @@ let test_json_numbers () =
   | Ok v -> Alcotest.(check (float 0.)) "to_float widens" 604800. (Option.get (Json.to_float v))
   | Error msg -> Alcotest.failf "parse: %s" msg
 
+let test_json_escapes () =
+  let s = "tab\tnewline\ncr\rquote\"backslash\\ctrl\x01\x1f" in
+  (match Json.of_string (Json.to_string (Json.String s)) with
+  | Ok (Json.String s') -> Alcotest.(check string) "escaped string survives" s s'
+  | _ -> Alcotest.fail "string round trip");
+  (* Control characters must leave the line printable (escaped, not raw). *)
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 then Alcotest.failf "raw control char %C in output" c)
+    (Json.to_string (Json.String s))
+
+let test_json_non_finite_floats () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "non-finite renders null" "null"
+        (Json.to_string (Json.Float f)))
+    [ nan; infinity; neg_infinity ];
+  match Json.of_string (Json.to_string (Json.List [ Json.Float nan; Json.Int 1 ])) with
+  | Ok (Json.List [ Json.Null; Json.Int 1 ]) -> ()
+  | _ -> Alcotest.fail "nan inside a list becomes null"
+
+let test_json_deep_nesting () =
+  let rec build depth =
+    if depth = 0 then Json.Int 7
+    else Json.Assoc [ ("child", Json.List [ build (depth - 1); Json.String "x" ]) ]
+  in
+  let v = build 40 in
+  match Json.of_string (Json.to_string v) with
+  | Ok parsed -> Alcotest.(check bool) "deep structure" true (parsed = v)
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
 (* -- Trace taxonomy, round-trip, sinks ---------------------------------- *)
 
 let sample_events =
@@ -56,13 +87,26 @@ let sample_events =
     Trace.Poll_started { poller = 3; au = 1; poll_id = 7; inner_candidates = 9 };
     Trace.Solicitation_sent { poller = 3; voter = 5; au = 1; poll_id = 7; attempt = 2 };
     Trace.Invitation_dropped
-      { voter = 5; claimed = 12; au = 0; reason = Admission.Refractory };
-    Trace.Invitation_refused { voter = 5; poller = 3; au = 1 };
-    Trace.Invitation_accepted { voter = 5; poller = 3; au = 1 };
+      { voter = 5; claimed = 12; au = 0; poll_id = 4; reason = Admission.Refractory };
+    Trace.Invitation_refused { voter = 5; poller = 3; au = 1; poll_id = 7 };
+    Trace.Invitation_accepted { voter = 5; poller = 3; au = 1; poll_id = 7 };
     Trace.Vote_sent { voter = 5; poller = 3; au = 1; poll_id = 7 };
     Trace.Evaluation_started { poller = 3; au = 1; poll_id = 7; votes = 6 };
-    Trace.Repair_applied { poller = 3; au = 1; block = 4; version = 99; clean = true };
+    Trace.Repair_applied
+      { poller = 3; au = 1; poll_id = 7; block = 4; version = 99; clean = true };
     Trace.Poll_concluded { poller = 3; au = 1; poll_id = 7; outcome = Metrics.Alarmed };
+    Trace.Effort_charged
+      {
+        peer = 5;
+        role = Trace.Loyal;
+        phase = Trace.Voting;
+        poller = Some 3;
+        au = Some 1;
+        poll_id = Some 7;
+        seconds = 432.5;
+      };
+    Trace.Effort_received
+      { peer = 3; from_ = 5; phase = Trace.Voting; au = 1; poll_id = 7; seconds = 12.25 };
     Trace.Fault_dropped { src = 3; dst = 5 };
     Trace.Fault_duplicated { src = 3; dst = 5 };
     Trace.Fault_delayed { src = 3; dst = 5; extra = 0.25 };
@@ -443,6 +487,254 @@ let test_scenario_observability_end_to_end () =
               [ string_of_int seed ] row_seeds)
         seeds)
 
+(* -- Span reconstruction -------------------------------------------------- *)
+
+let feed_events analyzer events =
+  List.iter
+    (fun (time, event) -> Obs.Analyze.feed analyzer (Trace.to_json ~time event))
+    events
+
+(* One complete, healthy poll lifecycle for poll (1, 0, 42). *)
+let poll_lifecycle_events =
+  [
+    (0., Trace.Poll_started { poller = 1; au = 0; poll_id = 42; inner_candidates = 5 });
+    (10., Trace.Solicitation_sent { poller = 1; voter = 2; au = 0; poll_id = 42; attempt = 1 });
+    (12., Trace.Solicitation_sent { poller = 1; voter = 3; au = 0; poll_id = 42; attempt = 1 });
+    (20., Trace.Invitation_accepted { voter = 2; poller = 1; au = 0; poll_id = 42 });
+    (22., Trace.Invitation_refused { voter = 3; poller = 1; au = 0; poll_id = 42 });
+    ( 30.,
+      Trace.Effort_charged
+        {
+          peer = 2;
+          role = Trace.Loyal;
+          phase = Trace.Voting;
+          poller = Some 1;
+          au = Some 0;
+          poll_id = Some 42;
+          seconds = 100.;
+        } );
+    (35., Trace.Vote_sent { voter = 2; poller = 1; au = 0; poll_id = 42 });
+    (40., Trace.Evaluation_started { poller = 1; au = 0; poll_id = 42; votes = 1 });
+    ( 41.,
+      Trace.Effort_received
+        { peer = 1; from_ = 2; phase = Trace.Voting; au = 0; poll_id = 42; seconds = 7. } );
+    ( 45.,
+      Trace.Repair_applied
+        { poller = 1; au = 0; poll_id = 42; block = 0; version = 3; clean = false } );
+    (50., Trace.Poll_concluded { poller = 1; au = 0; poll_id = 42; outcome = Metrics.Success });
+  ]
+
+let test_span_reconstruction () =
+  let analyzer = Obs.Analyze.create () in
+  feed_events analyzer poll_lifecycle_events;
+  (* A vote crossing the conclusion in flight is informational, not an
+     anomaly. *)
+  feed_events analyzer [ (55., Trace.Vote_sent { voter = 3; poller = 1; au = 0; poll_id = 42 }) ];
+  let builder = Obs.Analyze.span_builder analyzer in
+  Alcotest.(check int) "no anomalies" 0 (Obs.Span.anomaly_count builder);
+  Alcotest.(check int) "late vote is informational" 1 (Obs.Span.late_events builder);
+  Alcotest.(check int) "no open spans" 0 (List.length (Obs.Span.open_spans builder));
+  match Obs.Span.closed_spans builder with
+  | [ s ] ->
+    Alcotest.(check int) "poller" 1 s.Obs.Span.poller;
+    Alcotest.(check int) "inner candidates" 5 s.Obs.Span.inner_candidates;
+    Alcotest.(check int) "solicitations" 2 s.Obs.Span.solicitations;
+    Alcotest.(check int) "accepted" 1 s.Obs.Span.invitations_accepted;
+    Alcotest.(check int) "refused" 1 s.Obs.Span.invitations_refused;
+    Alcotest.(check int) "votes before conclusion" 1 s.Obs.Span.votes;
+    Alcotest.(check (option (float 1e-9))) "first vote at" (Some 35.) s.Obs.Span.first_vote_at;
+    Alcotest.(check int) "votes at evaluation" 1 s.Obs.Span.votes_at_evaluation;
+    Alcotest.(check int) "repairs" 1 s.Obs.Span.repairs;
+    Alcotest.(check bool) "concluded successfully" true
+      (s.Obs.Span.outcome = Some Obs.Span.Success);
+    Alcotest.(check (float 1e-9)) "effort spent" 100. s.Obs.Span.effort_spent;
+    Alcotest.(check (float 1e-9)) "effort received" 7. s.Obs.Span.effort_received;
+    Alcotest.(check (option (float 1e-9))) "solicitation duration" (Some 40.)
+      (Obs.Span.solicitation_duration s);
+    Alcotest.(check (option (float 1e-9))) "evaluation duration" (Some 5.)
+      (Obs.Span.evaluation_duration s);
+    Alcotest.(check (option (float 1e-9))) "repair duration" (Some 5.)
+      (Obs.Span.repair_duration s);
+    Alcotest.(check (option (float 1e-9))) "total duration" (Some 50.)
+      (Obs.Span.total_duration s)
+  | spans -> Alcotest.failf "expected one closed span, got %d" (List.length spans)
+
+let test_span_anomalies () =
+  let builder = Obs.Span.create () in
+  let feed time event = Obs.Span.feed builder (Trace.to_json ~time event) in
+  (* Two events for a poll whose start was never seen: one anomaly per
+     orphan key, both events counted. *)
+  feed 1. (Trace.Vote_sent { voter = 9; poller = 8; au = 0; poll_id = 5 });
+  feed 2. (Trace.Vote_sent { voter = 10; poller = 8; au = 0; poll_id = 5 });
+  Alcotest.(check int) "orphan anomalies dedup per key" 1 (Obs.Span.anomaly_count builder);
+  Alcotest.(check int) "orphan events all counted" 2 (Obs.Span.orphan_events builder);
+  (* A second poll by the same (poller, au) abandons the first. *)
+  feed 3. (Trace.Poll_started { poller = 1; au = 0; poll_id = 1; inner_candidates = 0 });
+  feed 4. (Trace.Poll_started { poller = 1; au = 0; poll_id = 2; inner_candidates = 0 });
+  feed 5. (Trace.Poll_concluded { poller = 1; au = 0; poll_id = 2; outcome = Metrics.Success });
+  feed 6. (Trace.Poll_concluded { poller = 1; au = 0; poll_id = 2; outcome = Metrics.Success });
+  (* Poller-side activity after its own conclusion is an anomaly. *)
+  feed 7. (Trace.Evaluation_started { poller = 1; au = 0; poll_id = 2; votes = 0 });
+  let kinds =
+    List.map
+      (function
+        | Obs.Span.Orphan_event _ -> "orphan"
+        | Obs.Span.Abandoned_poll _ -> "abandoned"
+        | Obs.Span.Duplicate_conclusion _ -> "duplicate"
+        | Obs.Span.Poller_event_after_conclusion _ -> "after-conclusion"
+        | Obs.Span.Malformed_line _ -> "malformed")
+      (Obs.Span.anomalies builder)
+  in
+  Alcotest.(check (list string)) "anomaly sequence"
+    [ "orphan"; "abandoned"; "duplicate"; "after-conclusion" ]
+    kinds;
+  (* The abandoned span is closed without an outcome. *)
+  let abandoned =
+    List.filter (fun s -> s.Obs.Span.outcome = None) (Obs.Span.closed_spans builder)
+  in
+  Alcotest.(check int) "abandoned span closed outcome-less" 1 (List.length abandoned)
+
+let test_truncated_trace_is_not_fatal () =
+  (* A trace cut mid-poll (the writer died): the final line is half a
+     JSON object and the poll never concludes. The analyzer must report
+     a malformed line and keep the span open, not crash. *)
+  let analyzer = Obs.Analyze.create () in
+  let lines =
+    List.map (fun (time, e) -> Json.to_string (Trace.to_json ~time e)) poll_lifecycle_events
+  in
+  let keep = List.length lines - 1 in
+  let lines = List.filteri (fun i _ -> i < keep) lines in
+  List.iteri
+    (fun i line ->
+      let line = if i = keep - 1 then String.sub line 0 (String.length line / 2) else line in
+      Obs.Analyze.feed_line analyzer ~line:(i + 1) line)
+    lines;
+  Alcotest.(check int) "one anomaly" 1 (Obs.Analyze.anomaly_count analyzer);
+  (match Obs.Analyze.anomalies analyzer with
+  | [ Obs.Span.Malformed_line { line; _ } ] ->
+    Alcotest.(check int) "at the cut line" keep line
+  | _ -> Alcotest.fail "expected a malformed-line anomaly");
+  let builder = Obs.Analyze.span_builder analyzer in
+  Alcotest.(check int) "poll left open" 1 (List.length (Obs.Span.open_spans builder));
+  Alcotest.(check int) "nothing concluded" 0 (List.length (Obs.Span.closed_spans builder))
+
+(* -- Ledger --------------------------------------------------------------- *)
+
+let test_ledger_accumulates () =
+  let ledger = Obs.Ledger.create () in
+  let feed time event = Obs.Ledger.feed ledger (Trace.to_json ~time event) in
+  let charge peer role phase seconds =
+    Trace.Effort_charged
+      { peer; role; phase; poller = Some 1; au = Some 0; poll_id = Some 1; seconds }
+  in
+  feed 1. (charge 1 Trace.Loyal Trace.Solicitation 50.);
+  feed 2. (charge 2 Trace.Loyal Trace.Voting 30.);
+  feed 3. (charge 2 Trace.Adversary Trace.Voting 20.);
+  feed 4.
+    (Trace.Effort_received
+       { peer = 1; from_ = 2; phase = Trace.Voting; au = 0; poll_id = 1; seconds = 5. });
+  feed 5. (Trace.Poll_started { poller = 1; au = 0; poll_id = 1; inner_candidates = 2 });
+  feed 6. (Trace.Vote_sent { voter = 2; poller = 1; au = 0; poll_id = 1 });
+  feed 7. (Trace.Poll_concluded { poller = 1; au = 0; poll_id = 1; outcome = Metrics.Success });
+  let e2 = Option.get (Obs.Ledger.find ledger 2) in
+  Alcotest.(check (float 1e-9)) "loyal and adversary kept apart (loyal)" 30.
+    (Obs.Ledger.spent_loyal_total e2);
+  Alcotest.(check (float 1e-9)) "loyal and adversary kept apart (adversary)" 20.
+    (Obs.Ledger.spent_adversary_total e2);
+  Alcotest.(check (float 1e-9)) "voting-phase bucket" 30.
+    e2.Obs.Ledger.spent_loyal.(Obs.Ledger.phase_index Obs.Ledger.Voting);
+  Alcotest.(check int) "votes credited to the voter" 1 e2.Obs.Ledger.votes_sent;
+  let e1 = Option.get (Obs.Ledger.find ledger 1) in
+  Alcotest.(check (float 1e-9)) "receipts credited to the poller" 5.
+    (Obs.Ledger.received_total e1);
+  Alcotest.(check int) "poll outcome credited to the poller" 1 e1.Obs.Ledger.polls_succeeded;
+  let totals = Obs.Ledger.totals ledger in
+  Alcotest.(check (float 1e-9)) "loyal total" 80. totals.Obs.Ledger.loyal_effort;
+  Alcotest.(check (float 1e-9)) "friction numerator" 80.
+    (Obs.Ledger.effort_per_successful_poll ledger);
+  Alcotest.(check (float 1e-9)) "cost ratio" 0.25 (Obs.Ledger.cost_ratio ledger);
+  let r =
+    Obs.Ledger.reconcile ledger ~loyal_effort:80. ~adversary_effort:20. ~polls_succeeded:1
+      ~polls_inquorate:0 ~polls_alarmed:0 ~votes_supplied:1
+  in
+  Alcotest.(check bool) "reconciles against matching aggregates" true r.Obs.Ledger.ok;
+  let bad =
+    Obs.Ledger.reconcile ledger ~loyal_effort:81. ~adversary_effort:20. ~polls_succeeded:1
+      ~polls_inquorate:0 ~polls_alarmed:0 ~votes_supplied:2
+  in
+  Alcotest.(check bool) "detects a mismatch" false bad.Obs.Ledger.ok
+
+(* Run a real simulation with a live analyzer attached and check the
+   ledger reconstructed from trace events against the Metrics
+   aggregates — the reconciliation-by-construction invariant. *)
+let reconciled_run attack =
+  let scale =
+    {
+      Experiments.Scenario.peers = 12;
+      aus = 1;
+      quorum = 3;
+      max_disagree = 1;
+      outer_circle = 3;
+      reference_target = 6;
+      years = 0.25;
+      runs = 1;
+      seed = 11;
+    }
+  in
+  let cfg = Experiments.Scenario.config scale in
+  let population = Experiments.Scenario.build ~cfg ~seed:11 attack in
+  let analyzer = Obs.Analyze.create () in
+  Trace.subscribe (Population.trace population) (fun ~time event ->
+      Obs.Analyze.feed analyzer (Trace.to_json ~time event));
+  Population.run population ~until:(Duration.of_years scale.Experiments.Scenario.years);
+  (analyzer, Population.summary population)
+
+let check_reconciles name analyzer (s : Metrics.summary) =
+  let ledger = Obs.Analyze.ledger analyzer in
+  let r =
+    Obs.Ledger.reconcile ledger ~loyal_effort:s.Metrics.loyal_effort
+      ~adversary_effort:s.Metrics.adversary_effort ~polls_succeeded:s.Metrics.polls_succeeded
+      ~polls_inquorate:s.Metrics.polls_inquorate ~polls_alarmed:s.Metrics.polls_alarmed
+      ~votes_supplied:s.Metrics.votes_supplied
+  in
+  if not r.Obs.Ledger.ok then
+    Alcotest.failf "%s does not reconcile: %s" name
+      (Format.asprintf "%a" Obs.Ledger.pp_reconciliation r);
+  (* The derived defense metrics must agree too (same data, so up to
+     float summation order). *)
+  let close label expect actual =
+    let ok =
+      (Float.is_finite expect
+      && Float.abs (actual -. expect) <= 1e-6 *. Float.max 1. (Float.abs expect))
+      || (expect = infinity && actual = infinity)
+    in
+    if not ok then Alcotest.failf "%s %s: expected %g, got %g" name label expect actual
+  in
+  close "friction numerator" s.Metrics.effort_per_successful_poll
+    (Obs.Ledger.effort_per_successful_poll ledger);
+  if s.Metrics.loyal_effort > 0. then
+    close "cost ratio"
+      (s.Metrics.adversary_effort /. s.Metrics.loyal_effort)
+      (Obs.Ledger.cost_ratio ledger)
+
+let test_ledger_reconciles_baseline () =
+  let analyzer, summary = reconciled_run Experiments.Scenario.No_attack in
+  check_reconciles "baseline" analyzer summary;
+  (* A fault-free baseline produces a causally clean trace. *)
+  Alcotest.(check int) "no anomalies on the fault-free baseline" 0
+    (Obs.Analyze.anomaly_count analyzer)
+
+let test_ledger_reconciles_under_attack () =
+  let analyzer, summary =
+    reconciled_run
+      (Experiments.Scenario.Brute_force
+         { strategy = Adversary.Brute_force.Intro; rate = 3.; identities = 10 })
+  in
+  check_reconciles "brute force" analyzer summary;
+  let totals = Obs.Ledger.totals (Obs.Analyze.ledger analyzer) in
+  Alcotest.(check bool) "adversary effort visible in the ledger" true
+    (totals.Obs.Ledger.adversary_effort > 0.)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "observability"
@@ -452,6 +744,9 @@ let () =
           quick "round trip" test_json_round_trip;
           quick "rejects garbage" test_json_rejects_garbage;
           quick "numbers" test_json_numbers;
+          quick "escape sequences" test_json_escapes;
+          quick "non-finite floats" test_json_non_finite_floats;
+          quick "deep nesting" test_json_deep_nesting;
         ] );
       ( "trace",
         [
@@ -489,4 +784,16 @@ let () =
         [ quick "of_string" test_duration_of_string ] );
       ( "scenario",
         [ quick "end-to-end files" test_scenario_observability_end_to_end ] );
+      ( "span",
+        [
+          quick "reconstruction from a healthy lifecycle" test_span_reconstruction;
+          quick "anomaly taxonomy" test_span_anomalies;
+          quick "truncated trace is not fatal" test_truncated_trace_is_not_fatal;
+        ] );
+      ( "ledger",
+        [
+          quick "accumulates and reconciles" test_ledger_accumulates;
+          quick "reconciles a live baseline run" test_ledger_reconciles_baseline;
+          quick "reconciles a live attack run" test_ledger_reconciles_under_attack;
+        ] );
     ]
