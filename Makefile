@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke trace-report-smoke chaos-smoke runner-smoke bench bench-parallel bench-obs profile clean
+.PHONY: all build test check smoke trace-report-smoke chaos-smoke runner-smoke audit-smoke bench bench-parallel bench-obs bench-check profile clean
 
 all: build
 
@@ -58,6 +58,23 @@ runner-smoke: build
 	  { echo "runner-smoke: parallel output differs from serial" >&2; exit 1; }
 	@echo "runner-smoke: OK"
 
+# Invariant-audit smoke: a fault-free run with the online auditor
+# attached must report zero violations (in-sim and on offline replay of
+# its trace), and a seeded mutation of the same trace must make exactly
+# its target invariant fire (audit exits non-zero on any violation).
+audit-smoke: build
+	rm -f /tmp/audit-smoke.seed1.jsonl
+	dune exec bin/lockss_sim.exe -- run --years 0.3 --check \
+	  --trace-out /tmp/audit-smoke.jsonl --trace-level debug \
+	  | grep -q '^violations: 0$$' || \
+	  { echo "audit-smoke: live auditor reported violations" >&2; exit 1; }
+	dune exec bin/lockss_sim.exe -- audit /tmp/audit-smoke.seed1.jsonl
+	! dune exec bin/lockss_sim.exe -- audit /tmp/audit-smoke.seed1.jsonl \
+	  --mutate refractory-bypass > /tmp/audit-smoke-mutated.txt 2>&1
+	grep -q '^violations: 1$$' /tmp/audit-smoke-mutated.txt || \
+	  { echo "audit-smoke: mutated trace did not raise exactly one violation" >&2; exit 1; }
+	@echo "audit-smoke: OK"
+
 bench:
 	dune exec bench/main.exe
 
@@ -69,6 +86,11 @@ bench-parallel: build
 # vs full file sinks, recorded as JSON.
 bench-obs: build
 	dune exec bench/main.exe -- obs --json BENCH_obs.json
+
+# Invariant-auditor overhead: the same micro simulation with the online
+# auditor detached vs attached, recorded as JSON.
+bench-check: build
+	dune exec bench/main.exe -- check --json BENCH_check.json
 
 profile:
 	dune exec bench/main.exe -- profile

@@ -448,6 +448,61 @@ let run_obs () =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* -- Invariant auditor overhead ----------------------------------------- *)
+
+(* The auditor subscribes to the same bus as the observability sinks and
+   evaluates every invariant online; this target prices that against the
+   unobserved run, and reports how much trace the audit digested. *)
+let run_check () =
+  section "Invariant auditor overhead (lib/check online evaluation)";
+  note "Same quarter-year micro simulation, auditor detached vs attached;";
+  note "overhead is the wall-clock ratio against the unchecked run.";
+  let cfg = Scenario.config micro_scale in
+  let years = micro_scale.Scenario.years in
+  let seed = micro_scale.Scenario.seed in
+  let repeats = 5 in
+  let mean f =
+    let total = ref 0. in
+    for _ = 1 to repeats do
+      total := !total +. wall f
+    done;
+    !total /. float_of_int repeats
+  in
+  let off =
+    mean (fun () -> ignore (Scenario.run_one ~cfg ~seed ~years Scenario.No_attack))
+  in
+  let violations = ref 0 in
+  let on_ =
+    mean (fun () ->
+        let _, vs = Scenario.run_one_audited ~cfg ~seed ~years Scenario.No_attack in
+        violations := List.length vs)
+  in
+  let overhead = if off > 0. then on_ /. off else nan in
+  let table = Table.create [ "variant"; "mean wall (s)"; "overhead" ] in
+  Table.add_row table [ "auditor off"; Printf.sprintf "%.3f" off; "1.00x" ];
+  Table.add_row table
+    [ "auditor on"; Printf.sprintf "%.3f" on_; Printf.sprintf "%.2fx" overhead ];
+  Table.print table;
+  Printf.printf "violations on the audited baseline: %d (must be 0)\n" !violations;
+  match !json_out with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Obs.Json.Assoc
+        [
+          ("repeats", Obs.Json.Int repeats);
+          ("off_s", Obs.Json.Float off);
+          ("on_s", Obs.Json.Float on_);
+          ("overhead", Obs.Json.Float overhead);
+          ("violations", Obs.Json.Int !violations);
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 (* -- Driver ------------------------------------------------------------ *)
 
 let targets =
@@ -467,6 +522,7 @@ let targets =
     ("profile", run_profile);
     ("parallel", run_parallel);
     ("obs", run_obs);
+    ("check", run_check);
     ("micro", run_micro);
   ]
 

@@ -301,9 +301,34 @@ let attack_of kind ~coverage ~duration_days ~years =
   | A_brute_remaining -> brute Adversary.Brute_force.Remaining
   | A_brute_none -> brute Adversary.Brute_force.Full
 
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Attach the runtime invariant auditor to every run: protocol invariants \
+           (effort balance, refractory self-clocking, grade decay, sampling, quorum, \
+           ledger conservation) are evaluated online against the trace stream; any \
+           violation is printed, written to --trace-out as an $(b,invariant_violated) \
+           event, and makes the command exit with status 1.")
+
+(* Audits come back as (label, seed, violations); print every violation
+   and end with the greppable "violations: N" line. *)
+let report_audits audits =
+  let total = List.fold_left (fun acc (_, _, vs) -> acc + List.length vs) 0 audits in
+  List.iter
+    (fun (label, seed, vs) ->
+      List.iter
+        (fun v ->
+          Format.printf "%s seed %d: %a@." label seed Check.Invariant.pp_violation v)
+        vs)
+    audits;
+  Format.printf "violations: %d@." total;
+  if total > 0 then exit 1
+
 let run_cmd =
   let action peers aus quorum years runs seed jobs capacity mttf interval_months kind
-      coverage duration_days mix observe =
+      coverage duration_days mix observe check =
     set_jobs jobs;
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let cfg = config_of scale ~capacity ~mttf ~interval_months in
@@ -317,12 +342,7 @@ let run_cmd =
        Printf.eprintf "invalid configuration: %s\n" msg;
        exit 2);
     let attack = attack_of kind ~coverage ~duration_days ~years in
-    match attack with
-    | Scenario.No_attack ->
-      let summary = Scenario.run_avg ?observe ~cfg scale Scenario.No_attack in
-      Format.printf "%a@." Lockss.Metrics.pp_summary summary
-    | _ ->
-      let c = Scenario.compare_runs ?observe ~cfg scale attack in
+    let print_comparison c =
       Format.printf "baseline:@.%a@.@.under attack:@.%a@.@." Lockss.Metrics.pp_summary
         c.Scenario.baseline Lockss.Metrics.pp_summary c.Scenario.attack;
       Format.printf
@@ -330,12 +350,26 @@ let run_cmd =
          ratio: %.2f@."
         c.Scenario.access_failure c.Scenario.delay_ratio c.Scenario.friction
         c.Scenario.cost_ratio
+    in
+    match (attack, check) with
+    | Scenario.No_attack, false ->
+      let summary = Scenario.run_avg ?observe ~cfg scale Scenario.No_attack in
+      Format.printf "%a@." Lockss.Metrics.pp_summary summary
+    | Scenario.No_attack, true ->
+      let summary, audits = Scenario.run_avg_audited ?observe ~cfg scale Scenario.No_attack in
+      Format.printf "%a@." Lockss.Metrics.pp_summary summary;
+      report_audits (List.map (fun (seed, vs) -> ("run", seed, vs)) audits)
+    | _, false -> print_comparison (Scenario.compare_runs ?observe ~cfg scale attack)
+    | _, true ->
+      let c, audits = Scenario.compare_runs_audited ?observe ~cfg scale attack in
+      print_comparison c;
+      report_audits audits
   in
   let term =
     Term.(
       const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs $ capacity $ mttf
       $ interval_months $ attack_kind $ coverage $ duration_days $ mix_term zero_mix
-      $ observe_term)
+      $ observe_term $ check_flag)
   in
   Cmd.v
     (Cmd.info "run"
@@ -516,6 +550,10 @@ let check_trace_cmd =
                  List.iter require_int [ "poller"; "au"; "poll_id" ]
                | "invitation_dropped" ->
                  List.iter require_int [ "voter"; "claimed"; "au"; "poll_id" ]
+               | "invitation_admitted" ->
+                 (* poll_id stays optional: garbage invitations carry none *)
+                 List.iter require_int [ "voter"; "claimed"; "au" ]
+               | "poll_sampled" -> List.iter require_int [ "poller"; "au"; "poll_id" ]
                | "effort_received" ->
                  List.iter require_int [ "peer"; "from"; "au"; "poll_id" ]
                | _ -> ());
@@ -573,6 +611,128 @@ let trace_report_cmd =
           — a fault-free baseline trace reports none. Effort tables need a trace \
           written at --trace-level debug.")
     Term.(const action $ file $ json_flag)
+
+(* -- audit command ----------------------------------------------------- *)
+
+let audit_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL trace file written with --trace-out (--trace-level debug).")
+  in
+  let audit_quorum =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "quorum" ] ~docv:"N"
+          ~doc:"Quorum the traced run used (the $(b,run) command's default is 5).")
+  in
+  let refractory =
+    Arg.(
+      value
+      & opt duration_arg Lockss.Config.default.Lockss.Config.refractory_period
+      & info [ "refractory" ] ~docv:"DUR"
+          ~doc:"Refractory period the traced run used, e.g. $(b,1d).")
+  in
+  let decay =
+    Arg.(
+      value
+      & opt duration_arg Lockss.Config.default.Lockss.Config.grade_decay_period
+      & info [ "decay" ] ~docv:"DUR"
+          ~doc:"Grade decay period the traced run used, e.g. $(b,6mo).")
+  in
+  let mutate =
+    let ids = List.map (fun m -> (m.Check.Mutation.id, m.Check.Mutation.id)) Check.Mutation.all in
+    Arg.(
+      value
+      & opt (some (enum ids)) None
+      & info [ "mutate" ] ~docv:"ID"
+          ~doc:
+            (Printf.sprintf
+               "Self-test: apply a seeded trace mutation before auditing, so the \
+                matching invariant must fire. One of: %s."
+               (String.concat ", " (List.map (fun m -> m.Check.Mutation.id) Check.Mutation.all))))
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the audit report as one JSON object instead of human-readable text.")
+  in
+  let action path quorum refractory decay mutate as_json =
+    let params =
+      {
+        Check.Invariant.default_params with
+        Check.Invariant.quorum;
+        refractory_period = refractory;
+        decay_period = decay;
+      }
+    in
+    let jsons =
+      let ic =
+        try open_in path
+        with Sys_error msg ->
+          Printf.eprintf "cannot open %s: %s\n" path msg;
+          exit 2
+      in
+      let acc = ref [] in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           if String.trim line <> "" then begin
+             match Obs.Json.of_string line with
+             | Ok json -> acc := json :: !acc
+             | Error msg ->
+               Printf.eprintf "%s:%d: invalid JSON: %s\n" path !line_no msg;
+               exit 2
+           end
+         done
+       with End_of_file -> close_in ic);
+      List.rev !acc
+    in
+    let auditor = Check.Auditor.create ~params () in
+    (match mutate with
+    | None ->
+      (* Stream the file as-is; malformed event lines become
+         trace-format violations. *)
+      List.iter (fun json -> ignore (Check.Auditor.feed_json auditor json)) jsons
+    | Some id ->
+      let events =
+        List.map
+          (fun json ->
+            match Lockss.Trace.of_json json with
+            | Ok te -> te
+            | Error msg ->
+              Printf.eprintf "%s: cannot mutate a malformed trace: %s\n" path msg;
+              exit 2)
+          jsons
+      in
+      (match Check.Mutation.apply ~params ~id events with
+      | Error msg ->
+        Printf.eprintf "mutation %s not applicable: %s\n" id msg;
+        exit 2
+      | Ok mutated ->
+        List.iter (fun (time, event) -> Check.Auditor.feed auditor ~time event) mutated));
+    Check.Auditor.finish auditor;
+    if as_json then print_endline (Obs.Json.to_string (Check.Auditor.report_json auditor))
+    else Format.printf "%a@." Check.Auditor.pp_report auditor;
+    if Check.Auditor.violation_count auditor > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Replay a --trace-out JSONL file through the protocol-invariant auditor: \
+          effort balance per poll, refractory self-clocking of admissions, monotonic \
+          grade decay, inner-circle sampling and quorum rules. A fault-free trace \
+          audits clean; exit status 1 when any invariant is violated. --mutate seeds a \
+          known violation first, proving the matching check fires. Audit a trace \
+          written at --trace-level debug, with --quorum/--refractory/--decay matching \
+          the traced run's configuration.")
+    Term.(const action $ file $ audit_quorum $ refractory $ decay $ mutate $ json_flag)
 
 (* -- subversion command ------------------------------------------------ *)
 
@@ -661,4 +821,5 @@ let () =
             extensions_cmd;
             check_trace_cmd;
             trace_report_cmd;
+            audit_cmd;
           ]))

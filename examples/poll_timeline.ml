@@ -28,7 +28,10 @@ let involves_watched event =
   | Trace.Repair_applied { poller; _ }
   | Trace.Poll_concluded { poller; _ } ->
     poller = watched_peer
-  | Trace.Invitation_dropped { claimed; _ } -> claimed = watched_peer
+  | Trace.Poll_sampled { poller; _ } -> poller = watched_peer
+  | Trace.Invitation_dropped { claimed; _ } | Trace.Invitation_admitted { claimed; _ }
+    ->
+    claimed = watched_peer
   | Trace.Invitation_refused { poller; _ } | Trace.Invitation_accepted { poller; _ } ->
     poller = watched_peer
   | Trace.Vote_sent { poller; _ } -> poller = watched_peer
@@ -36,7 +39,7 @@ let involves_watched event =
     (* Effort accounting is too chatty for a timeline. *)
     false
   | Trace.Fault_dropped _ | Trace.Fault_duplicated _ | Trace.Fault_delayed _
-  | Trace.Node_crashed _ | Trace.Node_restarted _ ->
+  | Trace.Node_crashed _ | Trace.Node_restarted _ | Trace.Invariant_violated _ ->
     false
 
 let () =

@@ -1,0 +1,282 @@
+module Trace = Lockss.Trace
+module Grade = Lockss.Grade
+module Metrics = Lockss.Metrics
+
+type t = { id : string; doc : string; target : string }
+
+(* Every mutation is deterministic: it scans the trace in stream order
+   and rewrites the first site that (a) violates its target invariant
+   and (b) provably leaves every other invariant silent, so the
+   self-tests can assert "exactly this check fires". *)
+
+let all =
+  [
+    {
+      id = "refractory-bypass";
+      doc =
+        "duplicate an admission half a refractory period after the original, \
+         at a supplier with no other admission nearby";
+      target = "refractory";
+    };
+    {
+      id = "effort-shortfall";
+      doc =
+        "shrink the remaining-effort proof of one completed vote to 1% so the \
+         voter's spend is no longer covered at vote time";
+      target = "effort-balance";
+    };
+    {
+      id = "grade-jump";
+      doc =
+        "rewrite one known-peer admission to report grade Credit where decay \
+         only allows a lower grade";
+      target = "grade-decay";
+    };
+    {
+      id = "phantom-voter";
+      doc = "add an invitee outside the reference list to one poll's sample";
+      target = "sampling";
+    };
+    {
+      id = "quorum-breach";
+      doc =
+        "append a synthetic poll that concludes success with zero inner votes";
+      target = "quorum";
+    };
+  ]
+
+let find id = List.find_opt (fun m -> String.equal m.id id) all
+
+(* Insert [entry] keeping the trace sorted by time. *)
+let insert_sorted (tnew, _ as entry) events =
+  let rec ins = function
+    | (t, e) :: rest when t <= tnew -> (t, e) :: ins rest
+    | rest -> entry :: rest
+  in
+  ins events
+
+let nth_rewrite i f events =
+  List.mapi (fun j entry -> if j = i then f entry else entry) events
+
+(* refractory-bypass: copy an admission to [t + period/2]. The site must
+   not be a known-path admission (so the grade model stays silent) and
+   must have no later admission on the same (voter, au) key before
+   [t + 2.5 * period] — the copy then violates against the original and
+   nothing violates against the copy. *)
+let refractory_bypass (params : Invariant.params) events =
+  let r = params.refractory_period in
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  let clear_after i voter au t1 =
+    let ok = ref true in
+    for j = i + 1 to n - 1 do
+      match arr.(j) with
+      | t2, Trace.Invitation_admitted { voter = v; au = a; _ }
+        when v = voter && a = au && t2 < t1 +. (2.5 *. r) ->
+        ok := false
+      | _ -> ()
+    done;
+    !ok
+  in
+  let rec scan i =
+    if i >= n then Error "refractory-bypass: no suitable admission in trace"
+    else
+      match arr.(i) with
+      | ( t1,
+          (Trace.Invitation_admitted
+             { voter; au; path = Trace.Admitted_unknown | Trace.Admitted_introduced; _ }
+           as ev) )
+        when clear_after i voter au t1 ->
+        Ok (insert_sorted (t1 +. (0.5 *. r), ev) events)
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+(* effort-shortfall: the second solicitation-phase receipt on a
+   (voter, poller, au, poll) account is the remaining-effort proof; at
+   1% of its value the account still covers the verification charges
+   already booked, so the only deficit — and the only violation —
+   appears when that voter's vote commits. The site therefore needs a
+   later Vote_sent on the same account. *)
+let effort_shortfall (_params : Invariant.params) events =
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  let counts = Hashtbl.create 64 in
+  let votes_after i key =
+    let found = ref false in
+    for j = i + 1 to n - 1 do
+      match arr.(j) with
+      | _, Trace.Vote_sent { voter; poller; au; poll_id }
+        when (voter, poller, au, poll_id) = key ->
+        found := true
+      | _ -> ()
+    done;
+    !found
+  in
+  let rec scan i =
+    if i >= n then Error "effort-shortfall: no second receipt followed by a vote"
+    else
+      match arr.(i) with
+      | _, Trace.Effort_received { peer; from_; phase = Trace.Solicitation; au; poll_id; _ }
+        ->
+        let key = (peer, from_, au, poll_id) in
+        let c = 1 + (try Hashtbl.find counts key with Not_found -> 0) in
+        Hashtbl.replace counts key c;
+        if c = 2 && votes_after i key then
+          Ok
+            (nth_rewrite i
+               (fun (t, ev) ->
+                 match ev with
+                 | Trace.Effort_received { peer; from_; phase; au; poll_id; seconds } ->
+                   ( t,
+                     Trace.Effort_received
+                       { peer; from_; phase; au; poll_id; seconds = seconds *. 0.01 } )
+                 | ev -> (t, ev))
+               events)
+        else scan (i + 1)
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+(* grade-jump: replay the auditor's own grade model to find the first
+   known-path admission whose decayed baseline no longer allows Credit,
+   then claim Credit there. Later observations compare against the
+   (higher) Credit baseline, which decay keeps above any legitimate
+   grade, so no knock-on violations.
+
+   A fault-free trace rarely has such a site — an admission is normally
+   followed by the voter's vote, which legitimately rewrites the entry
+   and resets the model — so the fallback appends a pair of admissions
+   on a fresh supplier: Even, then Credit one step later. The pair is a
+   refractory period apart (doubled, so the self-clocking check stays
+   quiet) and uses identities far outside the population, touching no
+   other invariant. *)
+let grade_jump (params : Invariant.params) events =
+  let max_steps = 8 in
+  let steps_between t0 t1 =
+    if t1 <= t0 then 0
+    else begin
+      let raw = (t1 -. t0) /. params.decay_period in
+      if raw >= float_of_int max_steps then max_steps else int_of_float raw
+    end
+  in
+  let obs = Hashtbl.create 256 in
+  let votes = Hashtbl.create 64 in
+  let site = ref None in
+  List.iteri
+    (fun i (time, event) ->
+      if !site = None then
+        match event with
+        | Trace.Invitation_admitted { voter; claimed; au; path = Trace.Admitted_known g; _ }
+          ->
+          let key = (voter, au, claimed) in
+          (match Hashtbl.find_opt obs key with
+          | Some (t0, g0)
+            when Grade.rank (Grade.decayed g0 ~steps:(steps_between t0 time))
+                 < Grade.rank Grade.Credit ->
+            site := Some i
+          | _ -> Hashtbl.replace obs key (time, g))
+        | Trace.Vote_sent { voter; poller; au; poll_id } ->
+          let vs =
+            match Hashtbl.find_opt votes (poller, au, poll_id) with
+            | Some vs -> vs
+            | None ->
+              let vs = ref [] in
+              Hashtbl.replace votes (poller, au, poll_id) vs;
+              vs
+          in
+          vs := voter :: !vs;
+          Hashtbl.remove obs (voter, au, poller)
+        | Trace.Poll_concluded { poller; au; poll_id; _ } -> (
+          match Hashtbl.find_opt votes (poller, au, poll_id) with
+          | None -> ()
+          | Some vs ->
+            List.iter (fun v -> Hashtbl.remove obs (poller, au, v)) !vs;
+            Hashtbl.remove votes (poller, au, poll_id))
+        | _ -> ())
+    events;
+  match !site with
+  | None ->
+    let tmax = List.fold_left (fun acc (t, _) -> Float.max acc t) 0. events in
+    let voter = 1_000_000 and claimed = 1_000_001 in
+    let admitted grade =
+      Trace.Invitation_admitted
+        { voter; claimed; au = 0; poll_id = None; path = Trace.Admitted_known grade }
+    in
+    Ok
+      (events
+      @ [
+          (tmax +. 1., admitted Grade.Even);
+          (tmax +. 1. +. (2. *. params.refractory_period), admitted Grade.Credit);
+        ])
+  | Some i ->
+    Ok
+      (nth_rewrite i
+         (fun (t, ev) ->
+           match ev with
+           | Trace.Invitation_admitted { voter; claimed; au; poll_id; _ } ->
+             ( t,
+               Trace.Invitation_admitted
+                 { voter; claimed; au; poll_id; path = Trace.Admitted_known Grade.Credit } )
+           | ev -> (t, ev))
+         events)
+
+(* phantom-voter: one invitee from outside the reference list. The id is
+   fresh, so it never votes and never touches any other invariant. *)
+let phantom_voter (_params : Invariant.params) events =
+  let rec index_of i = function
+    | [] -> None
+    | (_, Trace.Poll_sampled _) :: _ -> Some i
+    | _ :: rest -> index_of (i + 1) rest
+  in
+  match index_of 0 events with
+  | None -> Error "phantom-voter: trace has no poll sample"
+  | Some i ->
+    Ok
+      (nth_rewrite i
+         (fun (t, ev) ->
+           match ev with
+           | Trace.Poll_sampled { poller; au; poll_id; invited; reference } ->
+             let fresh = 1 + List.fold_left max poller (invited @ reference) in
+             ( t,
+               Trace.Poll_sampled
+                 { poller; au; poll_id; invited = invited @ [ fresh ]; reference } )
+           | ev -> (t, ev))
+         events)
+
+(* quorum-breach: a synthetic poll at end-of-trace that concludes
+   success off an empty (vacuously well-formed) sample. *)
+let quorum_breach (_params : Invariant.params) events =
+  let tmax = List.fold_left (fun acc (t, _) -> Float.max acc t) 0. events in
+  let fresh_poll =
+    1
+    + List.fold_left
+        (fun acc (_, ev) ->
+          match ev with
+          | Trace.Poll_started { poll_id; _ }
+          | Trace.Poll_sampled { poll_id; _ }
+          | Trace.Poll_concluded { poll_id; _ }
+          | Trace.Vote_sent { poll_id; _ } ->
+            max acc poll_id
+          | _ -> acc)
+        0 events
+  in
+  Ok
+    (events
+    @ [
+        ( tmax +. 1.,
+          Trace.Poll_sampled
+            { poller = 0; au = 0; poll_id = fresh_poll; invited = []; reference = [] } );
+        ( tmax +. 2.,
+          Trace.Poll_concluded
+            { poller = 0; au = 0; poll_id = fresh_poll; outcome = Metrics.Success } );
+      ])
+
+let apply ~params ~id events =
+  match id with
+  | "refractory-bypass" -> refractory_bypass params events
+  | "effort-shortfall" -> effort_shortfall params events
+  | "grade-jump" -> grade_jump params events
+  | "phantom-voter" -> phantom_voter params events
+  | "quorum-breach" -> quorum_breach params events
+  | _ -> Error (Printf.sprintf "unknown mutation %S" id)

@@ -1,0 +1,30 @@
+(** Seeded trace mutations — the self-test half of the audit layer.
+
+    Each mutation deterministically rewrites a captured event stream so
+    that exactly one invariant is violated (its [target]), proving both
+    that the check fires on real breakage and that the others stay
+    quiet. No randomness: every mutation picks the {e first} suitable
+    site in stream order, so a given trace always mutates the same
+    way. *)
+
+type t = {
+  id : string;  (** CLI name, e.g. ["refractory-bypass"] *)
+  doc : string;
+  target : string;  (** the {!Invariant.t} id this mutation must trip *)
+}
+
+(** The five mutations: ["refractory-bypass"], ["effort-shortfall"],
+    ["grade-jump"], ["phantom-voter"], ["quorum-breach"]. *)
+val all : t list
+
+val find : string -> t option
+
+(** [apply ~params ~id events] rewrites the time-ordered trace.
+    [Error _] when [id] is unknown or the trace holds no suitable site
+    (e.g. a trace with no completed vote cannot host
+    ["effort-shortfall"]). *)
+val apply :
+  params:Invariant.params ->
+  id:string ->
+  (float * Lockss.Trace.event) list ->
+  ((float * Lockss.Trace.event) list, string) result

@@ -2,15 +2,18 @@
     peer per AU).
 
     Combines the paper's three mechanisms ahead of any expensive
-    processing: a rigid rate limit for unknown/in-debt pollers (one
-    admission per {e refractory period}), random drops biased against
-    unknown identities (0.90) over in-debt ones (0.80), an at-most-one-
-    per-refractory-period limit for known even/credit peers, and
-    introduction bypass. Everything it rejects costs the victim nothing —
-    that is the point of the filter. *)
+    processing: a rigid self-clocked rate limit (at most one admission —
+    on {e any} path — per {e refractory period}), random drops biased
+    against unknown identities (0.90) over in-debt ones (0.80), an
+    at-most-one-per-refractory-period limit for known even/credit peers,
+    and introduction bypass. Introductions bypass only the random drops;
+    the refractory window applies to them too, and a refractory-dropped
+    introduction is {e not} consumed (the introducee may retry).
+    Everything it rejects costs the victim nothing — that is the point of
+    the filter. *)
 
 type drop_reason =
-  | Refractory  (** an unknown/in-debt invitation during the refractory period *)
+  | Refractory  (** any invitation during the refractory period *)
   | Random_drop  (** lost the admission coin flip *)
   | Known_rate_limited  (** this even/credit peer already used its slot *)
 
@@ -40,3 +43,9 @@ val consider :
 
 (** [in_refractory t ~now] exposes the refractory state for tests. *)
 val in_refractory : t -> now:float -> bool
+
+(** [last_admission t identity] is the time of [identity]'s most recent
+    recorded admission (known-grade and introduced paths record; anonymous
+    unknown/debt admissions do not, to keep the table bounded under
+    identity floods). For tests and auditing. *)
+val last_admission : t -> Ids.Identity.t -> float option

@@ -5,9 +5,19 @@ let create ~decay_period =
   if decay_period <= 0. then invalid_arg "Known_peers.create: decay period";
   { decay_period; entries = Hashtbl.create 32 }
 
+(* Any grade reaches the absorbing Debt state in at most two decay steps,
+   so steps beyond this bound are equivalent; clamping keeps the
+   [int_of_float] away from its unspecified huge-float behaviour when an
+   entry has been untouched for a very long (or infinite) gap. *)
+let max_decay_steps = 8
+
 let decay_steps t entry ~now =
   if now <= entry.updated then 0
-  else int_of_float ((now -. entry.updated) /. t.decay_period)
+  else begin
+    let raw = (now -. entry.updated) /. t.decay_period in
+    if raw >= float_of_int max_decay_steps then max_decay_steps
+    else int_of_float raw
+  end
 
 let effective t entry ~now = Grade.decayed entry.grade ~steps:(decay_steps t entry ~now)
 

@@ -425,6 +425,15 @@ let rec start_poll ctx (peer : Peer.t) (st : Peer.au_state) =
             poll_id = poll.Peer.poll_id;
             inner_candidates = List.length inner;
           });
+    Trace.emit ctx.Peer.trace ~now (fun () ->
+        Trace.Poll_sampled
+          {
+            poller = peer.Peer.identity;
+            au = st.Peer.au;
+            poll_id = poll.Peer.poll_id;
+            invited = inner_ids;
+            reference = Reference_list.members st.Peer.reference;
+          });
     schedule_solicitations ctx peer st poll inner ~window_start:now
       ~window_end:poll.Peer.inner_deadline;
     ignore

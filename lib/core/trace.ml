@@ -30,6 +30,33 @@ let effort_phase_of_string = function
 
 let all_effort_phases = [ Admission; Solicitation; Voting; Evaluation; Repair ]
 
+(* -- Admission paths ---------------------------------------------------- *)
+
+type admission_path =
+  | Admitted_introduced
+  | Admitted_unknown
+  | Admitted_known of Grade.t
+
+let admission_path_of_decision = function
+  | `Introduced -> Admitted_introduced
+  | `Unknown -> Admitted_unknown
+  | `Known g -> Admitted_known g
+
+let admission_path_to_string = function
+  | Admitted_introduced -> "introduced"
+  | Admitted_unknown -> "unknown"
+  | Admitted_known Grade.Debt -> "known_debt"
+  | Admitted_known Grade.Even -> "known_even"
+  | Admitted_known Grade.Credit -> "known_credit"
+
+let admission_path_of_string = function
+  | "introduced" -> Some Admitted_introduced
+  | "unknown" -> Some Admitted_unknown
+  | "known_debt" -> Some (Admitted_known Grade.Debt)
+  | "known_even" -> Some (Admitted_known Grade.Even)
+  | "known_credit" -> Some (Admitted_known Grade.Credit)
+  | _ -> None
+
 type event =
   | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
   | Solicitation_sent of {
@@ -46,6 +73,13 @@ type event =
       poll_id : int;
       reason : Admission.drop_reason;
     }
+  | Invitation_admitted of {
+      voter : Ids.Identity.t;
+      claimed : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int option;  (** [None] for unsolicited (garbage) invitations *)
+      path : admission_path;
+    }
   | Invitation_refused of {
       voter : Ids.Identity.t;
       poller : Ids.Identity.t;
@@ -59,6 +93,13 @@ type event =
       poll_id : int;
     }
   | Vote_sent of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int }
+  | Poll_sampled of {
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+      invited : Ids.Identity.t list;
+      reference : Ids.Identity.t list;
+    }
   | Evaluation_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; votes : int }
   | Repair_applied of {
       poller : Ids.Identity.t;
@@ -96,6 +137,13 @@ type event =
   | Fault_delayed of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
   | Node_crashed of { node : Ids.Identity.t }
   | Node_restarted of { node : Ids.Identity.t }
+  | Invariant_violated of {
+      invariant : string;
+      peer : Ids.Identity.t option;
+      au : Ids.Au_id.t option;
+      poll_id : int option;
+      detail : string;
+    }
 
 type t = { mutable subscribers : (time:float -> event -> unit) list }
 
@@ -134,6 +182,11 @@ let pp_event ppf = function
     in
     Format.fprintf ppf "poll %d: %a drops invitation claimed by %a on %a (%s)" poll_id
       Ids.Identity.pp voter Ids.Identity.pp claimed Ids.Au_id.pp au reason
+  | Invitation_admitted { voter; claimed; au; poll_id; path } ->
+    Format.fprintf ppf "%s: %a admits invitation claimed by %a on %a (%s)"
+      (match poll_id with Some id -> Printf.sprintf "poll %d" id | None -> "garbage")
+      Ids.Identity.pp voter Ids.Identity.pp claimed Ids.Au_id.pp au
+      (admission_path_to_string path)
   | Invitation_refused { voter; poller; au; poll_id } ->
     Format.fprintf ppf "poll %d: %a refuses %a on %a (busy)" poll_id Ids.Identity.pp
       voter Ids.Identity.pp poller Ids.Au_id.pp au
@@ -143,6 +196,10 @@ let pp_event ppf = function
   | Vote_sent { voter; poller; au; poll_id } ->
     Format.fprintf ppf "poll %d: %a votes for %a on %a" poll_id Ids.Identity.pp voter
       Ids.Identity.pp poller Ids.Au_id.pp au
+  | Poll_sampled { poller; au; poll_id; invited; reference } ->
+    Format.fprintf ppf "poll %d: %a samples %d of %d reference peers on %a" poll_id
+      Ids.Identity.pp poller (List.length invited) (List.length reference) Ids.Au_id.pp
+      au
   | Evaluation_started { poller; au; poll_id; votes } ->
     Format.fprintf ppf "poll %d: %a evaluates %d votes on %a" poll_id Ids.Identity.pp
       poller votes Ids.Au_id.pp au
@@ -179,21 +236,27 @@ let pp_event ppf = function
   | Node_crashed { node } -> Format.fprintf ppf "fault: %a crashed" Ids.Identity.pp node
   | Node_restarted { node } ->
     Format.fprintf ppf "fault: %a restarted" Ids.Identity.pp node
+  | Invariant_violated { invariant; peer; au; poll_id; detail } ->
+    Format.fprintf ppf "INVARIANT %s violated%a: %s" invariant pp_correlation
+      (peer, au, poll_id) detail
 
 (* -- Taxonomy ---------------------------------------------------------- *)
 
 type severity = Debug | Info | Warn
 
 let severity = function
-  | Solicitation_sent _ | Invitation_refused _ | Invitation_accepted _ | Vote_sent _
-  | Evaluation_started _ | Effort_charged _ | Effort_received _ | Fault_dropped _
-  | Fault_duplicated _ | Fault_delayed _ ->
+  | Solicitation_sent _ | Invitation_admitted _ | Invitation_refused _
+  | Invitation_accepted _ | Vote_sent _ | Poll_sampled _ | Evaluation_started _
+  | Effort_charged _ | Effort_received _ | Fault_dropped _ | Fault_duplicated _
+  | Fault_delayed _ ->
     Debug
   | Poll_started _ | Invitation_dropped _ | Repair_applied _
   | Poll_concluded { outcome = Metrics.Success; _ }
   | Node_crashed _ | Node_restarted _ ->
     Info
-  | Poll_concluded { outcome = Metrics.Inquorate | Metrics.Alarmed; _ } -> Warn
+  | Poll_concluded { outcome = Metrics.Inquorate | Metrics.Alarmed; _ }
+  | Invariant_violated _ ->
+    Warn
 
 let severity_to_string = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
 
@@ -208,9 +271,11 @@ let kind = function
   | Poll_started _ -> "poll_started"
   | Solicitation_sent _ -> "solicitation_sent"
   | Invitation_dropped _ -> "invitation_dropped"
+  | Invitation_admitted _ -> "invitation_admitted"
   | Invitation_refused _ -> "invitation_refused"
   | Invitation_accepted _ -> "invitation_accepted"
   | Vote_sent _ -> "vote_sent"
+  | Poll_sampled _ -> "poll_sampled"
   | Evaluation_started _ -> "evaluation_started"
   | Repair_applied _ -> "repair_applied"
   | Poll_concluded _ -> "poll_concluded"
@@ -221,15 +286,18 @@ let kind = function
   | Fault_delayed _ -> "fault_delayed"
   | Node_crashed _ -> "node_crashed"
   | Node_restarted _ -> "node_restarted"
+  | Invariant_violated _ -> "invariant_violated"
 
 let all_kinds =
   [
     "poll_started";
     "solicitation_sent";
     "invitation_dropped";
+    "invitation_admitted";
     "invitation_refused";
     "invitation_accepted";
     "vote_sent";
+    "poll_sampled";
     "evaluation_started";
     "repair_applied";
     "poll_concluded";
@@ -240,6 +308,7 @@ let all_kinds =
     "fault_delayed";
     "node_crashed";
     "node_restarted";
+    "invariant_violated";
   ]
 
 let involves event id =
@@ -247,8 +316,11 @@ let involves event id =
   match event with
   | Poll_started { poller; _ } | Evaluation_started { poller; _ } -> eq poller
   | Repair_applied { poller; _ } | Poll_concluded { poller; _ } -> eq poller
+  | Poll_sampled { poller; invited; _ } -> eq poller || List.exists eq invited
   | Solicitation_sent { poller; voter; _ } -> eq poller || eq voter
-  | Invitation_dropped { voter; claimed; _ } -> eq voter || eq claimed
+  | Invitation_dropped { voter; claimed; _ }
+  | Invitation_admitted { voter; claimed; _ } ->
+    eq voter || eq claimed
   | Invitation_refused { voter; poller; _ }
   | Invitation_accepted { voter; poller; _ }
   | Vote_sent { voter; poller; _ } ->
@@ -260,20 +332,24 @@ let involves event id =
   | Fault_delayed { src; dst; _ } ->
     eq src || eq dst
   | Node_crashed { node } | Node_restarted { node } -> eq node
+  | Invariant_violated { peer; _ } -> (
+    match peer with Some p -> eq p | None -> false)
 
 let au_of = function
   | Poll_started { au; _ }
   | Solicitation_sent { au; _ }
   | Invitation_dropped { au; _ }
+  | Invitation_admitted { au; _ }
   | Invitation_refused { au; _ }
   | Invitation_accepted { au; _ }
   | Vote_sent { au; _ }
+  | Poll_sampled { au; _ }
   | Evaluation_started { au; _ }
   | Repair_applied { au; _ }
   | Poll_concluded { au; _ }
   | Effort_received { au; _ } ->
     Some au
-  | Effort_charged { au; _ } -> au
+  | Effort_charged { au; _ } | Invariant_violated { au; _ } -> au
   | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ | Node_crashed _
   | Node_restarted _ ->
     None
@@ -329,6 +405,10 @@ let to_json ~time event =
         ("poll_id", Json.Int poll_id);
         ("reason", Json.String (drop_reason_to_string reason));
       ]
+    | Invitation_admitted { voter; claimed; au; poll_id; path } ->
+      [ ("voter", Json.Int voter); ("claimed", Json.Int claimed); ("au", Json.Int au) ]
+      @ opt "poll_id" poll_id
+      @ [ ("path", Json.String (admission_path_to_string path)) ]
     | Invitation_refused { voter; poller; au; poll_id } ->
       [
         ("voter", Json.Int voter);
@@ -349,6 +429,15 @@ let to_json ~time event =
         ("poller", Json.Int poller);
         ("au", Json.Int au);
         ("poll_id", Json.Int poll_id);
+      ]
+    | Poll_sampled { poller; au; poll_id; invited; reference } ->
+      let ids xs = Json.List (List.map (fun i -> Json.Int i) xs) in
+      [
+        ("poller", Json.Int poller);
+        ("au", Json.Int au);
+        ("poll_id", Json.Int poll_id);
+        ("invited", ids invited);
+        ("reference", ids reference);
       ]
     | Evaluation_started { poller; au; poll_id; votes } ->
       [
@@ -395,6 +484,10 @@ let to_json ~time event =
     | Fault_delayed { src; dst; extra } ->
       [ ("src", Json.Int src); ("dst", Json.Int dst); ("extra", Json.Float extra) ]
     | Node_crashed { node } | Node_restarted { node } -> [ ("node", Json.Int node) ]
+    | Invariant_violated { invariant; peer; au; poll_id; detail } ->
+      [ ("invariant", Json.String invariant) ]
+      @ opt "peer" peer @ opt "au" au @ opt "poll_id" poll_id
+      @ [ ("detail", Json.String detail) ]
   in
   Json.Assoc
     ([
@@ -423,6 +516,15 @@ let of_json json =
       | Some i -> Ok (Some i)
       | None -> Error (Printf.sprintf "malformed optional field %S" name))
   in
+  let int_list name =
+    field name (fun v ->
+        match v with
+        | Json.List items ->
+          let ints = List.filter_map Json.to_int items in
+          if List.length ints = List.length items then Some ints else None
+        | _ -> None)
+  in
+  let str name = field name Json.string_value in
   let* time = field "t" Json.to_float in
   let* kind = field "kind" Json.string_value in
   let* event =
@@ -449,6 +551,15 @@ let of_json json =
         field "reason" (fun v -> Option.bind (Json.string_value v) drop_reason_of_string)
       in
       Ok (Invitation_dropped { voter; claimed; au; poll_id; reason })
+    | "invitation_admitted" ->
+      let* voter = int "voter" in
+      let* claimed = int "claimed" in
+      let* au = int "au" in
+      let* poll_id = opt_int "poll_id" in
+      let* path =
+        field "path" (fun v -> Option.bind (Json.string_value v) admission_path_of_string)
+      in
+      Ok (Invitation_admitted { voter; claimed; au; poll_id; path })
     | "invitation_refused" ->
       let* voter = int "voter" in
       let* poller = int "poller" in
@@ -467,6 +578,13 @@ let of_json json =
       let* au = int "au" in
       let* poll_id = int "poll_id" in
       Ok (Vote_sent { voter; poller; au; poll_id })
+    | "poll_sampled" ->
+      let* poller = int "poller" in
+      let* au = int "au" in
+      let* poll_id = int "poll_id" in
+      let* invited = int_list "invited" in
+      let* reference = int_list "reference" in
+      Ok (Poll_sampled { poller; au; poll_id; invited; reference })
     | "evaluation_started" ->
       let* poller = int "poller" in
       let* au = int "au" in
@@ -531,6 +649,13 @@ let of_json json =
     | "node_restarted" ->
       let* node = int "node" in
       Ok (Node_restarted { node })
+    | "invariant_violated" ->
+      let* invariant = str "invariant" in
+      let* peer = opt_int "peer" in
+      let* au = opt_int "au" in
+      let* poll_id = opt_int "poll_id" in
+      let* detail = str "detail" in
+      Ok (Invariant_violated { invariant; peer; au; poll_id; detail })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
   Ok (time, event)

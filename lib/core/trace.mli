@@ -49,6 +49,24 @@ val effort_phase_of_string : string -> effort_phase option
 (** All effort phases, in declaration order. *)
 val all_effort_phases : effort_phase list
 
+(** {2 Admission paths}
+
+    Which filter branch admitted an invitation: via a consumed
+    introduction, as an anonymous unknown, or as a known peer with its
+    effective (decayed) grade at admission time. *)
+type admission_path =
+  | Admitted_introduced
+  | Admitted_unknown
+  | Admitted_known of Grade.t
+
+(** [admission_path_of_decision d] converts the payload of
+    [Admission.Admitted d] to its trace representation. *)
+val admission_path_of_decision :
+  [ `Known of Grade.t | `Unknown | `Introduced ] -> admission_path
+
+val admission_path_to_string : admission_path -> string
+val admission_path_of_string : string -> admission_path option
+
 type event =
   | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
   | Solicitation_sent of {
@@ -65,6 +83,16 @@ type event =
       poll_id : int;
       reason : Admission.drop_reason;
     }
+  | Invitation_admitted of {
+      voter : Ids.Identity.t;
+      claimed : Ids.Identity.t;  (** alleged poller; unauthenticated *)
+      au : Ids.Au_id.t;
+      poll_id : int option;  (** [None] for unsolicited (garbage) invitations *)
+      path : admission_path;
+    }
+      (** the admission filter let an invitation through — the checkable
+          complement of [Invitation_dropped], consumed by the refractory
+          self-clocking invariant *)
   | Invitation_refused of {
       voter : Ids.Identity.t;
       poller : Ids.Identity.t;
@@ -79,6 +107,15 @@ type event =
       poll_id : int;
     }
   | Vote_sent of { voter : Ids.Identity.t; poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int }
+  | Poll_sampled of {
+      poller : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int;
+      invited : Ids.Identity.t list;  (** the sampled inner circle *)
+      reference : Ids.Identity.t list;  (** reference list at sampling time *)
+    }
+      (** the inner-circle sample a poll drew from its reference list,
+          consumed by the sampling and quorum invariants *)
   | Evaluation_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; votes : int }
   | Repair_applied of {
       poller : Ids.Identity.t;
@@ -122,6 +159,16 @@ type event =
   | Fault_delayed of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
   | Node_crashed of { node : Ids.Identity.t }  (** churn took the node down *)
   | Node_restarted of { node : Ids.Identity.t }
+  | Invariant_violated of {
+      invariant : string;  (** the [Check.Invariant] id that fired *)
+      peer : Ids.Identity.t option;
+      au : Ids.Au_id.t option;
+      poll_id : int option;
+      detail : string;
+    }
+      (** a protocol invariant failed; emitted by a live [Check.Auditor]
+          attached to this bus (auditors never react to these, so
+          re-emission cannot loop) *)
 
 type t
 
@@ -143,7 +190,7 @@ val pp_event : Format.formatter -> event -> unit
     per-message chatter of healthy polls (including effort accounting);
     [Info] marks poll lifecycle milestones, admission drops and repairs;
     [Warn] marks outcomes that indicate trouble (inquorate or alarmed
-    polls). *)
+    polls, invariant violations). *)
 type severity = Debug | Info | Warn
 
 val severity : event -> severity

@@ -70,8 +70,17 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
     Trace.emit ctx.Peer.trace ~now (fun () ->
         Trace.Invitation_dropped
           { voter = peer.Peer.identity; claimed = identity; au; poll_id; reason })
-  | Admission.Admitted _ ->
+  | Admission.Admitted path ->
     Metrics.on_invitation_considered ctx.Peer.metrics;
+    Trace.emit ctx.Peer.trace ~now (fun () ->
+        Trace.Invitation_admitted
+          {
+            voter = peer.Peer.identity;
+            claimed = identity;
+            au;
+            poll_id = Some poll_id;
+            path = Trace.admission_path_of_decision path;
+          });
     Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Admission ~poller:identity ~au
       ~poll_id (consideration_cost cfg);
     let effort_ok =
@@ -299,10 +308,19 @@ let on_garbage ctx (peer : Peer.t) ~identity ~au =
       ~identity
   with
   | Admission.Dropped _ -> Metrics.on_invitation_dropped ctx.Peer.metrics
-  | Admission.Admitted _ ->
+  | Admission.Admitted path ->
     (* The garbage got through the cheap filters; rejecting it costs one
        consideration plus one (failing) introductory-effort check. *)
     Metrics.on_invitation_considered ctx.Peer.metrics;
+    Trace.emit ctx.Peer.trace ~now (fun () ->
+        Trace.Invitation_admitted
+          {
+            voter = peer.Peer.identity;
+            claimed = identity;
+            au;
+            poll_id = None;
+            path = Trace.admission_path_of_decision path;
+          });
     Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Admission ~poller:identity ~au
       (consideration_cost cfg);
     if cfg.Config.effort_balancing_enabled then

@@ -232,6 +232,7 @@ let subscribe_observers ~observe ~seed population =
                 ~polls_inquorate:summary.Lockss.Metrics.polls_inquorate
                 ~polls_alarmed:summary.Lockss.Metrics.polls_alarmed
                 ~votes_supplied:summary.Lockss.Metrics.votes_supplied
+                ~invitations_considered:summary.Lockss.Metrics.invitations_considered
             in
             Out_channel.with_open_text (seeded_path path ~seed) (fun oc ->
                 output_string oc
@@ -253,12 +254,29 @@ let build ~cfg ~seed attack =
   ignore (attach population (Lockss.Population.extra_nodes population) attack);
   population
 
-let run_one ?observe ~cfg ~seed ~years attack =
+let run_one ?observe ?check ~cfg ~seed ~years attack =
   let population = build ~cfg ~seed attack in
+  (match check with
+  | None -> ()
+  | Some auditor -> Check.Auditor.attach auditor (Lockss.Population.trace population));
   let cleanup = subscribe_observers ~observe ~seed population in
   Fun.protect ~finally:cleanup (fun () ->
       Lockss.Population.run population ~until:(Duration.of_years years);
-      Lockss.Population.summary population)
+      let summary = Lockss.Population.summary population in
+      (match check with
+      | None -> ()
+      | Some auditor -> Check.Auditor.finish ~metrics:summary auditor);
+      summary)
+
+(* -- Auditing ----------------------------------------------------------- *)
+
+let make_auditor ~cfg () =
+  Check.Auditor.create ~params:(Check.Invariant.params_of_config cfg) ()
+
+let run_one_audited ?observe ~cfg ~seed ~years attack =
+  let auditor = make_auditor ~cfg () in
+  let summary = run_one ?observe ~check:auditor ~cfg ~seed ~years attack in
+  (summary, Check.Auditor.violations auditor)
 
 type profile = {
   summary : Lockss.Metrics.summary;
@@ -344,6 +362,24 @@ let run_all ?observe ~cfg scale attack =
 let run_avg ?observe ~cfg scale attack =
   mean_summaries (run_all ?observe ~cfg scale attack)
 
+(* Audited sweeps: one auditor per run (runs execute on separate
+   domains), violations merged back in seed order by [Runner.map], so a
+   multi-run audit is as deterministic as the runs themselves. *)
+let run_all_audited ?observe ~cfg scale attack =
+  List.split
+    (Runner.map
+       (fun i ->
+         let seed = scale.seed + i in
+         let summary, violations =
+           run_one_audited ?observe ~cfg ~seed ~years:scale.years attack
+         in
+         (summary, (seed, violations)))
+       (List.init scale.runs Fun.id))
+
+let run_avg_audited ?observe ~cfg scale attack =
+  let summaries, audits = run_all_audited ?observe ~cfg scale attack in
+  (mean_summaries summaries, audits)
+
 type spread = {
   mean : Lockss.Metrics.summary;
   afp_min : float;
@@ -396,3 +432,14 @@ let compare_runs ?observe ~cfg scale attack =
       (fun () -> run_avg ?observe ~cfg scale attack)
   in
   ratios ~baseline ~attack:attack_summary
+
+let compare_runs_audited ?observe ~cfg scale attack =
+  let baseline_observe = Option.map (tag_observe "baseline") observe in
+  let (baseline, baseline_audits), (attack_summary, attack_audits) =
+    Runner.both
+      (fun () -> run_avg_audited ?observe:baseline_observe ~cfg scale No_attack)
+      (fun () -> run_avg_audited ?observe ~cfg scale attack)
+  in
+  ( ratios ~baseline ~attack:attack_summary,
+    List.map (fun (seed, vs) -> ("baseline", seed, vs)) baseline_audits
+    @ List.map (fun (seed, vs) -> ("attack", seed, vs)) attack_audits )

@@ -100,12 +100,38 @@ val tag_observe : string -> observe -> observe
     need to subscribe observers or probe engine state mid-run. *)
 val build : cfg:Lockss.Config.t -> seed:int -> attack -> Lockss.Population.t
 
-(** [run_one ?observe ~cfg ~seed ~years attack] builds a population,
-    attaches the attack, runs the horizon and returns the finalised
-    metrics, writing the run's trace/metrics files when [observe] is
-    given. *)
-val run_one : ?observe:observe -> cfg:Lockss.Config.t -> seed:int -> years:float ->
-  attack -> Lockss.Metrics.summary
+(** [run_one ?observe ?check ~cfg ~seed ~years attack] builds a
+    population, attaches the attack, runs the horizon and returns the
+    finalised metrics, writing the run's trace/metrics files when
+    [observe] is given. When a [check] auditor is given it is attached
+    to the run's trace bus (so every protocol invariant is evaluated
+    online and violations land in the trace as
+    [Invariant_violated] events) and finished against the run's metrics
+    before returning. *)
+val run_one : ?observe:observe -> ?check:Check.Auditor.t -> cfg:Lockss.Config.t ->
+  seed:int -> years:float -> attack -> Lockss.Metrics.summary
+
+(** [make_auditor ~cfg ()] is a fresh auditor parameterised by the run
+    configuration ({!Check.Invariant.params_of_config}). *)
+val make_auditor : cfg:Lockss.Config.t -> unit -> Check.Auditor.t
+
+(** [run_one_audited] is {!run_one} with its own fresh auditor; returns
+    the summary and the violations observed (empty on a clean run). *)
+val run_one_audited :
+  ?observe:observe -> cfg:Lockss.Config.t -> seed:int -> years:float -> attack ->
+  Lockss.Metrics.summary * Check.Invariant.violation list
+
+(** [run_all_audited] is {!run_all} with one auditor per run; the
+    violation lists come back seed-tagged, in seed order. *)
+val run_all_audited :
+  ?observe:observe -> cfg:Lockss.Config.t -> scale -> attack ->
+  Lockss.Metrics.summary list * (int * Check.Invariant.violation list) list
+
+(** [run_avg_audited] averages like {!run_avg} and returns the
+    seed-tagged violations of every contributing run. *)
+val run_avg_audited :
+  ?observe:observe -> cfg:Lockss.Config.t -> scale -> attack ->
+  Lockss.Metrics.summary * (int * Check.Invariant.violation list) list
 
 (** One scenario run with engine profiling attached: the summary plus the
     engine's event statistics and the CPU seconds spent building the
@@ -171,3 +197,10 @@ val ratios : baseline:Lockss.Metrics.summary -> attack:Lockss.Metrics.summary ->
     reuse the same seeds. *)
 val compare_runs :
   ?observe:observe -> cfg:Lockss.Config.t -> scale -> attack -> comparison
+
+(** [compare_runs_audited] audits both sides of the comparison; each
+    violation list is tagged with its side (["baseline"] or ["attack"])
+    and seed, baseline side first. *)
+val compare_runs_audited :
+  ?observe:observe -> cfg:Lockss.Config.t -> scale -> attack ->
+  comparison * (string * int * Check.Invariant.violation list) list

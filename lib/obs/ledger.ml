@@ -37,6 +37,7 @@ type entry = {
   mutable polls_inquorate : int;
   mutable polls_alarmed : int;
   mutable votes_sent : int;
+  mutable invitations_admitted : int;
   mutable invitations_accepted : int;
   mutable invitations_refused : int;
   mutable invitations_dropped : int;
@@ -67,6 +68,7 @@ let entry t peer =
         polls_inquorate = 0;
         polls_alarmed = 0;
         votes_sent = 0;
+        invitations_admitted = 0;
         invitations_accepted = 0;
         invitations_refused = 0;
         invitations_dropped = 0;
@@ -123,6 +125,11 @@ let feed t json =
     match int_field "voter" json with
     | Some voter -> (entry t voter).votes_sent <- (entry t voter).votes_sent + 1
     | None -> ())
+  | Some "invitation_admitted" -> (
+    match int_field "voter" json with
+    | Some voter ->
+      (entry t voter).invitations_admitted <- (entry t voter).invitations_admitted + 1
+    | None -> ())
   | Some "invitation_accepted" -> (
     match int_field "voter" json with
     | Some voter ->
@@ -159,6 +166,7 @@ type totals = {
   total_polls_inquorate : int;
   total_polls_alarmed : int;
   total_votes_sent : int;
+  total_invitations_admitted : int;
   peer_count : int;
 }
 
@@ -174,6 +182,8 @@ let totals t =
         total_polls_inquorate = acc.total_polls_inquorate + e.polls_inquorate;
         total_polls_alarmed = acc.total_polls_alarmed + e.polls_alarmed;
         total_votes_sent = acc.total_votes_sent + e.votes_sent;
+        total_invitations_admitted =
+          acc.total_invitations_admitted + e.invitations_admitted;
         peer_count = acc.peer_count + 1;
       })
     t.peers
@@ -186,6 +196,7 @@ let totals t =
       total_polls_inquorate = 0;
       total_polls_alarmed = 0;
       total_votes_sent = 0;
+      total_invitations_admitted = 0;
       peer_count = 0;
     }
 
@@ -206,6 +217,7 @@ type reconciliation = {
   polls_inquorate_delta : int;
   polls_alarmed_delta : int;
   votes_delta : int;
+  invitations_delta : int;
   ok : bool;
 }
 
@@ -216,7 +228,7 @@ let relative_delta a b =
   Float.abs (a -. b) /. scale
 
 let reconcile t ~loyal_effort ~adversary_effort ~polls_succeeded ~polls_inquorate
-    ~polls_alarmed ~votes_supplied =
+    ~polls_alarmed ~votes_supplied ~invitations_considered =
   let s = totals t in
   let loyal_delta = relative_delta s.loyal_effort loyal_effort in
   let adversary_delta = relative_delta s.adversary_effort adversary_effort in
@@ -224,6 +236,7 @@ let reconcile t ~loyal_effort ~adversary_effort ~polls_succeeded ~polls_inquorat
   let polls_inquorate_delta = s.total_polls_inquorate - polls_inquorate in
   let polls_alarmed_delta = s.total_polls_alarmed - polls_alarmed in
   let votes_delta = s.total_votes_sent - votes_supplied in
+  let invitations_delta = s.total_invitations_admitted - invitations_considered in
   {
     loyal_delta;
     adversary_delta;
@@ -231,19 +244,21 @@ let reconcile t ~loyal_effort ~adversary_effort ~polls_succeeded ~polls_inquorat
     polls_inquorate_delta;
     polls_alarmed_delta;
     votes_delta;
+    invitations_delta;
     ok =
       loyal_delta <= float_tolerance
       && adversary_delta <= float_tolerance
       && polls_succeeded_delta = 0 && polls_inquorate_delta = 0
-      && polls_alarmed_delta = 0 && votes_delta = 0;
+      && polls_alarmed_delta = 0 && votes_delta = 0 && invitations_delta = 0;
   }
 
 let pp_reconciliation ppf r =
   Format.fprintf ppf
-    "ledger vs metrics: %s (loyal %.2e, adversary %.2e, polls %+d/%+d/%+d, votes %+d)"
+    "ledger vs metrics: %s (loyal %.2e, adversary %.2e, polls %+d/%+d/%+d, votes %+d, \
+     invitations %+d)"
     (if r.ok then "reconciled" else "MISMATCH")
     r.loyal_delta r.adversary_delta r.polls_succeeded_delta r.polls_inquorate_delta
-    r.polls_alarmed_delta r.votes_delta
+    r.polls_alarmed_delta r.votes_delta r.invitations_delta
 
 let reconciliation_to_json r =
   Json.Assoc
@@ -255,6 +270,7 @@ let reconciliation_to_json r =
       ("polls_inquorate_delta", Json.Int r.polls_inquorate_delta);
       ("polls_alarmed_delta", Json.Int r.polls_alarmed_delta);
       ("votes_delta", Json.Int r.votes_delta);
+      ("invitations_delta", Json.Int r.invitations_delta);
     ]
 
 let phase_assoc values =
@@ -275,6 +291,7 @@ let entry_to_json e =
       ("polls_inquorate", Json.Int e.polls_inquorate);
       ("polls_alarmed", Json.Int e.polls_alarmed);
       ("votes_sent", Json.Int e.votes_sent);
+      ("invitations_admitted", Json.Int e.invitations_admitted);
       ("invitations_accepted", Json.Int e.invitations_accepted);
       ("invitations_refused", Json.Int e.invitations_refused);
       ("invitations_dropped", Json.Int e.invitations_dropped);

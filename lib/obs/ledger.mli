@@ -33,6 +33,8 @@ type entry = {
   mutable polls_inquorate : int;
   mutable polls_alarmed : int;
   mutable votes_sent : int;
+  mutable invitations_admitted : int;
+      (** invitations past the admission filter (considered) *)
   mutable invitations_accepted : int;
   mutable invitations_refused : int;
   mutable invitations_dropped : int;
@@ -66,6 +68,7 @@ type totals = {
   total_polls_inquorate : int;
   total_polls_alarmed : int;
   total_votes_sent : int;
+  total_invitations_admitted : int;
   peer_count : int;
 }
 
@@ -88,6 +91,8 @@ type reconciliation = {
   polls_inquorate_delta : int;
   polls_alarmed_delta : int;
   votes_delta : int;
+  invitations_delta : int;
+      (** admitted invitations vs the metrics' considered count *)
   ok : bool;
 }
 
@@ -103,6 +108,7 @@ val reconcile :
   polls_inquorate:int ->
   polls_alarmed:int ->
   votes_supplied:int ->
+  invitations_considered:int ->
   reconciliation
 
 val pp_reconciliation : Format.formatter -> reconciliation -> unit

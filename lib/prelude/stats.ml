@@ -71,8 +71,9 @@ let percentile p xs =
   | [] -> invalid_arg "Stats.percentile: empty list"
   | _ :: _ ->
     if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+    if List.exists Float.is_nan xs then invalid_arg "Stats.percentile: NaN input";
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     let rank = p /. 100. *. float_of_int (n - 1) in
     let lo = int_of_float (floor rank) in

@@ -22,7 +22,9 @@ module Acc : sig
 
   val stddev : t -> float
 
-  (** [min t]/[max t] are [nan] when empty. *)
+  (** [min t]/[max t] are seeded to [nan] and stay [nan] until the first
+      {!add} (the [count = 1] branch overwrites the seed, so NaN never
+      poisons comparisons afterwards). *)
   val min : t -> float
 
   val max : t -> float
@@ -48,5 +50,7 @@ end
 val mean : float list -> float
 
 (** [percentile p xs] is the [p]-th percentile ([0 <= p <= 100]) of a
-    non-empty list, with linear interpolation. *)
+    non-empty list, with linear interpolation. Sorts with total float
+    order ([Float.compare]); raises [Invalid_argument] if any input is
+    NaN, so quantiles are always well-defined. *)
 val percentile : float -> float list -> float

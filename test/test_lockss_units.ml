@@ -270,6 +270,17 @@ let test_known_peers_decay () =
   Alcotest.(check (option grade_testable)) "saturates at debt" (Some Grade.Debt)
     (Known_peers.grade kp ~now:10_000. 7)
 
+let test_known_peers_decay_huge_gap_clamped () =
+  (* Regression: the step count used to feed an unclamped [int_of_float],
+     whose result is unspecified for huge floats. Absurd gaps must still
+     decay cleanly to the absorbing Debt state. *)
+  let kp = Known_peers.create ~decay_period:100. in
+  Known_peers.set kp ~now:0. 7 Grade.Credit;
+  Alcotest.(check (option grade_testable)) "gap beyond int range" (Some Grade.Debt)
+    (Known_peers.grade kp ~now:1e300 7);
+  Alcotest.(check (option grade_testable)) "infinite gap" (Some Grade.Debt)
+    (Known_peers.grade kp ~now:infinity 7)
+
 let test_known_peers_update_resets_decay_clock () =
   let kp = Known_peers.create ~decay_period:100. in
   Known_peers.set kp ~now:0. 7 Grade.Credit;
@@ -402,9 +413,14 @@ let test_admission_known_rate_limit () =
   (match Admission.consider adm ~rng:(rng ()) ~now:0. ~known:kp ~identity:5 with
   | Admission.Admitted (`Known Grade.Credit) -> ()
   | _ -> Alcotest.fail "first admission");
+  Alcotest.(check (option (float 1e-9)))
+    "known admission recorded" (Some 0.) (Admission.last_admission adm 5);
+  (* The global self-clocking window covers known peers too: a repeat
+     invitation inside the refractory period is dropped before the
+     per-identity slot is even consulted. *)
   (match Admission.consider adm ~rng:(rng ()) ~now:10. ~known:kp ~identity:5 with
-  | Admission.Dropped Admission.Known_rate_limited -> ()
-  | _ -> Alcotest.fail "expected per-peer rate limit");
+  | Admission.Dropped Admission.Refractory -> ()
+  | _ -> Alcotest.fail "expected refractory drop for repeat known peer");
   match Admission.consider adm ~rng:(rng ()) ~now:150. ~known:kp ~identity:5 with
   | Admission.Admitted (`Known Grade.Credit) -> ()
   | _ -> Alcotest.fail "slot refreshes after a period"
@@ -431,6 +447,43 @@ let test_admission_introduction_bypass () =
   match Admission.consider adm ~rng:(rng ()) ~now:0. ~known:kp ~identity:5 with
   | Admission.Dropped _ -> ()
   | Admission.Admitted _ -> Alcotest.fail "introduction must not be reusable"
+
+let test_admission_introduction_respects_refractory () =
+  (* Regression for the reorder: introductions bypass only the random
+     drops, never the refractory window. An introduced poller arriving
+     mid-window is dropped, its introduction is NOT consumed, and the
+     retry after the window succeeds with the same introduction. *)
+  let cfg = { admission_cfg with Config.drop_unknown = 0.0 } in
+  let adm = Admission.create cfg in
+  let kp = Known_peers.create ~decay_period:1000. in
+  (* Arm the refractory window with an unknown admission at t=0. *)
+  (match Admission.consider adm ~rng:(rng ()) ~now:0. ~known:kp ~identity:7 with
+  | Admission.Admitted `Unknown -> ()
+  | _ -> Alcotest.fail "expected unknown admission");
+  Introductions.add (Admission.introductions adm) ~introducer:9 ~introducee:5;
+  (match Admission.consider adm ~rng:(rng ()) ~now:50. ~known:kp ~identity:5 with
+  | Admission.Dropped Admission.Refractory -> ()
+  | _ -> Alcotest.fail "introduced poller must not bypass refractory");
+  (match Admission.consider adm ~rng:(rng ()) ~now:150. ~known:kp ~identity:5 with
+  | Admission.Admitted `Introduced -> ()
+  | _ -> Alcotest.fail "refractory drop must not consume the introduction");
+  Alcotest.(check (option (float 1e-9)))
+    "introduced admission recorded" (Some 150.) (Admission.last_admission adm 5)
+
+let test_admission_introduction_rearms_refractory () =
+  (* An introduced admission re-arms the self-clocking window like any
+     other admission path. *)
+  let adm = Admission.create admission_cfg in
+  let kp = Known_peers.create ~decay_period:1000. in
+  Introductions.add (Admission.introductions adm) ~introducer:9 ~introducee:5;
+  (match Admission.consider adm ~rng:(rng ()) ~now:0. ~known:kp ~identity:5 with
+  | Admission.Admitted `Introduced -> ()
+  | _ -> Alcotest.fail "expected introduced admission");
+  Alcotest.(check bool) "in refractory" true (Admission.in_refractory adm ~now:99.);
+  Introductions.add (Admission.introductions adm) ~introducer:9 ~introducee:6;
+  match Admission.consider adm ~rng:(rng ()) ~now:50. ~known:kp ~identity:6 with
+  | Admission.Dropped Admission.Refractory -> ()
+  | _ -> Alcotest.fail "second introduction inside the window must be dropped"
 
 let test_admission_disabled_admits_everything () =
   let cfg = { admission_cfg with Config.admission_control_enabled = false } in
@@ -661,6 +714,7 @@ let () =
         [
           quick "lifecycle" test_known_peers_lifecycle;
           quick "decay" test_known_peers_decay;
+          quick "decay huge gap clamped" test_known_peers_decay_huge_gap_clamped;
           quick "decay clock reset" test_known_peers_update_resets_decay_clock;
           quick "punish forgets" test_known_peers_punish_forgets;
           quick "lower unknown" test_known_peers_lower_unknown_enters_debt;
@@ -683,6 +737,10 @@ let () =
           quick "known rate limit" test_admission_known_rate_limit;
           quick "debt drop rate" test_admission_debt_gets_debt_drop_rate;
           quick "introduction bypass" test_admission_introduction_bypass;
+          quick "introduction respects refractory"
+            test_admission_introduction_respects_refractory;
+          quick "introduction re-arms refractory"
+            test_admission_introduction_rearms_refractory;
           quick "disabled admits all" test_admission_disabled_admits_everything;
           prop_admission_rate_bounded;
         ] );

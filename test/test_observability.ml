@@ -88,9 +88,19 @@ let sample_events =
     Trace.Solicitation_sent { poller = 3; voter = 5; au = 1; poll_id = 7; attempt = 2 };
     Trace.Invitation_dropped
       { voter = 5; claimed = 12; au = 0; poll_id = 4; reason = Admission.Refractory };
+    Trace.Invitation_admitted
+      {
+        voter = 5;
+        claimed = 3;
+        au = 1;
+        poll_id = Some 7;
+        path = Trace.Admitted_known Grade.Even;
+      };
     Trace.Invitation_refused { voter = 5; poller = 3; au = 1; poll_id = 7 };
     Trace.Invitation_accepted { voter = 5; poller = 3; au = 1; poll_id = 7 };
     Trace.Vote_sent { voter = 5; poller = 3; au = 1; poll_id = 7 };
+    Trace.Poll_sampled
+      { poller = 3; au = 1; poll_id = 7; invited = [ 5; 6 ]; reference = [ 5; 6; 8 ] };
     Trace.Evaluation_started { poller = 3; au = 1; poll_id = 7; votes = 6 };
     Trace.Repair_applied
       { poller = 3; au = 1; poll_id = 7; block = 4; version = 99; clean = true };
@@ -112,6 +122,14 @@ let sample_events =
     Trace.Fault_delayed { src = 3; dst = 5; extra = 0.25 };
     Trace.Node_crashed { node = 5 };
     Trace.Node_restarted { node = 5 };
+    Trace.Invariant_violated
+      {
+        invariant = "refractory";
+        peer = Some 5;
+        au = Some 1;
+        poll_id = None;
+        detail = "two admissions 3.2s apart";
+      };
   ]
 
 let test_trace_jsonl_round_trip () =
@@ -150,8 +168,9 @@ let test_trace_filter_sink () =
   Trace.subscribe trace
     (Trace.filter_sink ~kinds:[ "invitation_dropped" ] (fun ~time:_ _ -> incr drops));
   List.iter (fun e -> Trace.emit trace ~now:2. (fun () -> e)) sample_events;
-  (* Only the Alarmed conclusion is warn-severity in the sample set. *)
-  Alcotest.(check int) "warn filter" 1 !warns;
+  (* The Alarmed conclusion and the invariant violation are the only
+     warn-severity events in the sample set. *)
+  Alcotest.(check int) "warn filter" 2 !warns;
   let expect_peer5 = List.length (List.filter (fun e -> Trace.involves e 5) sample_events) in
   Alcotest.(check int) "peer filter" expect_peer5 !peer5;
   Alcotest.(check int) "kind filter" 1 !drops
@@ -634,6 +653,15 @@ let test_ledger_accumulates () =
     (Trace.Effort_received
        { peer = 1; from_ = 2; phase = Trace.Voting; au = 0; poll_id = 1; seconds = 5. });
   feed 5. (Trace.Poll_started { poller = 1; au = 0; poll_id = 1; inner_candidates = 2 });
+  feed 5.5
+    (Trace.Invitation_admitted
+       {
+         voter = 2;
+         claimed = 1;
+         au = 0;
+         poll_id = Some 1;
+         path = Trace.Admitted_unknown;
+       });
   feed 6. (Trace.Vote_sent { voter = 2; poller = 1; au = 0; poll_id = 1 });
   feed 7. (Trace.Poll_concluded { poller = 1; au = 0; poll_id = 1; outcome = Metrics.Success });
   let e2 = Option.get (Obs.Ledger.find ledger 2) in
@@ -655,12 +683,12 @@ let test_ledger_accumulates () =
   Alcotest.(check (float 1e-9)) "cost ratio" 0.25 (Obs.Ledger.cost_ratio ledger);
   let r =
     Obs.Ledger.reconcile ledger ~loyal_effort:80. ~adversary_effort:20. ~polls_succeeded:1
-      ~polls_inquorate:0 ~polls_alarmed:0 ~votes_supplied:1
+      ~polls_inquorate:0 ~polls_alarmed:0 ~votes_supplied:1 ~invitations_considered:1
   in
   Alcotest.(check bool) "reconciles against matching aggregates" true r.Obs.Ledger.ok;
   let bad =
     Obs.Ledger.reconcile ledger ~loyal_effort:81. ~adversary_effort:20. ~polls_succeeded:1
-      ~polls_inquorate:0 ~polls_alarmed:0 ~votes_supplied:2
+      ~polls_inquorate:0 ~polls_alarmed:0 ~votes_supplied:2 ~invitations_considered:1
   in
   Alcotest.(check bool) "detects a mismatch" false bad.Obs.Ledger.ok
 
@@ -696,6 +724,7 @@ let check_reconciles name analyzer (s : Metrics.summary) =
       ~adversary_effort:s.Metrics.adversary_effort ~polls_succeeded:s.Metrics.polls_succeeded
       ~polls_inquorate:s.Metrics.polls_inquorate ~polls_alarmed:s.Metrics.polls_alarmed
       ~votes_supplied:s.Metrics.votes_supplied
+      ~invitations_considered:s.Metrics.invitations_considered
   in
   if not r.Obs.Ledger.ok then
     Alcotest.failf "%s does not reconcile: %s" name

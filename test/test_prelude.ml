@@ -218,6 +218,24 @@ let test_percentile () =
 let test_percentile_interpolates () =
   check_float "p50 of pair" 1.5 (Stats.percentile 50. [ 1.; 2. ])
 
+let test_percentile_total_order () =
+  (* Regression: the sort used polymorphic [compare]; with total float
+     order, signed zeros and infinities land where they should. *)
+  check_float "negatives sort below" (-3.) (Stats.percentile 0. [ 4.; -3.; 0. ]);
+  check_float "p100 with infinity" infinity (Stats.percentile 100. [ 1.; infinity; 2. ]);
+  check_float "p0 with -infinity" neg_infinity
+    (Stats.percentile 0. [ 1.; neg_infinity; 2. ]);
+  check_float "signed zeros ordered" 0. (Stats.percentile 50. [ 0.; -0.; 1. ])
+
+let test_percentile_nan_raises () =
+  Alcotest.check_raises "NaN input" (Invalid_argument "Stats.percentile: NaN input")
+    (fun () -> ignore (Stats.percentile 50. [ 1.; nan; 2. ]))
+
+let test_percentile_singleton () =
+  check_float "p0 singleton" 42. (Stats.percentile 0. [ 42. ]);
+  check_float "p100 singleton" 42. (Stats.percentile 100. [ 42. ]);
+  check_float "p37 singleton" 42. (Stats.percentile 37. [ 42. ])
+
 let test_mean_empty_raises () =
   Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty list")
     (fun () -> ignore (Stats.mean []))
@@ -299,6 +317,9 @@ let () =
           quick "time-weighted multi-step" test_time_weighted_multi_step;
           quick "percentile" test_percentile;
           quick "percentile interpolation" test_percentile_interpolates;
+          quick "percentile total order" test_percentile_total_order;
+          quick "percentile NaN raises" test_percentile_nan_raises;
+          quick "percentile singleton" test_percentile_singleton;
           quick "mean empty raises" test_mean_empty_raises;
           QCheck_alcotest.to_alcotest prop_acc_mean_matches_fold;
         ] );
