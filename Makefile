@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke trace-report-smoke chaos-smoke runner-smoke audit-smoke bench bench-parallel bench-obs bench-check profile clean
+.PHONY: all build test check smoke trace-report-smoke chaos-smoke runner-smoke audit-smoke bench bench-parallel bench-obs bench-check diff-bench profile clean
 
 all: build
 
@@ -26,9 +26,14 @@ smoke: build
 
 # Offline-analyzer smoke: a short fault-free baseline traced at debug
 # level must reconstruct into spans and a ledger with zero anomalies
-# (trace-report exits non-zero on any anomaly).
+# (trace-report exits non-zero on any anomaly). The trace is then
+# round-tripped through the binary encoding: check-trace, trace-report
+# and audit must agree with the JSONL path byte-for-byte and
+# exit-code-for-exit-code, and converting back must reproduce the
+# original JSONL exactly.
 trace-report-smoke: build
-	rm -f /tmp/tr-smoke.seed1.jsonl /tmp/tr-smoke-spans.seed1.jsonl /tmp/tr-smoke-ledger.seed1.json
+	rm -f /tmp/tr-smoke.seed1.jsonl /tmp/tr-smoke-spans.seed1.jsonl /tmp/tr-smoke-ledger.seed1.json \
+	  /tmp/tr-smoke.seed1.ntrace /tmp/tr-smoke-back.seed1.jsonl
 	dune exec bin/lockss_sim.exe -- run --years 0.2 \
 	  --trace-out /tmp/tr-smoke.jsonl --trace-level debug \
 	  --spans-out /tmp/tr-smoke-spans.jsonl --ledger-out /tmp/tr-smoke-ledger.json
@@ -37,6 +42,16 @@ trace-report-smoke: build
 	  { echo "trace-report-smoke: ledger did not reconcile with metrics" >&2; exit 1; }
 	@test -s /tmp/tr-smoke-spans.seed1.jsonl || \
 	  { echo "trace-report-smoke: no spans written" >&2; exit 1; }
+	dune exec bin/lockss_sim.exe -- trace-convert /tmp/tr-smoke.seed1.jsonl /tmp/tr-smoke.seed1.ntrace
+	dune exec bin/lockss_sim.exe -- check-trace /tmp/tr-smoke.seed1.ntrace
+	dune exec bin/lockss_sim.exe -- trace-report --json /tmp/tr-smoke.seed1.jsonl > /tmp/tr-smoke-report-jsonl.json
+	dune exec bin/lockss_sim.exe -- trace-report --json /tmp/tr-smoke.seed1.ntrace > /tmp/tr-smoke-report-binary.json
+	cmp /tmp/tr-smoke-report-jsonl.json /tmp/tr-smoke-report-binary.json || \
+	  { echo "trace-report-smoke: binary trace analyzed differently from JSONL" >&2; exit 1; }
+	dune exec bin/lockss_sim.exe -- audit /tmp/tr-smoke.seed1.ntrace
+	dune exec bin/lockss_sim.exe -- trace-convert /tmp/tr-smoke.seed1.ntrace /tmp/tr-smoke-back.seed1.jsonl
+	cmp /tmp/tr-smoke.seed1.jsonl /tmp/tr-smoke-back.seed1.jsonl || \
+	  { echo "trace-report-smoke: jsonl -> binary -> jsonl is not the identity" >&2; exit 1; }
 	@echo "trace-report-smoke: OK"
 
 # Fault-injection smoke: a small deployment under the acceptance fault
@@ -91,6 +106,15 @@ bench-obs: build
 # auditor detached vs attached, recorded as JSON.
 bench-check: build
 	dune exec bench/main.exe -- check --json BENCH_check.json
+
+# Bench regression gate: re-run the benchmarks and diff the fresh JSON
+# against the pinned baselines; exits non-zero on any >25% regression in
+# a tracked (overhead/speedup) metric.
+diff-bench: bench-parallel bench-obs bench-check
+	dune exec bench/main.exe -- diff-bench \
+	  BENCH_parallel.baseline.json BENCH_parallel.json \
+	  BENCH_obs.baseline.json BENCH_obs.json \
+	  BENCH_check.baseline.json BENCH_check.json
 
 profile:
 	dune exec bench/main.exe -- profile

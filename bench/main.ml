@@ -289,9 +289,50 @@ let run_micro () =
 
 (* -- Parallel runner speedup ------------------------------------------- *)
 
-(* Optional destination for the serial/parallel comparison, set by
+(* Optional destination for a target's JSON artifact, set by
    [--json FILE]. *)
 let json_out = ref None
+
+(* Optional pinned baseline to gate against, set by [--compare FILE];
+   [--threshold PCT] adjusts the regression threshold (default 25%). *)
+let compare_with = ref None
+let threshold = ref 25.
+let gate_failed = ref false
+
+let load_json path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot read %s: %s\n" path msg;
+    exit 2
+  | contents ->
+    (match Obs.Json.of_string (String.trim contents) with
+    | Ok json -> json
+    | Error msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+      exit 2)
+
+(* Write the target's JSON artifact ([--json]) and diff it against the
+   pinned baseline ([--compare]); a regression or a missing tracked
+   metric makes the whole bench run exit 1 (after all targets ran). *)
+let emit_doc doc =
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  match !compare_with with
+  | None -> ()
+  | Some path ->
+    let report =
+      Obs.Bench_gate.compare_json ~threshold_pct:!threshold ~baseline:(load_json path)
+        ~current:doc ()
+    in
+    Printf.printf "gate: comparing against %s\n" path;
+    Format.printf "%a@." Obs.Bench_gate.pp_report report;
+    if not (Obs.Bench_gate.ok report) then gate_failed := true
 
 let parallel_targets =
   [
@@ -306,6 +347,30 @@ let wall f =
   f ();
   Unix.gettimeofday () -. t0
 
+(* Process CPU seconds ([Sys.time] is getrusage-backed, microsecond
+   granularity). The overhead-ratio benches use this rather than wall
+   clock: their runs are tens of milliseconds, and on a busy shared
+   host co-tenant preemption swings wall ratios by ±20% — far above the
+   regression gate's threshold — while CPU time charges each variant
+   only for its own work. Throughput figures elsewhere keep wall
+   clock. *)
+let cpu f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+(* Best-of-N CPU time after a warm-up run: the minimum is the robust
+   estimator for overhead ratios on short runs, where the mean is
+   dominated by scheduler preemption and GC pauses. *)
+let best_cpu ~repeats f =
+  ignore (cpu f);
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let s = cpu f in
+    if s < !best then best := s
+  done;
+  !best
+
 let run_parallel () =
   section "Runner: serial vs parallel wall-clock";
   note "Same sweeps, jobs=1 versus the auto worker count; results are";
@@ -313,14 +378,19 @@ let run_parallel () =
   note "question is wall-clock. Speedup ~1.0 is expected on one core.";
   let auto_jobs = Experiments.Runner.default_jobs () in
   note "workers: %d (Domain.recommended_domain_count or LOCKSS_JOBS)" auto_jobs;
+  (* A run-wide profiler collects per-worker busy time and GC pressure
+     across the parallel phases; workers report through Runner, the
+     profiler itself stays on this domain. *)
+  let prof = Obs.Profiler.create () in
+  Experiments.Runner.set_profiler (Some prof);
   let table = Table.create [ "target"; "serial (s)"; "parallel (s)"; "speedup" ] in
   let entries =
     List.map
       (fun (name, f) ->
         Experiments.Runner.set_jobs 1;
-        let serial = wall f in
+        let serial = Obs.Profiler.phase prof (name ^ " serial") (fun () -> wall f) in
         Experiments.Runner.set_jobs 0;
-        let parallel = wall f in
+        let parallel = Obs.Profiler.phase prof (name ^ " parallel") (fun () -> wall f) in
         let speedup = if parallel > 0. then serial /. parallel else nan in
         Table.add_row table
           [
@@ -340,22 +410,16 @@ let run_parallel () =
       parallel_targets
   in
   Experiments.Runner.set_jobs 0;
+  Experiments.Runner.set_profiler None;
+  Obs.Profiler.sample_gc prof;
   Table.print table;
-  match !json_out with
-  | None -> ()
-  | Some path ->
-    let doc =
-      Obs.Json.Assoc
-        [
-          ("jobs", Obs.Json.Int auto_jobs);
-          ("targets", Obs.Json.List (List.map snd entries));
-        ]
-    in
-    let oc = open_out path in
-    output_string oc (Obs.Json.to_string doc);
-    output_char oc '\n';
-    close_out oc;
-    Printf.printf "wrote %s\n" path
+  Format.printf "%a@." Obs.Profiler.pp prof;
+  emit_doc
+    (Obs.Json.Assoc
+       [
+         ("jobs", Obs.Json.Int auto_jobs);
+         ("targets", Obs.Json.List (List.map snd entries));
+       ])
 
 (* -- Observability overhead --------------------------------------------- *)
 
@@ -364,11 +428,18 @@ let run_parallel () =
    the live span+ledger builders, and the full file sinks. *)
 let run_obs () =
   section "Observability overhead (trace bus, span+ledger builders, file sinks)";
-  note "Same quarter-year micro simulation per variant; overhead is the";
-  note "wall-clock ratio against the no-subscribers run.";
+  note "Same one-year micro simulation per variant; overhead is the";
+  note "best-of-repeats CPU-time ratio against the no-subscribers run.";
   let cfg = Scenario.config micro_scale in
-  let years = micro_scale.Scenario.years in
-  let repeats = 5 in
+  (* A full year (not the quarter-year the other targets use): the runs
+     here are compared as ratios, and sub-10ms runs drown the ratio in
+     scheduler noise. *)
+  let years = 1.0 in
+  (* Eight rounds, not five: each variant's figure is a best-of, and on
+     a shared machine the heavier variants need more draws to land a
+     quiet scheduling window — with too few rounds the ratio noise
+     floor sits above the regression gate's threshold. *)
+  let repeats = 8 in
   let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name in
   let cleanup paths =
     List.iter
@@ -378,10 +449,23 @@ let run_obs () =
       paths
   in
   let live_paths = [ tmp "bench_obs_spans.jsonl"; tmp "bench_obs_ledger.json" ] in
-  let full_paths = tmp "bench_obs_trace.jsonl" :: live_paths in
+  let jsonl_trace = tmp "bench_obs_trace.jsonl" in
+  let binary_trace = tmp "bench_obs_trace.ntrace" in
+  let warn_trace = tmp "bench_obs_warn.jsonl" in
   let variants =
     [
       ("tracing disabled", None, []);
+      (* A warn-level sink raises the bus's interest floor to Warn, so
+         nearly every emission skips its thunk: this variant must stay
+         within noise of "tracing disabled". *)
+      ( "warn-level file sink",
+        Some
+          {
+            Scenario.default_observe with
+            Scenario.trace_out = Some warn_trace;
+            trace_level = Lockss.Trace.Warn;
+          },
+        [ warn_trace ] );
       ( "live span+ledger",
         Some
           {
@@ -394,59 +478,81 @@ let run_obs () =
         Some
           {
             Scenario.default_observe with
-            Scenario.trace_out = Some (tmp "bench_obs_trace.jsonl");
+            Scenario.trace_out = Some jsonl_trace;
             trace_level = Lockss.Trace.Debug;
             spans_out = Some (List.nth live_paths 0);
             ledger_out = Some (List.nth live_paths 1);
           },
-        full_paths );
+        jsonl_trace :: live_paths );
+      ( "full file sinks (binary)",
+        Some
+          {
+            Scenario.default_observe with
+            Scenario.trace_out = Some binary_trace;
+            trace_level = Lockss.Trace.Debug;
+            spans_out = Some (List.nth live_paths 0);
+            ledger_out = Some (List.nth live_paths 1);
+          },
+        binary_trace :: live_paths );
     ]
   in
-  let table = Table.create [ "variant"; "mean wall (s)"; "overhead" ] in
+  let table = Table.create [ "variant"; "best cpu (s)"; "overhead" ] in
+  (* Variants are interleaved round-robin rather than measured in
+     sequence: CPU frequency ramps over the process lifetime, and
+     sequential measurement would charge the ramp to whichever variant
+     ran first. Best-of-rounds then compares like with like. *)
+  let run_variant (_, observe, _) =
+    cpu (fun () ->
+        ignore
+          (Scenario.run_one ?observe ~cfg ~seed:micro_scale.Scenario.seed ~years
+             Scenario.No_attack))
+  in
+  let n = List.length variants in
+  let best = Array.make n infinity in
+  List.iter (fun v -> ignore (run_variant v)) variants;
+  for _ = 1 to repeats do
+    List.iteri
+      (fun i v ->
+        let s = run_variant v in
+        if s < best.(i) then best.(i) <- s)
+      variants
+  done;
   let measured =
-    List.map
-      (fun (name, observe, paths) ->
-        let total = ref 0. in
-        for _ = 1 to repeats do
-          total :=
-            !total
-            +. wall (fun () ->
-                   ignore
-                     (Scenario.run_one ?observe ~cfg ~seed:micro_scale.Scenario.seed
-                        ~years Scenario.No_attack))
-        done;
+    List.mapi
+      (fun i (name, _, paths) ->
         cleanup paths;
-        (name, !total /. float_of_int repeats))
+        (name, best.(i)))
       variants
   in
   let baseline = match measured with (_, s) :: _ -> s | [] -> nan in
   let entries =
     List.map
-      (fun (name, mean_s) ->
-        let overhead = if baseline > 0. then mean_s /. baseline else nan in
+      (fun (name, cpu_s) ->
+        let overhead = if baseline > 0. then cpu_s /. baseline else nan in
         Table.add_row table
-          [ name; Printf.sprintf "%.3f" mean_s; Printf.sprintf "%.2fx" overhead ];
+          [ name; Printf.sprintf "%.3f" cpu_s; Printf.sprintf "%.2fx" overhead ];
         Obs.Json.Assoc
           [
             ("variant", Obs.Json.String name);
-            ("mean_s", Obs.Json.Float mean_s);
+            ("cpu_s", Obs.Json.Float cpu_s);
             ("overhead", Obs.Json.Float overhead);
           ])
       measured
   in
   Table.print table;
-  match !json_out with
-  | None -> ()
-  | Some path ->
-    let doc =
-      Obs.Json.Assoc
-        [ ("repeats", Obs.Json.Int repeats); ("variants", Obs.Json.List entries) ]
-    in
-    let oc = open_out path in
-    output_string oc (Obs.Json.to_string doc);
-    output_char oc '\n';
-    close_out oc;
-    Printf.printf "wrote %s\n" path
+  (match List.assoc_opt "warn-level file sink" measured with
+  | Some warn_s when baseline > 0. ->
+    let overhead = warn_s /. baseline in
+    if overhead > 1.25 then
+      Printf.printf
+        "NOTE: warn-level sink overhead %.2fx exceeds the within-noise expectation \
+         (1.25x); emit short-circuiting may have regressed.\n"
+        overhead
+    else Printf.printf "warn-level sink within noise of disabled (%.2fx <= 1.25x)\n" overhead
+  | _ -> ());
+  emit_doc
+    (Obs.Json.Assoc
+       [ ("repeats", Obs.Json.Int repeats); ("variants", Obs.Json.List entries) ])
 
 (* -- Invariant auditor overhead ----------------------------------------- *)
 
@@ -455,53 +561,39 @@ let run_obs () =
    unobserved run, and reports how much trace the audit digested. *)
 let run_check () =
   section "Invariant auditor overhead (lib/check online evaluation)";
-  note "Same quarter-year micro simulation, auditor detached vs attached;";
-  note "overhead is the wall-clock ratio against the unchecked run.";
+  note "Same one-year micro simulation, auditor detached vs attached;";
+  note "overhead is the best-of-repeats CPU-time ratio against the";
+  note "unchecked run.";
   let cfg = Scenario.config micro_scale in
-  let years = micro_scale.Scenario.years in
+  let years = 1.0 in
   let seed = micro_scale.Scenario.seed in
   let repeats = 5 in
-  let mean f =
-    let total = ref 0. in
-    for _ = 1 to repeats do
-      total := !total +. wall f
-    done;
-    !total /. float_of_int repeats
-  in
   let off =
-    mean (fun () -> ignore (Scenario.run_one ~cfg ~seed ~years Scenario.No_attack))
+    best_cpu ~repeats (fun () ->
+        ignore (Scenario.run_one ~cfg ~seed ~years Scenario.No_attack))
   in
   let violations = ref 0 in
   let on_ =
-    mean (fun () ->
+    best_cpu ~repeats (fun () ->
         let _, vs = Scenario.run_one_audited ~cfg ~seed ~years Scenario.No_attack in
         violations := List.length vs)
   in
   let overhead = if off > 0. then on_ /. off else nan in
-  let table = Table.create [ "variant"; "mean wall (s)"; "overhead" ] in
+  let table = Table.create [ "variant"; "best cpu (s)"; "overhead" ] in
   Table.add_row table [ "auditor off"; Printf.sprintf "%.3f" off; "1.00x" ];
   Table.add_row table
     [ "auditor on"; Printf.sprintf "%.3f" on_; Printf.sprintf "%.2fx" overhead ];
   Table.print table;
   Printf.printf "violations on the audited baseline: %d (must be 0)\n" !violations;
-  match !json_out with
-  | None -> ()
-  | Some path ->
-    let doc =
-      Obs.Json.Assoc
-        [
-          ("repeats", Obs.Json.Int repeats);
-          ("off_s", Obs.Json.Float off);
-          ("on_s", Obs.Json.Float on_);
-          ("overhead", Obs.Json.Float overhead);
-          ("violations", Obs.Json.Int !violations);
-        ]
-    in
-    let oc = open_out path in
-    output_string oc (Obs.Json.to_string doc);
-    output_char oc '\n';
-    close_out oc;
-    Printf.printf "wrote %s\n" path
+  emit_doc
+    (Obs.Json.Assoc
+       [
+         ("repeats", Obs.Json.Int repeats);
+         ("off_s", Obs.Json.Float off);
+         ("on_s", Obs.Json.Float on_);
+         ("overhead", Obs.Json.Float overhead);
+         ("violations", Obs.Json.Int !violations);
+       ])
 
 (* -- Driver ------------------------------------------------------------ *)
 
@@ -529,23 +621,64 @@ let targets =
 (* Expensive optional targets, excluded from the default full run. *)
 let optional_targets = [ ("paper-baseline", run_paper_baseline) ]
 
-(* Pull a [--json FILE] option out of the argument list before target
-   dispatch; it only affects the [parallel] target. *)
-let rec extract_json_opt = function
+(* Offline regression gate: diff pinned baseline/current artifact pairs
+   without re-running any benchmark. *)
+let run_diff_bench files =
+  let rec pairs = function
+    | [] -> []
+    | baseline :: current :: rest -> (baseline, current) :: pairs rest
+    | [ _ ] ->
+      prerr_endline "diff-bench takes BASELINE CURRENT file pairs";
+      exit 2
+  in
+  let pairs = pairs files in
+  if pairs = [] then begin
+    prerr_endline "usage: diff-bench [--threshold PCT] BASELINE CURRENT [BASELINE CURRENT ...]";
+    exit 2
+  end;
+  List.iter
+    (fun (baseline_path, current_path) ->
+      Printf.printf "== %s vs %s ==\n" baseline_path current_path;
+      let report =
+        Obs.Bench_gate.compare_json ~threshold_pct:!threshold
+          ~baseline:(load_json baseline_path) ~current:(load_json current_path) ()
+      in
+      Format.printf "%a@." Obs.Bench_gate.pp_report report;
+      if not (Obs.Bench_gate.ok report) then gate_failed := true)
+    pairs;
+  if !gate_failed then exit 1
+
+(* Pull the [--json FILE], [--compare FILE] and [--threshold PCT]
+   options out of the argument list before target dispatch; they only
+   affect the JSON-emitting targets (parallel, obs, check) and
+   [diff-bench]. *)
+let rec extract_opts = function
   | [] -> []
   | "--json" :: path :: rest ->
     json_out := Some path;
-    extract_json_opt rest
-  | "--json" :: [] ->
-    prerr_endline "--json requires a file argument";
+    extract_opts rest
+  | "--compare" :: path :: rest ->
+    compare_with := Some path;
+    extract_opts rest
+  | "--threshold" :: pct :: rest ->
+    (match float_of_string_opt pct with
+    | Some t when t >= 0. -> threshold := t
+    | Some _ | None ->
+      Printf.eprintf "invalid --threshold %S (need a non-negative percent)\n" pct;
+      exit 1);
+    extract_opts rest
+  | ("--json" | "--compare" | "--threshold") :: [] ->
+    prerr_endline "--json/--compare/--threshold require an argument";
     exit 1
-  | arg :: rest -> arg :: extract_json_opt rest
+  | arg :: rest -> arg :: extract_opts rest
 
 let () =
-  let args = extract_json_opt (List.tl (Array.to_list Sys.argv)) in
-  match args with
+  let args = extract_opts (List.tl (Array.to_list Sys.argv)) in
+  (match args with
   | [ "--list" ] ->
-    List.iter (fun (name, _) -> print_endline name) (targets @ optional_targets)
+    List.iter (fun (name, _) -> print_endline name) (targets @ optional_targets);
+    print_endline "diff-bench"
+  | "diff-bench" :: files -> run_diff_bench files
   | [] ->
     Printf.printf
       "LOCKSS attrition-defense reproduction: regenerating every table and figure.\n";
@@ -558,4 +691,5 @@ let () =
         | None ->
           Printf.eprintf "unknown target %S (try --list)\n" name;
           exit 1)
-      names
+      names);
+  if !gate_failed then exit 1

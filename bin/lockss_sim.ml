@@ -149,7 +149,21 @@ let trace_out =
     value
     & opt (some string) None
     & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:"Append structured protocol events to $(docv) as JSONL, one object per event.")
+        ~doc:
+          "Write structured protocol events to $(docv) — JSONL (one object per event) \
+           or the compact binary format, per --trace-format.")
+
+let trace_format =
+  let formats = [ ("auto", `Auto); ("jsonl", `Jsonl); ("binary", `Binary) ] in
+  Arg.(
+    value
+    & opt (enum formats) `Auto
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Encoding of --trace-out: $(b,jsonl), $(b,binary) (compact length-prefixed \
+           records, typically several times smaller; convert with $(b,trace-convert)), \
+           or $(b,auto) (default: a $(b,.ntrace) extension selects binary, anything \
+           else JSONL).")
 
 let trace_level =
   let levels =
@@ -201,24 +215,39 @@ let ledger_out =
           "Write the per-peer provable-effort ledger (spent and received per protocol \
            phase) plus its reconciliation against the run's metrics to $(docv) as JSON.")
 
+let profile_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a run-wide profile to $(docv) as JSON: per-phase wall-clock, GC \
+           counters (allocation, collections, heap size), the metric-registry \
+           snapshot and engine event statistics.")
+
 let observe_term =
-  let make trace_out trace_level metrics_out sample_interval spans_out ledger_out =
-    if trace_out = None && metrics_out = None && spans_out = None && ledger_out = None
+  let make trace_out trace_level trace_format metrics_out sample_interval spans_out
+      ledger_out profile_out =
+    if
+      trace_out = None && metrics_out = None && spans_out = None && ledger_out = None
+      && profile_out = None
     then None
     else
       Some
         {
           Experiments.Scenario.trace_out;
           trace_level;
+          trace_format;
           metrics_out;
           sample_interval;
           spans_out;
           ledger_out;
+          profile_out;
         }
   in
   Term.(
-    const make $ trace_out $ trace_level $ metrics_out $ sample_interval $ spans_out
-    $ ledger_out)
+    const make $ trace_out $ trace_level $ trace_format $ metrics_out $ sample_interval
+    $ spans_out $ ledger_out $ profile_out)
 
 let scale_of ~peers ~aus ~quorum ~years ~runs ~seed =
   let quorum = max 2 quorum in
@@ -492,77 +521,72 @@ let check_trace_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"JSONL trace file written with --trace-out.")
+      & info [] ~docv:"FILE"
+          ~doc:"Trace file written with --trace-out, JSONL or binary.")
   in
   let action path =
-    let ic =
-      try open_in path
+    let by_kind = Hashtbl.create 16 in
+    let events = ref 0 in
+    let check ~line result =
+      let fail msg =
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 1
+      in
+      match result with
+      (* For JSONL the error is a bad line; for binary it is corrupt
+         framing, a bad intern reference or trailing garbage — either
+         way the file is invalid. *)
+      | Error msg -> fail ("invalid record: " ^ msg)
+      | Ok json ->
+        (match Lockss.Trace.of_json json with
+        | Error msg -> fail ("not a trace event: " ^ msg)
+        | Ok (time, event) ->
+          incr events;
+          let kind = Lockss.Trace.kind event in
+          (* The typed event must survive re-serialization: compare
+             events, not JSON values, because the float writer may
+             legitimately narrow 4320.0 to the literal 4320. *)
+          (match
+             Obs.Json.of_string (Obs.Json.to_string (Lockss.Trace.to_json ~time event))
+           with
+          | Error msg -> fail ("re-serialized event does not parse: " ^ msg)
+          | Ok json' -> (
+            match Lockss.Trace.of_json json' with
+            | Error msg -> fail ("re-serialized event does not round-trip: " ^ msg)
+            | Ok (time', event') ->
+              if not (Float.equal time' time && event' = event) then
+                fail ("event changed across JSON round-trip: " ^ kind)));
+          (* Poll-scoped events must carry the full correlation key
+             so the span builder and ledger can attribute them. *)
+          let require_int name =
+            match Option.bind (Obs.Json.member name json) Obs.Json.to_int with
+            | Some _ -> ()
+            | None -> fail (Printf.sprintf "missing correlation field %S on %s" name kind)
+          in
+          (match kind with
+          | "poll_started" | "solicitation_sent" | "invitation_refused"
+          | "invitation_accepted" | "vote_sent" | "evaluation_started"
+          | "repair_applied" | "poll_concluded" ->
+            List.iter require_int [ "poller"; "au"; "poll_id" ]
+          | "invitation_dropped" ->
+            List.iter require_int [ "voter"; "claimed"; "au"; "poll_id" ]
+          | "invitation_admitted" ->
+            (* poll_id stays optional: garbage invitations carry none *)
+            List.iter require_int [ "voter"; "claimed"; "au" ]
+          | "poll_sampled" -> List.iter require_int [ "poller"; "au"; "poll_id" ]
+          | "effort_received" -> List.iter require_int [ "peer"; "from"; "au"; "poll_id" ]
+          | _ -> ());
+          Hashtbl.replace by_kind kind
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind kind)))
+    in
+    let format =
+      try Obs.Trace_file.iter path ~f:check
       with Sys_error msg ->
         Printf.eprintf "cannot open %s: %s\n" path msg;
         exit 2
     in
-    let by_kind = Hashtbl.create 16 in
-    let events = ref 0 in
-    let line_no = ref 0 in
-    let fail msg =
-      Printf.eprintf "%s:%d: %s\n" path !line_no msg;
-      exit 1
-    in
-    (try
-       while true do
-         let line = input_line ic in
-         incr line_no;
-         if String.trim line <> "" then begin
-           match Obs.Json.of_string line with
-           | Error msg -> fail ("invalid JSON: " ^ msg)
-           | Ok json ->
-             (match Lockss.Trace.of_json json with
-             | Error msg -> fail ("not a trace event: " ^ msg)
-             | Ok (time, event) ->
-               incr events;
-               let kind = Lockss.Trace.kind event in
-               (* The typed event must survive re-serialization: compare
-                  events, not JSON values, because the float writer may
-                  legitimately narrow 4320.0 to the literal 4320. *)
-               (match
-                  Obs.Json.of_string
-                    (Obs.Json.to_string (Lockss.Trace.to_json ~time event))
-                with
-               | Error msg -> fail ("re-serialized event does not parse: " ^ msg)
-               | Ok json' -> (
-                 match Lockss.Trace.of_json json' with
-                 | Error msg -> fail ("re-serialized event does not round-trip: " ^ msg)
-                 | Ok (time', event') ->
-                   if not (Float.equal time' time && event' = event) then
-                     fail ("event changed across JSON round-trip: " ^ kind)));
-               (* Poll-scoped events must carry the full correlation key
-                  so the span builder and ledger can attribute them. *)
-               let require_int name =
-                 match Option.bind (Obs.Json.member name json) Obs.Json.to_int with
-                 | Some _ -> ()
-                 | None ->
-                   fail (Printf.sprintf "missing correlation field %S on %s" name kind)
-               in
-               (match kind with
-               | "poll_started" | "solicitation_sent" | "invitation_refused"
-               | "invitation_accepted" | "vote_sent" | "evaluation_started"
-               | "repair_applied" | "poll_concluded" ->
-                 List.iter require_int [ "poller"; "au"; "poll_id" ]
-               | "invitation_dropped" ->
-                 List.iter require_int [ "voter"; "claimed"; "au"; "poll_id" ]
-               | "invitation_admitted" ->
-                 (* poll_id stays optional: garbage invitations carry none *)
-                 List.iter require_int [ "voter"; "claimed"; "au" ]
-               | "poll_sampled" -> List.iter require_int [ "poller"; "au"; "poll_id" ]
-               | "effort_received" ->
-                 List.iter require_int [ "peer"; "from"; "au"; "poll_id" ]
-               | _ -> ());
-               Hashtbl.replace by_kind kind
-                 (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind kind)))
-         end
-       done
-     with End_of_file -> close_in ic);
-    Printf.printf "%s: %d events, all parse and round-trip\n" path !events;
+    Printf.printf "%s: %d events (%s), all parse and round-trip\n" path !events
+      (Obs.Trace_file.format_to_string format);
     Hashtbl.fold (fun kind count acc -> (kind, count) :: acc) by_kind []
     |> List.sort compare
     |> List.iter (fun (kind, count) -> Printf.printf "  %-20s %d\n" kind count)
@@ -570,11 +594,83 @@ let check_trace_cmd =
   Cmd.v
     (Cmd.info "check-trace"
        ~doc:
-         "Validate a --trace-out JSONL file: every line must parse back into a typed \
-          event, survive a re-serialization round-trip, and carry the full \
+         "Validate a --trace-out file in either encoding. JSONL: every line must \
+          parse. Binary: the magic header, record framing and intern table must be \
+          consistent. Either way every record must parse back into a typed event, \
+          survive a re-serialization round-trip, and carry the full \
           (poller, au, poll_id) correlation key when poll-scoped. Prints event counts \
-          by kind. Exit status 1 on the first bad line.")
+          by kind. Exit status 1 on the first bad record.")
     Term.(const action $ file)
+
+(* -- trace-convert command ---------------------------------------------- *)
+
+let trace_convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"IN" ~doc:"Source trace file; encoding is sniffed, not guessed \
+                                 from the extension.")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT"
+          ~doc:
+            "Destination trace file; a $(b,.ntrace) extension writes binary, anything \
+             else JSONL.")
+  in
+  let action in_path out_path =
+    let out_format = Obs.Trace_file.format_of_path out_path in
+    let records = ref 0 in
+    (* Records are converted as raw JSON values, not re-encoded through
+       typed events, so a convert round-trip preserves the stream
+       exactly — trace-report and audit give identical answers on both
+       encodings of the same run. *)
+    let in_format =
+      try
+        Obs.Sink.with_file out_path (fun sink ->
+            let write_record =
+              match out_format with
+              | Obs.Trace_file.Binary ->
+                let w = Obs.Btrace.writer sink in
+                fun json -> Obs.Btrace.write w json
+              | Obs.Trace_file.Jsonl ->
+                let scratch = Buffer.create 256 in
+                fun json ->
+                  Buffer.clear scratch;
+                  Obs.Json.write scratch json;
+                  Buffer.add_char scratch '\n';
+                  Obs.Sink.write_buffer sink scratch
+            in
+            Obs.Trace_file.iter in_path ~f:(fun ~line result ->
+                match result with
+                | Error msg ->
+                  Printf.eprintf "%s:%d: invalid record: %s\n" in_path line msg;
+                  exit 1
+                | Ok json ->
+                  incr records;
+                  write_record json))
+      with Sys_error msg ->
+        Printf.eprintf "cannot convert: %s\n" msg;
+        exit 2
+    in
+    Printf.printf "%s (%s) -> %s (%s): %d records\n" in_path
+      (Obs.Trace_file.format_to_string in_format)
+      out_path
+      (Obs.Trace_file.format_to_string out_format)
+      !records
+  in
+  Cmd.v
+    (Cmd.info "trace-convert"
+       ~doc:
+         "Convert a trace file between JSONL and the compact binary encoding \
+          (selected by $(i,OUT)'s extension: $(b,.ntrace) is binary). Records are \
+          copied as raw JSON values, so converting back yields an equivalent stream \
+          and all offline tools report identical results on either encoding. Exit \
+          status 1 on a corrupt input record.")
+    Term.(const action $ input $ output)
 
 (* -- trace-report command ----------------------------------------------- *)
 
@@ -583,7 +679,8 @@ let trace_report_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"JSONL trace file written with --trace-out.")
+      & info [] ~docv:"FILE"
+          ~doc:"Trace file written with --trace-out, JSONL or binary.")
   in
   let json_flag =
     Arg.(
@@ -620,7 +717,9 @@ let audit_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"FILE"
-          ~doc:"JSONL trace file written with --trace-out (--trace-level debug).")
+          ~doc:
+            "Trace file written with --trace-out (--trace-level debug), JSONL or \
+             binary.")
   in
   let audit_quorum =
     Arg.(
@@ -671,27 +770,18 @@ let audit_cmd =
       }
     in
     let jsons =
-      let ic =
-        try open_in path
-        with Sys_error msg ->
-          Printf.eprintf "cannot open %s: %s\n" path msg;
-          exit 2
-      in
       let acc = ref [] in
-      let line_no = ref 0 in
       (try
-         while true do
-           let line = input_line ic in
-           incr line_no;
-           if String.trim line <> "" then begin
-             match Obs.Json.of_string line with
-             | Ok json -> acc := json :: !acc
-             | Error msg ->
-               Printf.eprintf "%s:%d: invalid JSON: %s\n" path !line_no msg;
-               exit 2
-           end
-         done
-       with End_of_file -> close_in ic);
+         ignore
+           (Obs.Trace_file.iter path ~f:(fun ~line result ->
+                match result with
+                | Ok json -> acc := json :: !acc
+                | Error msg ->
+                  Printf.eprintf "%s:%d: invalid record: %s\n" path line msg;
+                  exit 2))
+       with Sys_error msg ->
+         Printf.eprintf "cannot open %s: %s\n" path msg;
+         exit 2);
       List.rev !acc
     in
     let auditor = Check.Auditor.create ~params () in
@@ -820,6 +910,7 @@ let () =
             reciprocity_cmd;
             extensions_cmd;
             check_trace_cmd;
+            trace_convert_cmd;
             trace_report_cmd;
             audit_cmd;
           ]))

@@ -52,7 +52,8 @@ let () =
   (* 3. Four-weekly metric samples as CSV on stdout. *)
   print_endline "\n-- four-weekly metric samples (CSV) --";
   let series =
-    Obs.Series.create ~format:Obs.Series.Csv ~columns:Lockss.Sampler.columns stdout
+    Obs.Series.create ~format:Obs.Series.Csv ~columns:Lockss.Sampler.columns
+      (Obs.Sink.of_channel stdout)
   in
   let ctx = Population.ctx population in
   let sampler =
@@ -65,6 +66,7 @@ let () =
 
   Population.run population ~until:(Duration.of_years 0.5);
   Lockss.Sampler.stop sampler;
+  Obs.Series.close series;
 
   print_endline "\n-- registry snapshot --";
   List.iter

@@ -52,7 +52,7 @@ let feed t ~time event =
     ()
   | _ ->
     t.last_time := Float.max !(t.last_time) time;
-    Obs.Analyze.feed t.analyzer (Trace.to_json ~time event);
+    Obs.Analyze.feed_view t.analyzer (Trace.to_view ~time event);
     List.iter (fun (_, inst) -> inst.Invariant.on_event ~time event) t.instances
 
 let record_violation t v =

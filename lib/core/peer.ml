@@ -105,7 +105,7 @@ let send ctx ~from ~to_node msg =
   Narses.Net.send ctx.net ~src:from.node ~dst:to_node ~bytes msg
 
 let emit_charged ctx ~who ~role ~phase ?poller ?au ?poll_id work =
-  Trace.emit ctx.trace
+  Trace.emit ~bound:Trace.Debug ctx.trace
     ~now:(Narses.Engine.now ctx.engine)
     (fun () ->
       Trace.Effort_charged
@@ -126,7 +126,7 @@ let charge_adversary ctx ~who ~phase ?poller ?au ?poll_id work =
   emit_charged ctx ~who ~role:Trace.Adversary ~phase ?poller ?au ?poll_id work
 
 let note_effort_received ctx ~peer ~from_ ~phase ~au ~poll_id ~seconds =
-  Trace.emit ctx.trace
+  Trace.emit ~bound:Trace.Debug ctx.trace
     ~now:(Narses.Engine.now ctx.engine)
     (fun () -> Trace.Effort_received { peer; from_; phase; au; poll_id; seconds })
 

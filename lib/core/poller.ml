@@ -50,7 +50,8 @@ let rec attempt_solicitation ctx (peer : Peer.t) (st : Peer.au_state) (poll : Pe
       match (poll.Peer.phase, cand.Peer.status) with
       | Peer.Soliciting, Peer.Not_invited ->
         let intro = Proof.generate ~rng:peer.Peer.rng ~cost:intro_cost in
-        Trace.emit ctx.Peer.trace ~now:(Engine.now ctx.Peer.engine) (fun () ->
+        Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now:(Engine.now ctx.Peer.engine)
+          (fun () ->
             Trace.Solicitation_sent
               {
                 poller = peer.Peer.identity;
@@ -215,7 +216,12 @@ let conclude ctx (peer : Peer.t) (st : Peer.au_state) (poll : Peer.poll) ~votes 
   | Metrics.Inquorate -> ()
   | Metrics.Alarmed -> summon_operator ctx st);
   st.Peer.current_poll <- None;
-  Trace.emit ctx.Peer.trace ~now (fun () ->
+  (* A successful conclusion is Info, anything else Warn: the bound is
+     the event's exact severity, known from [outcome] before building it. *)
+  let conclusion_bound =
+    match outcome with Metrics.Success -> Trace.Info | _ -> Trace.Warn
+  in
+  Trace.emit ~bound:conclusion_bound ctx.Peer.trace ~now (fun () ->
       Trace.Poll_concluded
         { poller = peer.Peer.identity; au = st.Peer.au; poll_id = poll.Peer.poll_id; outcome });
   Metrics.on_poll_concluded ctx.Peer.metrics ~peer:peer.Peer.identity ~au:st.Peer.au ~now
@@ -311,7 +317,8 @@ let begin_evaluation ctx (peer : Peer.t) (st : Peer.au_state) (poll : Peer.poll)
       (fun ((cand : Peer.candidate), vote) -> if cand.Peer.inner then Some vote else None)
       votes
   in
-  Trace.emit ctx.Peer.trace ~now:(Engine.now ctx.Peer.engine) (fun () ->
+  Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now:(Engine.now ctx.Peer.engine)
+    (fun () ->
       Trace.Evaluation_started
         {
           poller = peer.Peer.identity;
@@ -417,7 +424,7 @@ let rec start_poll ctx (peer : Peer.t) (st : Peer.au_state) =
         inner_ids
     in
     poll.Peer.candidates <- inner;
-    Trace.emit ctx.Peer.trace ~now (fun () ->
+    Trace.emit ~bound:Trace.Info ctx.Peer.trace ~now (fun () ->
         Trace.Poll_started
           {
             poller = peer.Peer.identity;
@@ -425,7 +432,7 @@ let rec start_poll ctx (peer : Peer.t) (st : Peer.au_state) =
             poll_id = poll.Peer.poll_id;
             inner_candidates = List.length inner;
           });
-    Trace.emit ctx.Peer.trace ~now (fun () ->
+    Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now (fun () ->
         Trace.Poll_sampled
           {
             poller = peer.Peer.identity;
@@ -545,7 +552,8 @@ let on_repair ctx (peer : Peer.t) ~identity:_ ~au ~poll_id ~block ~version =
         let was_damaged = Replica.is_damaged st.Peer.replica in
         let became_clean = Replica.write st.Peer.replica ~block ~version in
         let now_damaged = Replica.is_damaged st.Peer.replica in
-        Trace.emit ctx.Peer.trace ~now:(Engine.now ctx.Peer.engine) (fun () ->
+        Trace.emit ~bound:Trace.Info ctx.Peer.trace ~now:(Engine.now ctx.Peer.engine)
+          (fun () ->
             Trace.Repair_applied
               {
                 poller = peer.Peer.identity;

@@ -298,7 +298,15 @@ let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
     (* Bridge fault events onto the protocol trace bus, and let churn
        crash/restart the initially-active loyal peers. *)
     Narses.Faults.set_observer f (fun ~time event ->
-        Trace.emit ctx.Peer.trace ~now:time (fun () ->
+        (* Message faults are Debug chatter; churn (crash/restart) is
+           Info — bound the emit accordingly so fault storms stay free
+           under a Warn-interest subscriber. *)
+        let bound =
+          match event with
+          | Narses.Faults.Crashed _ | Narses.Faults.Restarted _ -> Trace.Info
+          | _ -> Trace.Debug
+        in
+        Trace.emit ~bound ctx.Peer.trace ~now:time (fun () ->
             match event with
             | Narses.Faults.Dropped { src; dst } -> Trace.Fault_dropped { src; dst }
             | Narses.Faults.Duplicated { src; dst } -> Trace.Fault_duplicated { src; dst }

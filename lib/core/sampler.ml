@@ -83,4 +83,6 @@ let series_writer ~seed series =
       ]
     in
     prev := Some s;
-    Obs.Series.append series row
+    (* Simulated time doubles as the series' flush clock, so a
+       time-bounded sink drains deterministically. *)
+    Obs.Series.append series ~now:s.Metrics.time row

@@ -145,17 +145,42 @@ type event =
       detail : string;
     }
 
-type t = { mutable subscribers : (time:float -> event -> unit) list }
+(* Severity is declared ahead of the bus so subscriptions can carry an
+   interest level and [emit] can skip event construction outright. *)
+type severity = Debug | Info | Warn
 
-let create () = { subscribers = [] }
-let subscribe t f = t.subscribers <- f :: t.subscribers
+let severity_rank = function Debug -> 0 | Info -> 1 | Warn -> 2
 
-let emit t ~now thunk =
+type t = {
+  mutable subscribers : (time:float -> event -> unit) list;
+  (* Minimum interest across subscribers — only meaningful when the
+     subscriber list is non-empty. *)
+  mutable min_interest : severity;
+}
+
+let create () = { subscribers = []; min_interest = Warn }
+
+let subscribe ?(interest = Debug) t f =
+  (match t.subscribers with
+  | [] -> t.min_interest <- interest
+  | _ ->
+    if severity_rank interest < severity_rank t.min_interest then
+      t.min_interest <- interest);
+  t.subscribers <- f :: t.subscribers
+
+(* [bound] is the highest severity the event under construction could
+   have — declared at the call site, so when every subscriber asked for
+   something stricter the thunk is never run and the emit allocates
+   nothing. The default [Warn] (the top severity) disables skipping,
+   which is always sound. *)
+let emit ?(bound = Warn) t ~now thunk =
   match t.subscribers with
   | [] -> ()
   | subscribers ->
-    let event = thunk () in
-    List.iter (fun f -> f ~time:now event) subscribers
+    if severity_rank bound >= severity_rank t.min_interest then begin
+      let event = thunk () in
+      List.iter (fun f -> f ~time:now event) subscribers
+    end
 
 let pp_correlation ppf (poller, au, poll_id) =
   (match poll_id with
@@ -241,8 +266,6 @@ let pp_event ppf = function
       (peer, au, poll_id) detail
 
 (* -- Taxonomy ---------------------------------------------------------- *)
-
-type severity = Debug | Info | Warn
 
 let severity = function
   | Solicitation_sent _ | Invitation_admitted _ | Invitation_refused _
@@ -660,6 +683,49 @@ let of_json json =
   in
   Ok (time, event)
 
+(* -- Analyzer views ----------------------------------------------------- *)
+
+(* Mirrors [to_json] for the fields the analyzers consume, without
+   building any JSON. [Obs.View.of_json (to_json ~time e)] and
+   [to_view ~time e] must agree — test_trace_pipeline checks this for
+   the whole taxonomy. *)
+let to_view ~time event : Obs.View.t =
+  let kind = kind event in
+  match event with
+  | Poll_started { poller; au; poll_id; inner_candidates } ->
+    Obs.View.make ~kind ~time ~poller ~au ~poll_id ~inner_candidates ()
+  | Solicitation_sent { poller; voter; au; poll_id; attempt = _ } ->
+    Obs.View.make ~kind ~time ~poller ~voter ~au ~poll_id ()
+  | Invitation_dropped { voter; claimed; au; poll_id; reason = _ } ->
+    Obs.View.make ~kind ~time ~voter ~claimed ~au ~poll_id ()
+  | Invitation_admitted { voter; claimed; au; poll_id; path = _ } ->
+    Obs.View.make ~kind ~time ~voter ~claimed ~au ?poll_id ()
+  | Invitation_refused { voter; poller; au; poll_id }
+  | Invitation_accepted { voter; poller; au; poll_id }
+  | Vote_sent { voter; poller; au; poll_id } ->
+    Obs.View.make ~kind ~time ~voter ~poller ~au ~poll_id ()
+  | Poll_sampled { poller; au; poll_id; invited = _; reference = _ } ->
+    Obs.View.make ~kind ~time ~poller ~au ~poll_id ()
+  | Evaluation_started { poller; au; poll_id; votes } ->
+    Obs.View.make ~kind ~time ~poller ~au ~poll_id ~votes ()
+  | Repair_applied { poller; au; poll_id; block = _; version = _; clean = _ } ->
+    Obs.View.make ~kind ~time ~poller ~au ~poll_id ()
+  | Poll_concluded { poller; au; poll_id; outcome } ->
+    Obs.View.make ~kind ~time ~poller ~au ~poll_id
+      ~outcome:(outcome_to_string outcome) ()
+  | Effort_charged { peer; role; phase; poller; au; poll_id; seconds } ->
+    Obs.View.make ~kind ~time ~peer ~role:(effort_role_to_string role)
+      ~phase:(effort_phase_to_string phase) ?poller ?au ?poll_id ~seconds ()
+  | Effort_received { peer; from_; phase; au; poll_id; seconds } ->
+    Obs.View.make ~kind ~time ~peer ~from_
+      ~phase:(effort_phase_to_string phase)
+      ~au ~poll_id ~seconds ()
+  | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ | Node_crashed _
+  | Node_restarted _ ->
+    Obs.View.make ~kind ~time ()
+  | Invariant_violated { invariant = _; peer; au; poll_id; detail = _ } ->
+    Obs.View.make ~kind ~time ?peer ?au ?poll_id ()
+
 (* -- Sinks ------------------------------------------------------------- *)
 
 type sink = time:float -> event -> unit
@@ -677,12 +743,514 @@ let pretty_sink ?(min_severity = Debug) ppf ~time event =
       (severity_to_string (severity event))
       pp_event event
 
+(* Direct event-to-bytes serializer producing exactly the bytes of
+   [Json.write buf (to_json ~time event)] without building the
+   intermediate tree — the hot path under a debug-level file sink.
+   Byte parity with [to_json] is guarded by a test in
+   test/test_trace_pipeline.ml; enum tokens, kinds and severities are
+   known escape-free identifiers and are written raw.
+   [write_jsonl_rest] is everything after the rendered time literal, so
+   {!buffered_jsonl_sink} can cache that literal across the frequent
+   consecutive events sharing a timestamp. [float_lit] renders payload
+   floats; the sink passes a memoizing variant (effort charges are
+   config constants, so a trace carries only a handful of distinct
+   values). *)
+(* Keys pre-rendered with separator and quotes so each field prefix is
+   one buffer append instead of three. *)
+let k_poller = ",\"poller\":"
+let k_voter = ",\"voter\":"
+let k_au = ",\"au\":"
+let k_poll_id = ",\"poll_id\":"
+let k_inner_candidates = ",\"inner_candidates\":"
+let k_attempt = ",\"attempt\":"
+let k_claimed = ",\"claimed\":"
+let k_reason = ",\"reason\":"
+let k_path = ",\"path\":"
+let k_invited = ",\"invited\":"
+let k_reference = ",\"reference\":"
+let k_votes = ",\"votes\":"
+let k_block = ",\"block\":"
+let k_version = ",\"version\":"
+let k_outcome = ",\"outcome\":"
+let k_peer = ",\"peer\":"
+let k_role = ",\"role\":"
+let k_phase = ",\"phase\":"
+let k_from = ",\"from\":"
+let k_seconds = ",\"seconds\":"
+let k_src = ",\"src\":"
+let k_dst = ",\"dst\":"
+let k_extra = ",\"extra\":"
+let k_node = ",\"node\":"
+let k_invariant = ",\"invariant\":"
+let k_detail = ",\"detail\":"
+
+(* Field helpers at top level, taking the buffer as an argument:
+   defining them inside [write_jsonl_rest] would allocate one closure
+   per helper per event. *)
+let int_field buf k i =
+  Buffer.add_string buf k;
+  Json.write_int buf i
+
+let tok_field buf k s =
+  Buffer.add_string buf k;
+  Buffer.add_char buf '"';
+  Buffer.add_string buf s;
+  Buffer.add_char buf '"'
+
+let str_field buf k s =
+  Buffer.add_string buf k;
+  Json.write buf (Json.String s)
+
+let opt_field buf k = function None -> () | Some i -> int_field buf k i
+
+let rec ids_items buf first = function
+  | [] -> ()
+  | x :: rest ->
+    if not first then Buffer.add_char buf ',';
+    Json.write_int buf x;
+    ids_items buf false rest
+
+let ids_field buf k xs =
+  Buffer.add_string buf k;
+  Buffer.add_char buf '[';
+  ids_items buf true xs;
+  Buffer.add_char buf ']'
+
+let float_field buf float_lit k f =
+  Buffer.add_string buf k;
+  Buffer.add_string buf (float_lit f)
+
+let write_jsonl_rest ?(float_lit = Json.float_literal) buf event =
+  Buffer.add_string buf ",\"severity\":\"";
+  Buffer.add_string buf (severity_to_string (severity event));
+  Buffer.add_string buf "\",\"kind\":\"";
+  Buffer.add_string buf (kind event);
+  Buffer.add_char buf '"';
+  (match event with
+  | Poll_started { poller; au; poll_id; inner_candidates } ->
+    int_field buf k_poller poller;
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id;
+    int_field buf k_inner_candidates inner_candidates
+  | Solicitation_sent { poller; voter; au; poll_id; attempt } ->
+    int_field buf k_poller poller;
+    int_field buf k_voter voter;
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id;
+    int_field buf k_attempt attempt
+  | Invitation_dropped { voter; claimed; au; poll_id; reason } ->
+    int_field buf k_voter voter;
+    int_field buf k_claimed claimed;
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id;
+    tok_field buf k_reason (drop_reason_to_string reason)
+  | Invitation_admitted { voter; claimed; au; poll_id; path } ->
+    int_field buf k_voter voter;
+    int_field buf k_claimed claimed;
+    int_field buf k_au au;
+    opt_field buf k_poll_id poll_id;
+    tok_field buf k_path (admission_path_to_string path)
+  | Invitation_refused { voter; poller; au; poll_id }
+  | Invitation_accepted { voter; poller; au; poll_id }
+  | Vote_sent { voter; poller; au; poll_id } ->
+    int_field buf k_voter voter;
+    int_field buf k_poller poller;
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id
+  | Poll_sampled { poller; au; poll_id; invited; reference } ->
+    int_field buf k_poller poller;
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id;
+    ids_field buf k_invited invited;
+    ids_field buf k_reference reference
+  | Evaluation_started { poller; au; poll_id; votes } ->
+    int_field buf k_poller poller;
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id;
+    int_field buf k_votes votes
+  | Repair_applied { poller; au; poll_id; block; version; clean } ->
+    int_field buf k_poller poller;
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id;
+    int_field buf k_block block;
+    int_field buf k_version version;
+    Buffer.add_string buf (if clean then ",\"clean\":true" else ",\"clean\":false")
+  | Poll_concluded { poller; au; poll_id; outcome } ->
+    int_field buf k_poller poller;
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id;
+    tok_field buf k_outcome (outcome_to_string outcome)
+  | Effort_charged { peer; role; phase; poller; au; poll_id; seconds } ->
+    int_field buf k_peer peer;
+    tok_field buf k_role (effort_role_to_string role);
+    tok_field buf k_phase (effort_phase_to_string phase);
+    opt_field buf k_poller poller;
+    opt_field buf k_au au;
+    opt_field buf k_poll_id poll_id;
+    float_field buf float_lit k_seconds seconds
+  | Effort_received { peer; from_; phase; au; poll_id; seconds } ->
+    int_field buf k_peer peer;
+    int_field buf k_from from_;
+    tok_field buf k_phase (effort_phase_to_string phase);
+    int_field buf k_au au;
+    int_field buf k_poll_id poll_id;
+    float_field buf float_lit k_seconds seconds
+  | Fault_dropped { src; dst } | Fault_duplicated { src; dst } ->
+    int_field buf k_src src;
+    int_field buf k_dst dst
+  | Fault_delayed { src; dst; extra } ->
+    int_field buf k_src src;
+    int_field buf k_dst dst;
+    float_field buf float_lit k_extra extra
+  | Node_crashed { node } | Node_restarted { node } -> int_field buf k_node node
+  | Invariant_violated { invariant; peer; au; poll_id; detail } ->
+    str_field buf k_invariant invariant;
+    opt_field buf k_peer peer;
+    opt_field buf k_au au;
+    opt_field buf k_poll_id poll_id;
+    str_field buf k_detail detail);
+  Buffer.add_char buf '}'
+
+let write_jsonl buf ~time event =
+  Buffer.add_string buf "{\"t\":";
+  Buffer.add_string buf (Json.float_literal time);
+  write_jsonl_rest buf event
+
 let jsonl_sink ?(min_severity = Debug) oc ~time event =
   if severity_at_least min_severity (severity event) then begin
     output_string oc (Json.to_string (to_json ~time event));
     output_char oc '\n';
     flush oc
   end
+
+let buffered_jsonl_sink ?(min_severity = Debug) sink =
+  let scratch = Buffer.create 512 in
+  (* Rendering a float is the single most expensive step of a JSONL
+     line, and about half of all events share their predecessor's
+     timestamp — memoize the last literal. The time lives in a
+     one-element float array, not a [float ref]: assigning a float ref
+     boxes the value on every store. *)
+  let last_time = [| nan |] in
+  let last_literal = ref "" in
+  let payload_literals : (float, string) Hashtbl.t = Hashtbl.create 32 in
+  let float_lit f =
+    (* [find] over [find_opt]: the hit path (all but the first sighting
+       of each of the handful of distinct payload values) allocates
+       nothing. *)
+    match Hashtbl.find payload_literals f with
+    | s -> s
+    | exception Not_found ->
+      let s = Json.float_literal f in
+      if Hashtbl.length payload_literals < 256 then Hashtbl.add payload_literals f s;
+      s
+  in
+  fun ~time event ->
+    if severity_at_least min_severity (severity event) then begin
+      Buffer.clear scratch;
+      Buffer.add_string scratch "{\"t\":";
+      if not (Float.equal time last_time.(0)) then begin
+        last_time.(0) <- time;
+        last_literal := Json.float_literal time
+      end;
+      Buffer.add_string scratch !last_literal;
+      write_jsonl_rest ~float_lit scratch event;
+      Buffer.add_char scratch '\n';
+      Obs.Sink.write_buffer sink ~now:time scratch
+    end
+
+(* -- Direct binary encoding --------------------------------------------- *)
+
+(* Interned-string handles for every recurring string of the encoding,
+   registered once: the binary sink resolves each through an array load
+   instead of a hashtable lookup per field. Byte parity with
+   [Obs.Btrace.write (to_json ~time event)] is guarded by a test in
+   test/test_trace_pipeline.ml. *)
+
+let a_t = Obs.Btrace.atom "t"
+let a_severity = Obs.Btrace.atom "severity"
+let a_kind = Obs.Btrace.atom "kind"
+let a_poller = Obs.Btrace.atom "poller"
+let a_au = Obs.Btrace.atom "au"
+let a_poll_id = Obs.Btrace.atom "poll_id"
+let a_inner_candidates = Obs.Btrace.atom "inner_candidates"
+let a_voter = Obs.Btrace.atom "voter"
+let a_attempt = Obs.Btrace.atom "attempt"
+let a_claimed = Obs.Btrace.atom "claimed"
+let a_reason = Obs.Btrace.atom "reason"
+let a_path = Obs.Btrace.atom "path"
+let a_invited = Obs.Btrace.atom "invited"
+let a_reference = Obs.Btrace.atom "reference"
+let a_votes = Obs.Btrace.atom "votes"
+let a_block = Obs.Btrace.atom "block"
+let a_version = Obs.Btrace.atom "version"
+let a_clean = Obs.Btrace.atom "clean"
+let a_outcome = Obs.Btrace.atom "outcome"
+let a_peer = Obs.Btrace.atom "peer"
+let a_role = Obs.Btrace.atom "role"
+let a_phase = Obs.Btrace.atom "phase"
+let a_seconds = Obs.Btrace.atom "seconds"
+let a_from = Obs.Btrace.atom "from"
+let a_src = Obs.Btrace.atom "src"
+let a_extra = Obs.Btrace.atom "extra"
+let a_dst = Obs.Btrace.atom "dst"
+let a_node = Obs.Btrace.atom "node"
+let a_invariant = Obs.Btrace.atom "invariant"
+let a_detail = Obs.Btrace.atom "detail"
+let a_sev_debug = Obs.Btrace.atom "debug"
+let a_sev_info = Obs.Btrace.atom "info"
+let a_sev_warn = Obs.Btrace.atom "warn"
+
+let severity_atom = function
+  | Debug -> a_sev_debug
+  | Info -> a_sev_info
+  | Warn -> a_sev_warn
+
+let a_k_poll_started = Obs.Btrace.atom "poll_started"
+let a_k_solicitation_sent = Obs.Btrace.atom "solicitation_sent"
+let a_k_invitation_dropped = Obs.Btrace.atom "invitation_dropped"
+let a_k_invitation_admitted = Obs.Btrace.atom "invitation_admitted"
+let a_k_invitation_refused = Obs.Btrace.atom "invitation_refused"
+let a_k_invitation_accepted = Obs.Btrace.atom "invitation_accepted"
+let a_k_vote_sent = Obs.Btrace.atom "vote_sent"
+let a_k_poll_sampled = Obs.Btrace.atom "poll_sampled"
+let a_k_evaluation_started = Obs.Btrace.atom "evaluation_started"
+let a_k_repair_applied = Obs.Btrace.atom "repair_applied"
+let a_k_poll_concluded = Obs.Btrace.atom "poll_concluded"
+let a_k_effort_charged = Obs.Btrace.atom "effort_charged"
+let a_k_effort_received = Obs.Btrace.atom "effort_received"
+let a_k_fault_dropped = Obs.Btrace.atom "fault_dropped"
+let a_k_fault_duplicated = Obs.Btrace.atom "fault_duplicated"
+let a_k_fault_delayed = Obs.Btrace.atom "fault_delayed"
+let a_k_node_crashed = Obs.Btrace.atom "node_crashed"
+let a_k_node_restarted = Obs.Btrace.atom "node_restarted"
+let a_k_invariant_violated = Obs.Btrace.atom "invariant_violated"
+
+let kind_atom = function
+  | Poll_started _ -> a_k_poll_started
+  | Solicitation_sent _ -> a_k_solicitation_sent
+  | Invitation_dropped _ -> a_k_invitation_dropped
+  | Invitation_admitted _ -> a_k_invitation_admitted
+  | Invitation_refused _ -> a_k_invitation_refused
+  | Invitation_accepted _ -> a_k_invitation_accepted
+  | Vote_sent _ -> a_k_vote_sent
+  | Poll_sampled _ -> a_k_poll_sampled
+  | Evaluation_started _ -> a_k_evaluation_started
+  | Repair_applied _ -> a_k_repair_applied
+  | Poll_concluded _ -> a_k_poll_concluded
+  | Effort_charged _ -> a_k_effort_charged
+  | Effort_received _ -> a_k_effort_received
+  | Fault_dropped _ -> a_k_fault_dropped
+  | Fault_duplicated _ -> a_k_fault_duplicated
+  | Fault_delayed _ -> a_k_fault_delayed
+  | Node_crashed _ -> a_k_node_crashed
+  | Node_restarted _ -> a_k_node_restarted
+  | Invariant_violated _ -> a_k_invariant_violated
+
+let a_reason_refractory = Obs.Btrace.atom "refractory"
+let a_reason_random_drop = Obs.Btrace.atom "random_drop"
+let a_reason_known_rate_limited = Obs.Btrace.atom "known_rate_limited"
+
+let reason_atom = function
+  | Admission.Refractory -> a_reason_refractory
+  | Admission.Random_drop -> a_reason_random_drop
+  | Admission.Known_rate_limited -> a_reason_known_rate_limited
+
+let a_path_introduced = Obs.Btrace.atom "introduced"
+let a_path_unknown = Obs.Btrace.atom "unknown"
+let a_path_known_debt = Obs.Btrace.atom "known_debt"
+let a_path_known_even = Obs.Btrace.atom "known_even"
+let a_path_known_credit = Obs.Btrace.atom "known_credit"
+
+let path_atom = function
+  | Admitted_introduced -> a_path_introduced
+  | Admitted_unknown -> a_path_unknown
+  | Admitted_known Grade.Debt -> a_path_known_debt
+  | Admitted_known Grade.Even -> a_path_known_even
+  | Admitted_known Grade.Credit -> a_path_known_credit
+
+let a_outcome_success = Obs.Btrace.atom "success"
+let a_outcome_inquorate = Obs.Btrace.atom "inquorate"
+let a_outcome_alarmed = Obs.Btrace.atom "alarmed"
+
+let outcome_atom = function
+  | Metrics.Success -> a_outcome_success
+  | Metrics.Inquorate -> a_outcome_inquorate
+  | Metrics.Alarmed -> a_outcome_alarmed
+
+let a_role_loyal = Obs.Btrace.atom "loyal"
+let a_role_adversary = Obs.Btrace.atom "adversary"
+let role_atom = function Loyal -> a_role_loyal | Adversary -> a_role_adversary
+
+let a_phase_admission = Obs.Btrace.atom "admission"
+let a_phase_solicitation = Obs.Btrace.atom "solicitation"
+let a_phase_voting = Obs.Btrace.atom "voting"
+let a_phase_evaluation = Obs.Btrace.atom "evaluation"
+let a_phase_repair = Obs.Btrace.atom "repair"
+
+let phase_atom = function
+  | Admission -> a_phase_admission
+  | Solicitation -> a_phase_solicitation
+  | Voting -> a_phase_voting
+  | Evaluation -> a_phase_evaluation
+  | Repair -> a_phase_repair
+
+(* Per-field helpers at top level, like the jsonl ones above: locals
+   capturing [w] would cost a closure allocation on every event. *)
+let bin_int_field w a v =
+  Obs.Btrace.put_atom w a;
+  Obs.Btrace.put_int w v
+
+let bin_opt_field w a = function None -> () | Some v -> bin_int_field w a v
+
+let rec bin_ids_items w = function
+  | [] -> ()
+  | x :: rest ->
+    Obs.Btrace.put_int w x;
+    bin_ids_items w rest
+
+let bin_ids_field w a xs =
+  Obs.Btrace.put_atom w a;
+  Obs.Btrace.put_list_header w (List.length xs);
+  bin_ids_items w xs
+
+(* Assembles the record field by field — byte-identical to encoding
+   [to_json ~time event] through the generic path, without building the
+   JSON value. *)
+let write_binary w ~time event =
+  let module B = Obs.Btrace in
+  B.begin_record w;
+  let n = match event with
+    | Poll_started _ -> 4
+    | Solicitation_sent _ -> 5
+    | Invitation_dropped _ -> 5
+    | Invitation_admitted { poll_id; _ } -> 4 + (if poll_id = None then 0 else 1)
+    | Invitation_refused _ | Invitation_accepted _ | Vote_sent _ -> 4
+    | Poll_sampled _ -> 5
+    | Evaluation_started _ -> 4
+    | Repair_applied _ -> 6
+    | Poll_concluded _ -> 4
+    | Effort_charged { poller; au; poll_id; _ } ->
+      4
+      + (if poller = None then 0 else 1)
+      + (if au = None then 0 else 1)
+      + if poll_id = None then 0 else 1
+    | Effort_received _ -> 6
+    | Fault_dropped _ | Fault_duplicated _ -> 2
+    | Fault_delayed _ -> 3
+    | Node_crashed _ | Node_restarted _ -> 1
+    | Invariant_violated { peer; au; poll_id; _ } ->
+      2
+      + (if peer = None then 0 else 1)
+      + (if au = None then 0 else 1)
+      + if poll_id = None then 0 else 1
+  in
+  B.put_assoc_header w (3 + n);
+  B.put_atom w a_t;
+  B.put_float w time;
+  B.put_atom w a_severity;
+  B.put_atom w (severity_atom (severity event));
+  B.put_atom w a_kind;
+  B.put_atom w (kind_atom event);
+  (match event with
+  | Poll_started { poller; au; poll_id; inner_candidates } ->
+    bin_int_field w a_poller poller;
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id;
+    bin_int_field w a_inner_candidates inner_candidates
+  | Solicitation_sent { poller; voter; au; poll_id; attempt } ->
+    bin_int_field w a_poller poller;
+    bin_int_field w a_voter voter;
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id;
+    bin_int_field w a_attempt attempt
+  | Invitation_dropped { voter; claimed; au; poll_id; reason } ->
+    bin_int_field w a_voter voter;
+    bin_int_field w a_claimed claimed;
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id;
+    B.put_atom w a_reason;
+    B.put_atom w (reason_atom reason)
+  | Invitation_admitted { voter; claimed; au; poll_id; path } ->
+    bin_int_field w a_voter voter;
+    bin_int_field w a_claimed claimed;
+    bin_int_field w a_au au;
+    bin_opt_field w a_poll_id poll_id;
+    B.put_atom w a_path;
+    B.put_atom w (path_atom path)
+  | Invitation_refused { voter; poller; au; poll_id }
+  | Invitation_accepted { voter; poller; au; poll_id }
+  | Vote_sent { voter; poller; au; poll_id } ->
+    bin_int_field w a_voter voter;
+    bin_int_field w a_poller poller;
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id
+  | Poll_sampled { poller; au; poll_id; invited; reference } ->
+    bin_int_field w a_poller poller;
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id;
+    bin_ids_field w a_invited invited;
+    bin_ids_field w a_reference reference
+  | Evaluation_started { poller; au; poll_id; votes } ->
+    bin_int_field w a_poller poller;
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id;
+    bin_int_field w a_votes votes
+  | Repair_applied { poller; au; poll_id; block; version; clean } ->
+    bin_int_field w a_poller poller;
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id;
+    bin_int_field w a_block block;
+    bin_int_field w a_version version;
+    B.put_atom w a_clean;
+    B.put_bool w clean
+  | Poll_concluded { poller; au; poll_id; outcome } ->
+    bin_int_field w a_poller poller;
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id;
+    B.put_atom w a_outcome;
+    B.put_atom w (outcome_atom outcome)
+  | Effort_charged { peer; role; phase; poller; au; poll_id; seconds } ->
+    bin_int_field w a_peer peer;
+    B.put_atom w a_role;
+    B.put_atom w (role_atom role);
+    B.put_atom w a_phase;
+    B.put_atom w (phase_atom phase);
+    bin_opt_field w a_poller poller;
+    bin_opt_field w a_au au;
+    bin_opt_field w a_poll_id poll_id;
+    B.put_atom w a_seconds;
+    B.put_float w seconds
+  | Effort_received { peer; from_; phase; au; poll_id; seconds } ->
+    bin_int_field w a_peer peer;
+    bin_int_field w a_from from_;
+    B.put_atom w a_phase;
+    B.put_atom w (phase_atom phase);
+    bin_int_field w a_au au;
+    bin_int_field w a_poll_id poll_id;
+    B.put_atom w a_seconds;
+    B.put_float w seconds
+  | Fault_dropped { src; dst } | Fault_duplicated { src; dst } ->
+    bin_int_field w a_src src;
+    bin_int_field w a_dst dst
+  | Fault_delayed { src; dst; extra } ->
+    bin_int_field w a_src src;
+    bin_int_field w a_dst dst;
+    B.put_atom w a_extra;
+    B.put_float w extra
+  | Node_crashed { node } | Node_restarted { node } -> bin_int_field w a_node node
+  | Invariant_violated { invariant; peer; au; poll_id; detail } ->
+    B.put_atom w a_invariant;
+    B.put_string w invariant;
+    bin_opt_field w a_peer peer;
+    bin_opt_field w a_au au;
+    bin_opt_field w a_poll_id poll_id;
+    B.put_atom w a_detail;
+    B.put_string w detail);
+  B.end_record w ~now:time ()
+
+let binary_sink ?(min_severity = Debug) writer ~time event =
+  if severity_at_least min_severity (severity event) then
+    write_binary writer ~time event
 
 let filter_sink ?min_severity ?peer ?au ?kinds inner ~time event =
   let pass =

@@ -170,28 +170,42 @@ type event =
           attached to this bus (auditors never react to these, so
           re-emission cannot loop) *)
 
-type t
-
-val create : unit -> t
-
-(** [subscribe t f] adds an observer called synchronously on every event
-    with the current simulated time. *)
-val subscribe : t -> (time:float -> event -> unit) -> unit
-
-(** [emit t ~now event] notifies subscribers; free when there are none.
-    The [event] is a thunk so construction is also skipped unobserved. *)
-val emit : t -> now:float -> (unit -> event) -> unit
-
-val pp_event : Format.formatter -> event -> unit
-
-(** {2 Taxonomy} *)
-
 (** Event severity, ordered [Debug < Info < Warn]. [Debug] is the
     per-message chatter of healthy polls (including effort accounting);
     [Info] marks poll lifecycle milestones, admission drops and repairs;
     [Warn] marks outcomes that indicate trouble (inquorate or alarmed
     polls, invariant violations). *)
 type severity = Debug | Info | Warn
+
+type t
+
+val create : unit -> t
+
+(** [subscribe ?interest t f] adds an observer called synchronously on
+    every event with the current simulated time. [interest] (default
+    [Debug], i.e. everything) declares the minimum severity [f] cares
+    about: when {e every} subscriber's interest is above an emit's
+    {e bound}, the event is never even constructed. The bus does not
+    filter delivery — a subscriber that declares [Warn] interest must
+    still filter the events it receives (the severity sinks do) —
+    interest only licenses skipping. *)
+val subscribe : ?interest:severity -> t -> (time:float -> event -> unit) -> unit
+
+(** [emit ?bound t ~now event] notifies subscribers; free when there are
+    none. The [event] is a thunk so construction is also skipped
+    unobserved. [bound] is the {e highest} severity the thunk's event
+    could have — when it is below every subscriber's interest, the thunk
+    is not run and nothing is allocated. The default [Warn] never skips;
+    hot call sites that emit statically-[Debug] chatter pass
+    [~bound:Debug]. Declaring a bound lower than the event's actual
+    severity would silently drop it for interested subscribers — the
+    severity-parity test in [test/test_trace_pipeline.ml] guards the
+    in-tree call sites. *)
+val emit : ?bound:severity -> t -> now:float -> (unit -> event) -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {2 Taxonomy} *)
 
 val severity : event -> severity
 val severity_to_string : severity -> string
@@ -225,8 +239,20 @@ val pretty_sink : ?min_severity:severity -> Format.formatter -> sink
 
 (** [jsonl_sink ?min_severity oc] writes one JSON object per event (the
     {!to_json} encoding) per line. The channel is flushed per line so a
-    crashed run keeps its trace. *)
+    crashed run keeps its trace — which makes it expensive; production
+    runs use {!buffered_jsonl_sink} instead. *)
 val jsonl_sink : ?min_severity:severity -> out_channel -> sink
+
+(** [buffered_jsonl_sink ?min_severity sink] is {!jsonl_sink} writing
+    through a buffered {!Obs.Sink} (event time forwarded for
+    time-bounded flushing) instead of flushing per event. Close or
+    flush the sink to make the tail durable. *)
+val buffered_jsonl_sink : ?min_severity:severity -> Obs.Sink.t -> sink
+
+(** [binary_sink ?min_severity w] writes events in the compact binary
+    trace format ({!Obs.Btrace}); decoding yields exactly the
+    {!to_json} value, so binary and JSONL traces analyze identically. *)
+val binary_sink : ?min_severity:severity -> Obs.Btrace.writer -> sink
 
 (** [filter_sink ?min_severity ?peer ?au ?kinds inner] forwards only
     matching events: severity at least [min_severity], involving [peer],
@@ -250,6 +276,19 @@ val to_json : time:float -> event -> Obs.Json.t
 (** [of_json j] inverts {!to_json}. Absent or [null] optional
     correlation fields decode to [None]. *)
 val of_json : Obs.Json.t -> (float * event, string) result
+
+(** [write_jsonl buf ~time e] appends exactly the bytes of
+    [Obs.Json.write buf (to_json ~time e)] (no trailing newline) without
+    building the intermediate JSON value — the allocation-light hot path
+    used by {!buffered_jsonl_sink}. Byte parity with {!to_json} is
+    guarded by a test in test/test_trace_pipeline.ml. *)
+val write_jsonl : Buffer.t -> time:float -> event -> unit
+
+(** [to_view ~time e] is the analyzer projection of [e] — agrees with
+    [Obs.View.of_json (to_json ~time e)] by construction, without
+    building JSON. The live span/ledger bridges feed this to
+    [Obs.Analyze.feed_view]. *)
+val to_view : time:float -> event -> Obs.View.t
 
 (** {2 Recording} *)
 

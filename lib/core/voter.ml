@@ -67,12 +67,12 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
   with
   | Admission.Dropped reason ->
     Metrics.on_invitation_dropped ctx.Peer.metrics;
-    Trace.emit ctx.Peer.trace ~now (fun () ->
+    Trace.emit ~bound:Trace.Info ctx.Peer.trace ~now (fun () ->
         Trace.Invitation_dropped
           { voter = peer.Peer.identity; claimed = identity; au; poll_id; reason })
   | Admission.Admitted path ->
     Metrics.on_invitation_considered ctx.Peer.metrics;
-    Trace.emit ctx.Peer.trace ~now (fun () ->
+    Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now (fun () ->
         Trace.Invitation_admitted
           {
             voter = peer.Peer.identity;
@@ -126,7 +126,7 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
       let load = Float.min 1. (recent /. day_capacity) in
       Rng.bernoulli peer.Peer.rng load
     then begin
-      Trace.emit ctx.Peer.trace ~now (fun () ->
+      Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now (fun () ->
           Trace.Invitation_refused
             { voter = peer.Peer.identity; poller = identity; au; poll_id });
       reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = false })
@@ -143,7 +143,7 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
       in
       match Task_schedule.reserve peer.Peer.schedule ~now ~work ~deadline with
       | None ->
-        Trace.emit ctx.Peer.trace ~now (fun () ->
+        Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now (fun () ->
             Trace.Invitation_refused
               { voter = peer.Peer.identity; poller = identity; au; poll_id });
         reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = false })
@@ -167,7 +167,7 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
         in
         session.Peer.vs_state <- Peer.Awaiting_proof timeout;
         Hashtbl.replace peer.Peer.voter_sessions (identity, au, poll_id) session;
-        Trace.emit ctx.Peer.trace ~now (fun () ->
+        Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now (fun () ->
             Trace.Invitation_accepted
               { voter = peer.Peer.identity; poller = identity; au; poll_id });
         reply ctx peer ~to_node:src ~au (Message.Poll_ack { poll_id; accepted = true })
@@ -214,7 +214,7 @@ let deliver_vote ctx (peer : Peer.t) (session : Peer.voter_session) () =
         (on_receipt_timeout ctx peer session)
     in
     session.Peer.vs_state <- Peer.Voted_waiting_receipt timeout;
-    Trace.emit ctx.Peer.trace ~now (fun () ->
+    Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now (fun () ->
         Trace.Vote_sent
           {
             voter = peer.Peer.identity;
@@ -312,7 +312,7 @@ let on_garbage ctx (peer : Peer.t) ~identity ~au =
     (* The garbage got through the cheap filters; rejecting it costs one
        consideration plus one (failing) introductory-effort check. *)
     Metrics.on_invitation_considered ctx.Peer.metrics;
-    Trace.emit ctx.Peer.trace ~now (fun () ->
+    Trace.emit ~bound:Trace.Debug ctx.Peer.trace ~now (fun () ->
         Trace.Invitation_admitted
           {
             voter = peer.Peer.identity;

@@ -32,6 +32,13 @@ let jobs () =
    instead of spawning domains recursively. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Optional run-wide profiler. Set it from the main domain only; workers
+   never touch it — they report (busy seconds, task count) through a
+   per-worker slot and the calling domain folds those into the profiler
+   after the joins, so the profiler needs no synchronisation. *)
+let profiler : Obs.Profiler.t option ref = ref None
+let set_profiler p = profiler := p
+
 type 'b slot = Done of 'b | Failed of exn * Printexc.raw_backtrace | Pending
 
 let map ?jobs:requested f items =
@@ -47,29 +54,45 @@ let map ?jobs:requested f items =
   else begin
     let results = Array.make n Pending in
     let cursor = Atomic.make 0 in
-    let work () =
+    (* Per-worker effort, written only by that worker and read by the
+       calling domain after the joins. *)
+    let busy = Array.make k 0. in
+    let tasks = Array.make k 0 in
+    let work w =
+      let t0 = Unix.gettimeofday () in
       let rec go () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
           (results.(i) <-
             (try Done (f items.(i))
              with e -> Failed (e, Printexc.get_raw_backtrace ())));
+          tasks.(w) <- tasks.(w) + 1;
           go ()
         end
       in
-      go ()
+      go ();
+      busy.(w) <- Unix.gettimeofday () -. t0
     in
     let spawned =
-      List.init (k - 1) (fun _ ->
+      List.init (k - 1) (fun w ->
           Domain.spawn (fun () ->
               Domain.DLS.set in_worker true;
-              work ()))
+              work (w + 1)))
     in
     (* The calling domain participates too; it is marked as a worker for
        the duration so jobs it runs inline keep nested maps serial. *)
     Domain.DLS.set in_worker true;
-    Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker false) work;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_worker false)
+      (fun () -> work 0);
     List.iter Domain.join spawned;
+    (match !profiler with
+    | None -> ()
+    | Some p ->
+      Array.iteri
+        (fun w busy_s ->
+          Obs.Profiler.note_domain p ~domain:w ~busy_s ~tasks:tasks.(w))
+        busy);
     Array.to_list
       (Array.map
          (function
@@ -85,20 +108,31 @@ let both f g =
     let b = g () in
     (a, b)
   else begin
+    let g_busy = ref 0. in
     let d =
       Domain.spawn (fun () ->
           Domain.DLS.set in_worker true;
-          g ())
+          let t0 = Unix.gettimeofday () in
+          let r = g () in
+          g_busy := Unix.gettimeofday () -. t0;
+          r)
     in
     Domain.DLS.set in_worker true;
+    let t0 = Unix.gettimeofday () in
     let a =
       match Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker false) f with
       | a -> Ok a
       | exception e -> Error (e, Printexc.get_raw_backtrace ())
     in
+    let f_busy = Unix.gettimeofday () -. t0 in
     (* Join before re-raising so a failure on one side never leaks the
        other side's domain. [Domain.join] re-raises [g]'s exception. *)
     let b = Domain.join d in
+    (match !profiler with
+    | None -> ()
+    | Some p ->
+      Obs.Profiler.note_domain p ~domain:0 ~busy_s:f_busy ~tasks:1;
+      Obs.Profiler.note_domain p ~domain:1 ~busy_s:!g_busy ~tasks:1);
     match a with
     | Ok a -> (a, b)
     | Error (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -34,6 +34,16 @@ val set_jobs : int -> unit
     override when non-zero, else {!default_jobs}. *)
 val jobs : unit -> int
 
+(** [set_profiler (Some p)] attaches a run-wide profiler: each parallel
+    {!map} (and {!both}) records every worker's busy wall-clock seconds
+    and completed task count into [p] via {!Obs.Profiler.note_domain},
+    keyed by worker slot (0 = the calling domain). Workers never touch
+    the profiler themselves — effort is collected per worker and folded
+    in by the calling domain after the joins, so no synchronisation is
+    needed. Call from the main domain only; [set_profiler None]
+    detaches. *)
+val set_profiler : Obs.Profiler.t option -> unit
+
 (** [map ?jobs f items] applies [f] to every element of [items] on up to
     [jobs] domains (default {!val-jobs}[ ()], clamped to the job count)
     and returns the results in input order. Work-stealing: idle workers

@@ -116,24 +116,36 @@ let rec attach population minions attack =
 
 (* -- Observability ----------------------------------------------------- *)
 
+type trace_format = [ `Auto | `Jsonl | `Binary ]
+
 type observe = {
   trace_out : string option;
   trace_level : Lockss.Trace.severity;
+  trace_format : trace_format;
   metrics_out : string option;
   sample_interval : float;
   spans_out : string option;
   ledger_out : string option;
+  profile_out : string option;
 }
 
 let default_observe =
   {
     trace_out = None;
     trace_level = Lockss.Trace.Info;
+    trace_format = `Auto;
     metrics_out = None;
     sample_interval = Duration.of_days 7.;
     spans_out = None;
     ledger_out = None;
+    profile_out = None;
   }
+
+let resolve_trace_format format path : Obs.Trace_file.format =
+  match format with
+  | `Jsonl -> Obs.Trace_file.Jsonl
+  | `Binary -> Obs.Trace_file.Binary
+  | `Auto -> Obs.Trace_file.format_of_path path
 
 (* [suffix_path path tag] inserts [.tag] before the extension:
    "out/m.csv" -> "out/m.seed3.csv". Observability output is per run —
@@ -157,12 +169,17 @@ let tag_observe tag obs =
     metrics_out = retag obs.metrics_out;
     spans_out = retag obs.spans_out;
     ledger_out = retag obs.ledger_out;
+    profile_out = retag obs.profile_out;
   }
+
+(* Trace sinks drain to the OS on a size bound (the sink's buffer) and,
+   as a backstop for long quiet stretches, once per simulated month. *)
+let trace_flush_interval = Duration.of_days 30.
 
 (* Subscribe the requested trace sink and metrics sampler to a freshly
    built population; returns a cleanup closing whatever was opened. Each
    run writes (truncating) its own seed-suffixed files. *)
-let subscribe_observers ~observe ~seed population =
+let subscribe_observers ?profiler ~observe ~seed population =
   match observe with
   | None -> Fun.id
   | Some obs ->
@@ -170,19 +187,33 @@ let subscribe_observers ~observe ~seed population =
     (match obs.trace_out with
     | None -> ()
     | Some path ->
-      let oc = open_out (seeded_path path ~seed) in
-      Lockss.Trace.subscribe
+      let sink =
+        Obs.Sink.open_file ~flush_interval:trace_flush_interval
+          (seeded_path path ~seed)
+      in
+      (* [interest] mirrors the sink's severity filter back onto the
+         bus, so below-threshold events are never even constructed when
+         this is the only subscriber. *)
+      let trace_sink =
+        match resolve_trace_format obs.trace_format path with
+        | Obs.Trace_file.Jsonl ->
+          Lockss.Trace.buffered_jsonl_sink ~min_severity:obs.trace_level sink
+        | Obs.Trace_file.Binary ->
+          Lockss.Trace.binary_sink ~min_severity:obs.trace_level
+            (Obs.Btrace.writer sink)
+      in
+      Lockss.Trace.subscribe ~interest:obs.trace_level
         (Lockss.Population.trace population)
-        (Lockss.Trace.jsonl_sink ~min_severity:obs.trace_level oc);
-      cleanups := (fun () -> close_out oc) :: !cleanups);
+        trace_sink;
+      cleanups := (fun () -> Obs.Sink.close sink) :: !cleanups);
     (match obs.metrics_out with
     | None -> ()
     | Some path ->
-      let oc = open_out (seeded_path path ~seed) in
+      let sink = Obs.Sink.open_file (seeded_path path ~seed) in
       let series =
         Obs.Series.create
           ~format:(Obs.Series.format_of_path path)
-          ~columns:Lockss.Sampler.columns oc
+          ~columns:Lockss.Sampler.columns sink
       in
       let ctx = Lockss.Population.ctx population in
       let sampler =
@@ -194,20 +225,51 @@ let subscribe_observers ~observe ~seed population =
       cleanups :=
         (fun () ->
           Lockss.Sampler.stop sampler;
-          close_out oc)
+          Obs.Series.close series)
+        :: !cleanups);
+    (match obs.profile_out with
+    | None -> ()
+    | Some path ->
+      let prof =
+        match profiler with Some p -> p | None -> Obs.Profiler.create ()
+      in
+      cleanups :=
+        (fun () ->
+          Obs.Profiler.sample_gc prof;
+          let stats = Narses.Engine.stats (Lockss.Population.engine population) in
+          Out_channel.with_open_text (seeded_path path ~seed) (fun oc ->
+              output_string oc
+                (Obs.Json.to_string
+                   (Obs.Json.Assoc
+                      [
+                        ("profile", Obs.Profiler.snapshot_json prof);
+                        ( "engine",
+                          Obs.Json.Assoc
+                            [
+                              ("executed", Obs.Json.Int stats.Narses.Engine.executed);
+                              ("scheduled", Obs.Json.Int stats.Narses.Engine.scheduled);
+                              ("cancelled", Obs.Json.Int stats.Narses.Engine.cancelled);
+                              ("pending", Obs.Json.Int stats.Narses.Engine.pending);
+                              ( "max_heap_depth",
+                                Obs.Json.Int stats.Narses.Engine.max_heap_depth );
+                            ] );
+                      ]));
+              output_char oc '\n'))
         :: !cleanups);
     (match (obs.spans_out, obs.ledger_out) with
     | None, None -> ()
     | spans_out, ledger_out ->
       (* The live analyzer subscribes below the severity filter: span
          and ledger reconstruction need the full Debug stream even when
-         the trace file itself is written at a higher level. One code
-         path serves live and offline analysis — the bus is bridged
-         through the same JSON representation a trace file holds. *)
+         the trace file itself is written at a higher level. Live
+         analysis takes the typed fast path ({!Lockss.Trace.to_view}) —
+         no JSON is built — while offline analysis of a trace file goes
+         through {!Obs.View.of_json}; the two are checked to agree. *)
       let analyzer = Obs.Analyze.create () in
       Lockss.Trace.subscribe
         (Lockss.Population.trace population)
-        (fun ~time event -> Obs.Analyze.feed analyzer (Lockss.Trace.to_json ~time event));
+        (fun ~time event ->
+          Obs.Analyze.feed_view analyzer (Lockss.Trace.to_view ~time event));
       cleanups :=
         (fun () ->
           (match spans_out with
@@ -254,14 +316,23 @@ let build ~cfg ~seed attack =
   ignore (attach population (Lockss.Population.extra_nodes population) attack);
   population
 
+let maybe_phase profiler name f =
+  match profiler with None -> f () | Some p -> Obs.Profiler.phase p name f
+
 let run_one ?observe ?check ~cfg ~seed ~years attack =
-  let population = build ~cfg ~seed attack in
+  let profiler =
+    match observe with
+    | Some { profile_out = Some _; _ } -> Some (Obs.Profiler.create ())
+    | _ -> None
+  in
+  let population = maybe_phase profiler "setup" (fun () -> build ~cfg ~seed attack) in
   (match check with
   | None -> ()
   | Some auditor -> Check.Auditor.attach auditor (Lockss.Population.trace population));
-  let cleanup = subscribe_observers ~observe ~seed population in
+  let cleanup = subscribe_observers ?profiler ~observe ~seed population in
   Fun.protect ~finally:cleanup (fun () ->
-      Lockss.Population.run population ~until:(Duration.of_years years);
+      maybe_phase profiler "run" (fun () ->
+          Lockss.Population.run population ~until:(Duration.of_years years));
       let summary = Lockss.Population.summary population in
       (match check with
       | None -> ()
@@ -283,9 +354,11 @@ type profile = {
   engine : Narses.Engine.stats;
   setup_cpu_s : float;
   run_cpu_s : float;
+  gc : Obs.Profiler.gc;
 }
 
 let run_one_profiled ?observe ~cfg ~seed ~years attack =
+  let gc0 = Obs.Profiler.gc_now () in
   let t0 = Sys.time () in
   let population = build ~cfg ~seed attack in
   let cleanup = subscribe_observers ~observe ~seed population in
@@ -298,6 +371,7 @@ let run_one_profiled ?observe ~cfg ~seed ~years attack =
         engine = Narses.Engine.stats (Lockss.Population.engine population);
         setup_cpu_s = t1 -. t0;
         run_cpu_s = t2 -. t1;
+        gc = Obs.Profiler.gc_delta ~before:gc0 ~after:(Obs.Profiler.gc_now ());
       })
 
 let mean_summaries (summaries : Lockss.Metrics.summary list) =

@@ -61,11 +61,18 @@ type attack =
     suffixed with the run's seed ([m.csv] becomes [m.seed3.csv]), so a
     multi-run sweep yields one file per seed. *)
 
+(** Encoding of the [trace_out] file. [`Auto] resolves from the path's
+    extension ([.ntrace] is binary, anything else JSONL). *)
+type trace_format = [ `Auto | `Jsonl | `Binary ]
+
 type observe = {
   trace_out : string option;
-      (** write protocol events as JSONL ({!Lockss.Trace.to_json}) to
-          this path, suffixed per run by seed *)
+      (** write protocol events to this path, suffixed per run by seed —
+          JSONL ({!Lockss.Trace.to_json}) or the compact binary format
+          ({!Obs.Btrace}) per [trace_format]; buffered either way, with
+          the file closed (and therefore flushed) when the run ends *)
   trace_level : Lockss.Trace.severity;  (** minimum severity written *)
+  trace_format : trace_format;
   metrics_out : string option;
       (** write periodic metric samples to this path, suffixed per run
           by seed; [.jsonl]/[.json] selects JSONL, anything else CSV
@@ -80,10 +87,14 @@ type observe = {
       (** write the per-peer effort ledger plus its reconciliation
           against the run's metrics as one JSON object to this path,
           suffixed per run by seed *)
+  profile_out : string option;
+      (** write a run-wide profile (phase wall-clock, GC counters,
+          metric registry snapshot, engine stats) as one JSON object to
+          this path, suffixed per run by seed *)
 }
 
-(** [default_observe] writes nothing: both outputs [None], level [Info],
-    7-day sampling interval. *)
+(** [default_observe] writes nothing: all outputs [None], level [Info],
+    [`Auto] trace format, 7-day sampling interval. *)
 val default_observe : observe
 
 (** [seeded_path path ~seed] is the per-run output path derived from a
@@ -134,14 +145,17 @@ val run_avg_audited :
   Lockss.Metrics.summary * (int * Check.Invariant.violation list) list
 
 (** One scenario run with engine profiling attached: the summary plus the
-    engine's event statistics and the CPU seconds spent building the
-    population ([setup_cpu_s]) and executing events ([run_cpu_s]) —
-    enough to compute events/second and locate simulator hot spots. *)
+    engine's event statistics, the CPU seconds spent building the
+    population ([setup_cpu_s]) and executing events ([run_cpu_s]), and
+    the GC counter deltas across the whole run — enough to compute
+    events/second, allocation per event, and locate simulator hot
+    spots. *)
 type profile = {
   summary : Lockss.Metrics.summary;
   engine : Narses.Engine.stats;
   setup_cpu_s : float;
   run_cpu_s : float;
+  gc : Obs.Profiler.gc;
 }
 
 val run_one_profiled :

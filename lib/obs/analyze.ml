@@ -14,9 +14,12 @@ let create () =
 let span_builder t = t.span_builder
 let ledger t = t.ledger
 
+let feed_view t view =
+  Span.feed_view t.span_builder view;
+  Ledger.feed_view t.ledger view
+
 let feed t json =
-  Span.feed t.span_builder json;
-  Ledger.feed t.ledger json
+  match View.of_json json with None -> () | Some view -> feed_view t view
 
 let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
 
@@ -40,7 +43,18 @@ let read_channel t ic =
   in
   loop (t.lines + 1)
 
-let read_file t path = In_channel.with_open_text path (fun ic -> read_channel t ic)
+let read_file t path =
+  match Trace_file.detect path with
+  | Trace_file.Jsonl -> In_channel.with_open_text path (fun ic -> read_channel t ic)
+  | Trace_file.Binary ->
+    ignore
+      (Trace_file.iter path ~f:(fun ~line result ->
+           t.lines <- t.lines + 1;
+           match result with
+           | Ok json -> feed t json
+           | Error error ->
+             t.malformed <- t.malformed + 1;
+             Span.note_malformed t.span_builder ~line ~error))
 
 let lines t = t.lines
 let anomalies t = Span.anomalies t.span_builder

@@ -25,15 +25,25 @@ val ledger : t -> Ledger.t
     ledger. *)
 val feed : t -> Json.t -> unit
 
+(** [feed_view t v] is {!feed} on a pre-projected event — the zero-JSON
+    path the live bridges use. *)
+val feed_view : t -> View.t -> unit
+
 (** [feed_line t ~line s] parses one JSONL line and feeds it; parse
     failures are recorded as {!Span.Malformed_line} anomalies. Blank
     lines are ignored. *)
 val feed_line : t -> line:int -> string -> unit
 
 val read_channel : t -> in_channel -> unit
+
+(** [read_file t path] reads a whole trace in either encoding,
+    sniffing the {!Btrace.magic} prefix ({!Trace_file.detect}). Binary
+    decode errors are recorded as malformed-line anomalies, like
+    unparsable JSONL lines. *)
 val read_file : t -> string -> unit
 
-(** Lines seen by {!feed_line} (0 when fed live). *)
+(** Lines (JSONL) or records (binary) seen by the offline readers (0
+    when fed live). *)
 val lines : t -> int
 
 val anomalies : t -> Span.anomaly list

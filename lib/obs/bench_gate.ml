@@ -1,0 +1,166 @@
+type direction = Higher_is_worse | Lower_is_worse
+
+type delta = {
+  path : string;
+  baseline : float;
+  current : float;
+  change_pct : float;
+  direction : direction option;
+  regressed : bool;
+}
+
+type report = {
+  deltas : delta list;
+  missing_tracked : string list;
+  added : string list;
+  threshold_pct : float;
+}
+
+(* Members used to key list elements so the diff survives reordering. *)
+let key_members = [ "variant"; "target"; "phase"; "bucket"; "name" ]
+
+let element_key json =
+  List.find_map
+    (fun m -> Option.bind (Json.member m json) Json.string_value)
+    key_members
+
+let flatten json =
+  let acc = ref [] in
+  let join prefix seg = if prefix = "" then seg else prefix ^ "." ^ seg in
+  let rec go prefix (json : Json.t) =
+    match json with
+    | Int i -> acc := (prefix, float_of_int i) :: !acc
+    | Float f -> acc := (prefix, f) :: !acc
+    | Bool _ | Null | String _ -> ()
+    | Assoc fields -> List.iter (fun (k, v) -> go (join prefix k) v) fields
+    | List items ->
+      List.iteri
+        (fun i item ->
+          let seg =
+            match element_key item with
+            | Some key -> key
+            | None -> string_of_int i
+          in
+          go (join prefix seg) item)
+        items
+  in
+  go "" json;
+  List.rev !acc
+
+let direction_of_path path =
+  let last =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  match last with
+  | "overhead" -> Some Higher_is_worse
+  | "speedup" -> Some Lower_is_worse
+  | _ -> None
+
+let change_pct ~baseline ~current =
+  if Float.is_finite baseline && baseline <> 0. && Float.is_finite current then
+    (current -. baseline) /. Float.abs baseline *. 100.
+  else nan
+
+let default_threshold_pct = 25.
+
+let compare_json ?(threshold_pct = default_threshold_pct) ~baseline ~current () =
+  let base = flatten baseline and cur = flatten current in
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun (path, v) -> Hashtbl.replace cur_tbl path v) cur;
+  let deltas, missing_tracked =
+    List.fold_left
+      (fun (deltas, missing) (path, b) ->
+        match Hashtbl.find_opt cur_tbl path with
+        | Some c ->
+          let direction = direction_of_path path in
+          let pct = change_pct ~baseline:b ~current:c in
+          let regressed =
+            match direction with
+            | None -> false
+            | Some Higher_is_worse -> Float.is_finite pct && pct > threshold_pct
+            | Some Lower_is_worse -> Float.is_finite pct && pct < -.threshold_pct
+          in
+          ( { path; baseline = b; current = c; change_pct = pct; direction; regressed }
+            :: deltas,
+            missing )
+        | None ->
+          ( deltas,
+            if direction_of_path path <> None then path :: missing else missing ))
+      ([], []) base
+  in
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun (path, _) -> Hashtbl.replace base_tbl path ()) base;
+  let added =
+    List.filter_map
+      (fun (path, _) -> if Hashtbl.mem base_tbl path then None else Some path)
+      cur
+  in
+  {
+    deltas = List.sort (fun a b -> compare a.path b.path) deltas;
+    missing_tracked = List.rev missing_tracked;
+    added;
+    threshold_pct;
+  }
+
+let regressions report = List.filter (fun d -> d.regressed) report.deltas
+let ok report = regressions report = [] && report.missing_tracked = []
+
+let direction_to_json = function
+  | None -> Json.Null
+  | Some Higher_is_worse -> Json.String "higher_is_worse"
+  | Some Lower_is_worse -> Json.String "lower_is_worse"
+
+let delta_to_json d =
+  Json.Assoc
+    [
+      ("path", Json.String d.path);
+      ("baseline", Json.Float d.baseline);
+      ("current", Json.Float d.current);
+      ("change_pct", Json.Float d.change_pct);
+      ("direction", direction_to_json d.direction);
+      ("regressed", Json.Bool d.regressed);
+    ]
+
+let report_json report =
+  Json.Assoc
+    [
+      ("ok", Json.Bool (ok report));
+      ("threshold_pct", Json.Float report.threshold_pct);
+      ("regressions", Json.List (List.map delta_to_json (regressions report)));
+      ( "missing_tracked",
+        Json.List (List.map (fun p -> Json.String p) report.missing_tracked) );
+      ("added", Json.List (List.map (fun p -> Json.String p) report.added));
+      ("deltas", Json.List (List.map delta_to_json report.deltas));
+    ]
+
+let pp_report ppf report =
+  let tracked = List.filter (fun d -> d.direction <> None) report.deltas in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "tracked metrics (threshold %.0f%%):@," report.threshold_pct;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  %-50s %10.4g -> %10.4g  %+7.1f%%  %s@," d.path d.baseline
+        d.current d.change_pct
+        (if d.regressed then "REGRESSED" else "ok"))
+    tracked;
+  if tracked = [] then Format.fprintf ppf "  (none)@,";
+  List.iter
+    (fun path -> Format.fprintf ppf "  %-50s MISSING (tracked in baseline)@," path)
+    report.missing_tracked;
+  let info = List.filter (fun d -> d.direction = None) report.deltas in
+  let shown = List.filteri (fun i _ -> i < 20) info in
+  if shown <> [] then begin
+    Format.fprintf ppf "informational:@,";
+    List.iter
+      (fun d ->
+        Format.fprintf ppf "  %-50s %10.4g -> %10.4g  %+7.1f%%@," d.path d.baseline
+          d.current d.change_pct)
+      shown;
+    let rest = List.length info - List.length shown in
+    if rest > 0 then Format.fprintf ppf "  ... and %d more@," rest
+  end;
+  if report.added <> [] then
+    Format.fprintf ppf "new metrics: %s@," (String.concat ", " report.added);
+  Format.fprintf ppf "verdict: %s@]" (if ok report then "OK" else "REGRESSED")

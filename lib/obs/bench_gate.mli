@@ -1,0 +1,55 @@
+(** Bench regression gate: diff a bench JSON artifact against a pinned
+    baseline and fail on regressions of tracked ratios.
+
+    Bench artifacts mix machine-dependent absolutes (mean seconds) with
+    machine-independent ratios ([overhead], [speedup]). Only the ratios
+    are {e tracked}: an [.overhead] leaf regresses when it grows past
+    the threshold, a [.speedup] leaf when it shrinks past it. Absolute
+    leaves are still diffed and reported, but informationally — CI
+    machines are too noisy to gate wall-clock.
+
+    JSON is flattened to dotted paths. Lists of objects are keyed by
+    their ["variant"], ["target"], ["phase"] or ["bucket"] member when
+    present (so reordering a bench's variant list does not shuffle the
+    diff), by index otherwise. A tracked path present in the baseline
+    but missing from the current artifact is itself a failure: silently
+    dropping a gated metric must not pass CI. *)
+
+type direction = Higher_is_worse | Lower_is_worse
+
+type delta = {
+  path : string;
+  baseline : float;
+  current : float;
+  change_pct : float;  (** [nan] when the baseline is 0 or not finite *)
+  direction : direction option;  (** [None] = informational *)
+  regressed : bool;
+}
+
+type report = {
+  deltas : delta list;  (** every shared numeric path, sorted *)
+  missing_tracked : string list;  (** tracked in baseline, absent now *)
+  added : string list;  (** numeric in current, absent from baseline *)
+  threshold_pct : float;
+}
+
+(** [flatten json] is every numeric leaf as [(dotted-path, value)]. *)
+val flatten : Json.t -> (string * float) list
+
+(** Tracked direction for a flattened path, from its last segment. *)
+val direction_of_path : string -> direction option
+
+(** [compare_json ?threshold_pct ~baseline ~current ()] — threshold
+    defaults to 25 (percent). *)
+val compare_json :
+  ?threshold_pct:float -> baseline:Json.t -> current:Json.t -> unit -> report
+
+val regressions : report -> delta list
+
+(** No regressed deltas and no missing tracked paths. *)
+val ok : report -> bool
+
+val report_json : report -> Json.t
+
+(** Human-readable table; one line per tracked delta plus failures. *)
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,11 @@
+(** Fast decimal rendering of doubles for the trace hot path.
+
+    [to_literal f] is a %g-style decimal literal that parses back to
+    exactly [f] — every candidate is verified with [Float.of_string]
+    before being returned — or [None] when the fast path does not apply
+    (non-finite, zero, |f| outside (1e-30, 1e30), or a rounding
+    boundary the double-double scaling cannot certify). Callers fall
+    back to the printf-based rendering on [None]; the two spell
+    friendly values identically (a 16-digit rounding is tried first,
+    like %.16g, so "0.1" stays "0.1"). *)
+val to_literal : float -> string option

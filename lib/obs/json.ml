@@ -7,35 +7,71 @@ type t =
   | List of t list
   | Assoc of (string * t) list
 
+let needs_escape c = c = '"' || c = '\\' || Char.code c < 0x20
+
+(* Copies maximal clean runs with [add_substring] instead of walking
+   char-by-char: most strings contain nothing to escape. *)
 let escape buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
+  let n = String.length s in
+  let flush_run start stop =
+    if stop > start then Buffer.add_substring buf s start (stop - start)
+  in
+  let rec go start i =
+    if i = n then flush_run start i
+    else if needs_escape (String.unsafe_get s i) then begin
+      flush_run start i;
+      (match String.unsafe_get s i with
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+      | c -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c)));
+      go (i + 1) (i + 1)
+    end
+    else go start (i + 1)
+  in
+  go 0 0;
   Buffer.add_char buf '"'
 
 let float_literal f =
   if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e12 && not (f = 0. && 1. /. f < 0.)
+  then
+    (* %.12g prints integral magnitudes below 10^12 as bare digits (and
+       negative zero as "-0", hence the exclusion above). *)
+    string_of_int (int_of_float f)
   else begin
-    (* Shortest representation that still round-trips, kept recognisably a
-       float (JSON has no distinct int type, but our parser does). *)
-    let s = Printf.sprintf "%.12g" f in
-    if Float.of_string s = f then s else Printf.sprintf "%.17g" f
+    match Dtoa.to_literal f with
+    | Some s -> s
+    | None ->
+      (* Round-trippable and short for friendly values: %g strips
+         trailing zeros, so 16 digits renders 0.1 as "0.1" while needing
+         the %.17g fallback only for the values that genuinely use all
+         17. Trying 16 first (not 12) matters: values reaching this
+         branch essentially never fit 12 digits, and the failed attempt
+         costs a format and a parse per call. *)
+      let s = Printf.sprintf "%.16g" f in
+      if Float.of_string s = f then s else Printf.sprintf "%.17g" f
   end
+
+(* Digits straight into the buffer: [string_of_int] allocates a fresh
+   string per call, which adds up under a debug-level trace sink.
+   Negative values fall back to it (handles [min_int]); they do not
+   occur on hot paths. Top-level recursion, not an inner [let rec]: a
+   loop capturing [buf] would allocate a closure per call. *)
+let rec write_uint buf n =
+  if n >= 10 then write_uint buf (n / 10);
+  Buffer.add_char buf (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+
+let write_int buf n =
+  if n < 0 then Buffer.add_string buf (string_of_int n) else write_uint buf n
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Int i -> write_int buf i
   | Float f -> Buffer.add_string buf (float_literal f)
   | String s -> escape buf s
   | List items ->

@@ -20,6 +20,21 @@ type t =
     Non-finite floats are rendered as [null] to keep the output valid. *)
 val to_string : t -> string
 
+(** [write buf v] renders [v] into [buf] — same output as {!to_string}
+    without the intermediate string, for per-event hot paths. *)
+val write : Buffer.t -> t -> unit
+
+(** [float_literal f] is the numeric literal {!write} emits for
+    [Float f] — the single source of truth for float rendering, exposed
+    so hot paths can cache the string of a repeated value (consecutive
+    trace events frequently share a timestamp). Non-finite floats render
+    as ["null"]. *)
+val float_literal : float -> string
+
+(** [write_int buf n] appends the decimal digits of [n] without
+    allocating an intermediate string — what {!write} uses for [Int]. *)
+val write_int : Buffer.t -> int -> unit
+
 val pp : Format.formatter -> t -> unit
 
 (** [of_string s] parses one JSON value, requiring only trailing

@@ -54,9 +54,9 @@ type t = { peers : (int, entry) Hashtbl.t }
 let create () = { peers = Hashtbl.create 64 }
 
 let entry t peer =
-  match Hashtbl.find_opt t.peers peer with
-  | Some e -> e
-  | None ->
+  match Hashtbl.find t.peers peer with
+  | e -> e
+  | exception Not_found ->
     let e =
       {
         peer;
@@ -78,16 +78,11 @@ let entry t peer =
     Hashtbl.replace t.peers peer e;
     e
 
-let str name json = Option.bind (Json.member name json) Json.string_value
-let int_field name json = Option.bind (Json.member name json) Json.to_int
-let float_field name json = Option.bind (Json.member name json) Json.to_float
-
-let feed t json =
-  match str "kind" json with
-  | Some "effort_charged" -> (
+let feed_view t (v : View.t) =
+  match v.View.kind with
+  | "effort_charged" -> (
     match
-      (int_field "peer" json, Option.bind (str "phase" json) phase_of_string,
-       str "role" json, float_field "seconds" json)
+      (v.View.peer, Option.bind v.View.phase phase_of_string, v.View.role, v.View.seconds)
     with
     | Some peer, Some phase, Some role, Some seconds ->
       let e = entry t peer in
@@ -97,22 +92,20 @@ let feed t json =
       let i = phase_index phase in
       bucket.(i) <- bucket.(i) +. seconds
     | _ -> ())
-  | Some "effort_received" -> (
-    match
-      (int_field "peer" json, Option.bind (str "phase" json) phase_of_string,
-       float_field "seconds" json)
-    with
+  | "effort_received" -> (
+    match (v.View.peer, Option.bind v.View.phase phase_of_string, v.View.seconds) with
     | Some peer, Some phase, Some seconds ->
       let e = entry t peer in
       let i = phase_index phase in
       e.received.(i) <- e.received.(i) +. seconds
     | _ -> ())
-  | Some "poll_started" -> (
-    match int_field "poller" json with
-    | Some poller -> (entry t poller).polls_started <- (entry t poller).polls_started + 1
+  | "poll_started" -> (
+    match v.View.poller with
+    | Some poller -> let e = entry t poller in
+      e.polls_started <- e.polls_started + 1
     | None -> ())
-  | Some "poll_concluded" -> (
-    match (int_field "poller" json, str "outcome" json) with
+  | "poll_concluded" -> (
+    match (v.View.poller, v.View.outcome) with
     | Some poller, Some outcome ->
       let e = entry t poller in
       (match outcome with
@@ -121,35 +114,44 @@ let feed t json =
       | "alarmed" -> e.polls_alarmed <- e.polls_alarmed + 1
       | _ -> ())
     | _ -> ())
-  | Some "vote_sent" -> (
-    match int_field "voter" json with
-    | Some voter -> (entry t voter).votes_sent <- (entry t voter).votes_sent + 1
+  | "vote_sent" -> (
+    match v.View.voter with
+    | Some voter -> let e = entry t voter in
+      e.votes_sent <- e.votes_sent + 1
     | None -> ())
-  | Some "invitation_admitted" -> (
-    match int_field "voter" json with
+  | "invitation_admitted" -> (
+    match v.View.voter with
     | Some voter ->
-      (entry t voter).invitations_admitted <- (entry t voter).invitations_admitted + 1
+      let e = entry t voter in
+      e.invitations_admitted <- e.invitations_admitted + 1
     | None -> ())
-  | Some "invitation_accepted" -> (
-    match int_field "voter" json with
+  | "invitation_accepted" -> (
+    match v.View.voter with
     | Some voter ->
-      (entry t voter).invitations_accepted <- (entry t voter).invitations_accepted + 1
+      let e = entry t voter in
+      e.invitations_accepted <- e.invitations_accepted + 1
     | None -> ())
-  | Some "invitation_refused" -> (
-    match int_field "voter" json with
+  | "invitation_refused" -> (
+    match v.View.voter with
     | Some voter ->
-      (entry t voter).invitations_refused <- (entry t voter).invitations_refused + 1
+      let e = entry t voter in
+      e.invitations_refused <- e.invitations_refused + 1
     | None -> ())
-  | Some "invitation_dropped" -> (
-    match int_field "voter" json with
+  | "invitation_dropped" -> (
+    match v.View.voter with
     | Some voter ->
-      (entry t voter).invitations_dropped <- (entry t voter).invitations_dropped + 1
+      let e = entry t voter in
+      e.invitations_dropped <- e.invitations_dropped + 1
     | None -> ())
-  | Some "repair_applied" -> (
-    match int_field "poller" json with
-    | Some poller -> (entry t poller).repairs <- (entry t poller).repairs + 1
+  | "repair_applied" -> (
+    match v.View.poller with
+    | Some poller -> let e = entry t poller in
+      e.repairs <- e.repairs + 1
     | None -> ())
   | _ -> ()
+
+let feed t json =
+  match View.of_json json with None -> () | Some v -> feed_view t v
 
 let entries t =
   Hashtbl.fold (fun _ e acc -> e :: acc) t.peers []

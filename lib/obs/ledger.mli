@@ -54,6 +54,10 @@ val create : unit -> t
     ignored. *)
 val feed : t -> Json.t -> unit
 
+(** [feed_view t v] is {!feed} without the JSON detour — the live
+    analyzers build a {!View.t} straight from the typed event. *)
+val feed_view : t -> View.t -> unit
+
 (** [entries t] is every peer seen so far, sorted by peer id. *)
 val entries : t -> entry list
 

@@ -1,0 +1,169 @@
+type gc = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+  top_heap_words : int;
+}
+
+let gc_now () =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = s.Gc.minor_words;
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+    heap_words = s.Gc.heap_words;
+    top_heap_words = s.Gc.top_heap_words;
+  }
+
+let gc_delta ~before ~after =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    major_words = after.major_words -. before.major_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+    compactions = after.compactions - before.compactions;
+    heap_words = after.heap_words;
+    top_heap_words = after.top_heap_words;
+  }
+
+let allocated_words g = g.minor_words +. g.major_words -. g.promoted_words
+
+let gc_to_json g =
+  Json.Assoc
+    [
+      ("minor_words", Json.Float g.minor_words);
+      ("promoted_words", Json.Float g.promoted_words);
+      ("major_words", Json.Float g.major_words);
+      ("allocated_words", Json.Float (allocated_words g));
+      ("minor_collections", Json.Int g.minor_collections);
+      ("major_collections", Json.Int g.major_collections);
+      ("compactions", Json.Int g.compactions);
+      ("heap_words", Json.Int g.heap_words);
+      ("top_heap_words", Json.Int g.top_heap_words);
+    ]
+
+type domain_stat = { domain : int; busy_s : float; tasks : int }
+
+type t = {
+  registry : Registry.t;
+  clock : unit -> float;
+  mutable phases_rev : (string * float ref) list;
+  domains : (int, domain_stat ref) Hashtbl.t;
+  mutable last_gc : gc option;
+}
+
+let create ?registry ?clock () =
+  {
+    registry = (match registry with Some r -> r | None -> Registry.create ());
+    clock = (match clock with Some c -> c | None -> Unix.gettimeofday);
+    phases_rev = [];
+    domains = Hashtbl.create 8;
+    last_gc = None;
+  }
+
+let registry t = t.registry
+
+let phase_cell t name =
+  match List.assoc_opt name t.phases_rev with
+  | Some cell -> cell
+  | None ->
+    let cell = ref 0. in
+    t.phases_rev <- (name, cell) :: t.phases_rev;
+    cell
+
+let mirror_phase t name seconds =
+  Registry.Gauge.set (Registry.gauge t.registry ("profile.phase." ^ name ^ "_s")) seconds
+
+let add_phase_time t name seconds =
+  let cell = phase_cell t name in
+  cell := !cell +. seconds;
+  mirror_phase t name !cell
+
+let phase t name f =
+  let start = t.clock () in
+  Fun.protect
+    ~finally:(fun () -> add_phase_time t name (t.clock () -. start))
+    f
+
+let phase_seconds t name =
+  match List.assoc_opt name t.phases_rev with Some cell -> !cell | None -> 0.
+
+let sample_gc t =
+  let g = gc_now () in
+  t.last_gc <- Some g;
+  let set name v = Registry.Gauge.set (Registry.gauge t.registry name) v in
+  set "gc.minor_words" g.minor_words;
+  set "gc.promoted_words" g.promoted_words;
+  set "gc.major_words" g.major_words;
+  set "gc.allocated_words" (allocated_words g);
+  set "gc.heap_words" (float_of_int g.heap_words);
+  set "gc.top_heap_words" (float_of_int g.top_heap_words);
+  set "gc.minor_collections" (float_of_int g.minor_collections);
+  set "gc.major_collections" (float_of_int g.major_collections);
+  set "gc.compactions" (float_of_int g.compactions)
+
+let note_domain t ~domain ~busy_s ~tasks =
+  match Hashtbl.find_opt t.domains domain with
+  | Some cell ->
+    cell := { domain; busy_s = !cell.busy_s +. busy_s; tasks = !cell.tasks + tasks }
+  | None -> Hashtbl.replace t.domains domain (ref { domain; busy_s; tasks })
+
+let domain_stats t =
+  Hashtbl.fold (fun _ cell acc -> !cell :: acc) t.domains []
+  |> List.sort (fun a b -> compare a.domain b.domain)
+
+let phases t = List.rev t.phases_rev
+
+let snapshot_json t =
+  Json.Assoc
+    [
+      ( "phases",
+        Json.Assoc (List.map (fun (name, cell) -> (name, Json.Float !cell)) (phases t))
+      );
+      ( "domains",
+        Json.List
+          (List.map
+             (fun d ->
+               Json.Assoc
+                 [
+                   ("domain", Json.Int d.domain);
+                   ("busy_s", Json.Float d.busy_s);
+                   ("tasks", Json.Int d.tasks);
+                 ])
+             (domain_stats t)) );
+      ("gc", match t.last_gc with None -> Json.Null | Some g -> gc_to_json g);
+      ("registry", Json.Assoc (Registry.snapshot t.registry));
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "phases:@,";
+  List.iter
+    (fun (name, cell) -> Format.fprintf ppf "  %-12s %8.3fs@," name !cell)
+    (phases t);
+  (match domain_stats t with
+  | [] -> ()
+  | stats ->
+    Format.fprintf ppf "domains:@,";
+    List.iter
+      (fun d ->
+        Format.fprintf ppf "  domain %d: busy %8.3fs over %d tasks@," d.domain d.busy_s
+          d.tasks)
+      stats);
+  (match t.last_gc with
+  | None -> ()
+  | Some g ->
+    Format.fprintf ppf
+      "gc: %.3gM words allocated, %d minor / %d major collections, heap %.3gM words@,"
+      (allocated_words g /. 1e6)
+      g.minor_collections g.major_collections
+      (float_of_int g.heap_words /. 1e6));
+  Format.fprintf ppf "@]"

@@ -5,7 +5,7 @@ let format_of_path path =
   let has_suffix suffix = Filename.check_suffix lower suffix in
   if has_suffix ".jsonl" || has_suffix ".json" then Jsonl else Csv
 
-type t = { format : format; columns : string list; oc : out_channel }
+type t = { format : format; columns : string list; sink : Sink.t; row : Buffer.t }
 
 let csv_cell = function
   | Json.Null -> ""
@@ -18,24 +18,36 @@ let csv_cell = function
     else s
   | Json.List _ | Json.Assoc _ -> invalid_arg "Series.append: nested value in CSV cell"
 
-let write_csv_row oc cells =
-  output_string oc (String.concat "," cells);
-  output_char oc '\n'
+let add_csv_row buf cells =
+  List.iteri
+    (fun i cell ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf cell)
+    cells;
+  Buffer.add_char buf '\n'
 
-let create ~format ~columns ?(header = true) oc =
+let create ~format ~columns ?(header = true) sink =
   (match columns with [] -> invalid_arg "Series.create: no columns" | _ -> ());
-  if format = Csv && header then
-    write_csv_row oc (List.map (fun c -> csv_cell (Json.String c)) columns);
-  { format; columns; oc }
+  let t = { format; columns; sink; row = Buffer.create 256 } in
+  if format = Csv && header then begin
+    add_csv_row t.row (List.map (fun c -> csv_cell (Json.String c)) columns);
+    Sink.write_buffer sink t.row;
+    Buffer.clear t.row
+  end;
+  t
 
-let append t values =
+let append t ?now values =
   if List.length values <> List.length t.columns then
     invalid_arg "Series.append: value count does not match columns";
+  Buffer.clear t.row;
   (match t.format with
-  | Csv -> write_csv_row t.oc (List.map csv_cell values)
+  | Csv -> add_csv_row t.row (List.map csv_cell values)
   | Jsonl ->
-    output_string t.oc (Json.to_string (Json.Assoc (List.combine t.columns values)));
-    output_char t.oc '\n');
-  flush t.oc
+    Json.write t.row (Json.Assoc (List.combine t.columns values));
+    Buffer.add_char t.row '\n');
+  Sink.write_buffer t.sink ?now t.row;
+  Buffer.clear t.row
 
+let flush t = Sink.flush t.sink
+let close t = Sink.close t.sink
 let columns t = t.columns

@@ -4,7 +4,12 @@
 
     The format is chosen once at creation — conventionally from the
     output path's extension via {!format_of_path} — so experiment code
-    stays agnostic of which the user asked for. *)
+    stays agnostic of which the user asked for.
+
+    Rows are buffered in the underlying {!Sink} rather than flushed one
+    by one; pass the sample's simulated time as [?now] to {!append} to
+    enable the sink's time-bounded flushing, and {!close} (or close the
+    sink) to make the tail durable. *)
 
 type format = Csv | Jsonl
 
@@ -14,15 +19,21 @@ val format_of_path : string -> format
 
 type t
 
-(** [create ~format ~columns ?header oc] prepares a writer over [oc].
-    For CSV, the header row is written immediately unless [header] is
-    [false] (pass [false] when appending to a file that already has
-    one). *)
-val create : format:format -> columns:string list -> ?header:bool -> out_channel -> t
+(** [create ~format ~columns ?header sink] prepares a writer over
+    [sink]. For CSV, the header row is written immediately unless
+    [header] is [false] (pass [false] when appending to a file that
+    already has one). The series does not take ownership of [sink]. *)
+val create : format:format -> columns:string list -> ?header:bool -> Sink.t -> t
 
-(** [append t values] writes one sample; [values] must match [columns]
-    in length and order. Scalars only ([Int], [Float], [String], [Bool],
-    [Null]). *)
-val append : t -> Json.t list -> unit
+(** [append t ?now values] writes one sample; [values] must match
+    [columns] in length and order. Scalars only ([Int], [Float],
+    [String], [Bool], [Null]). *)
+val append : t -> ?now:float -> Json.t list -> unit
+
+(** Flush (durably) the underlying sink. *)
+val flush : t -> unit
+
+(** Close the underlying sink. *)
+val close : t -> unit
 
 val columns : t -> string list

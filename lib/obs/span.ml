@@ -181,25 +181,29 @@ let note_orphan t ~kind ~time ((poller, au, poll_id) as key) =
     add_anomaly t (Orphan_event { kind; poller; au; poll_id; time })
   end
 
-(* Update an open span, or account for the event against a closed one:
-   a poller must fall silent after concluding (anomaly if not), while
-   voter-side events legitimately cross the conclusion in flight (late,
-   informational). *)
-let on_poll_event t ~kind ~time ~emitter ((poller, au, poll_id) as key) update =
-  match lookup t key with
-  | `Open span -> update span
-  | `Closed span ->
-    if emitter = poller then
-      add_anomaly t (Poller_event_after_conclusion { kind; poller; au; poll_id; time })
-    else begin
-      span.late_events <- span.late_events + 1;
-      t.late <- t.late + 1
-    end
-  | `Unknown -> note_orphan t ~kind ~time key
-
-let str name json = Option.bind (Json.member name json) Json.string_value
-let int_field name json = Option.bind (Json.member name json) Json.to_int
-let float_field name json = Option.bind (Json.member name json) Json.to_float
+(* The open span for [key], or [None] after accounting for the event
+   against a closed one: a poller must fall silent after concluding
+   (anomaly if not), while voter-side events legitimately cross the
+   conclusion in flight (late, informational). Returning the span
+   rather than taking an update callback keeps the per-event cost to
+   the one [Some] cell — the callbacks captured [time] and allocated a
+   closure per event. *)
+let open_span t ~kind ~time ~emitter ((poller, au, poll_id) as key) =
+  match Hashtbl.find t.open_spans key with
+  | span -> Some span
+  | exception Not_found -> (
+    match Hashtbl.find t.closed key with
+    | span ->
+      if emitter = poller then
+        add_anomaly t (Poller_event_after_conclusion { kind; poller; au; poll_id; time })
+      else begin
+        span.late_events <- span.late_events + 1;
+        t.late <- t.late + 1
+      end;
+      None
+    | exception Not_found ->
+      note_orphan t ~kind ~time key;
+      None)
 
 let start_span t ~time ~poller ~au ~poll_id ~inner_candidates =
   (match Hashtbl.find_opt t.open_by_pair (poller, au) with
@@ -266,117 +270,119 @@ let conclude t ~time ~poller ~au ~poll_id ~outcome =
       span.outcome <- outcome)
   | `Unknown -> note_orphan t ~kind:"poll_concluded" ~time key
 
-let feed t json =
-  match str "kind" json with
-  | None -> ()
-  | Some kind -> (
-    t.events <- t.events + 1;
-    let time = Option.value ~default:0. (float_field "t" json) in
-    let triple poller_name =
-      match
-        (int_field poller_name json, int_field "au" json, int_field "poll_id" json)
-      with
-      | Some p, Some a, Some id -> Some (p, a, id)
-      | _ -> None
-    in
-    match kind with
-    | "poll_started" -> (
-      match triple "poller" with
-      | Some (poller, au, poll_id) ->
-        let inner_candidates =
-          Option.value ~default:0 (int_field "inner_candidates" json)
-        in
-        start_span t ~time ~poller ~au ~poll_id ~inner_candidates
+(* The (emitter, au, poll_id) correlation triple, shaped as the span
+   key. Top level so the per-event call allocates only the result. *)
+let triple (v : View.t) emitter =
+  match (emitter, v.View.au, v.View.poll_id) with
+  | Some p, Some a, Some id -> Some (p, a, id)
+  | _ -> None
+
+let feed_view t (v : View.t) =
+  t.events <- t.events + 1;
+  let kind = v.View.kind in
+  let time = v.View.time in
+  match kind with
+  | "poll_started" -> (
+    match triple v v.View.poller with
+    | Some (poller, au, poll_id) ->
+      let inner_candidates = Option.value ~default:0 v.View.inner_candidates in
+      start_span t ~time ~poller ~au ~poll_id ~inner_candidates
+    | None -> ())
+  | "solicitation_sent" -> (
+    match triple v v.View.poller with
+    | Some ((poller, _, _) as key) -> (
+      match open_span t ~kind ~time ~emitter:poller key with
+      | Some span -> span.solicitations <- span.solicitations + 1
       | None -> ())
-    | "solicitation_sent" -> (
-      match triple "poller" with
-      | Some ((poller, _, _) as key) ->
-        on_poll_event t ~kind ~time ~emitter:poller key (fun span ->
-            span.solicitations <- span.solicitations + 1)
+    | None -> ())
+  | "invitation_dropped" -> (
+    match (triple v v.View.claimed, v.View.voter) with
+    | Some key, Some voter -> (
+      match open_span t ~kind ~time ~emitter:voter key with
+      | Some span -> span.invitations_dropped <- span.invitations_dropped + 1
       | None -> ())
-    | "invitation_dropped" -> (
-      match (triple "claimed", int_field "voter" json) with
-      | Some key, Some voter ->
-        on_poll_event t ~kind ~time ~emitter:voter key (fun span ->
-            span.invitations_dropped <- span.invitations_dropped + 1)
-      | _ -> ())
-    | "invitation_refused" -> (
-      match (triple "poller", int_field "voter" json) with
-      | Some key, Some voter ->
-        on_poll_event t ~kind ~time ~emitter:voter key (fun span ->
-            span.invitations_refused <- span.invitations_refused + 1)
-      | _ -> ())
-    | "invitation_accepted" -> (
-      match (triple "poller", int_field "voter" json) with
-      | Some key, Some voter ->
-        on_poll_event t ~kind ~time ~emitter:voter key (fun span ->
-            span.invitations_accepted <- span.invitations_accepted + 1)
-      | _ -> ())
-    | "vote_sent" -> (
-      match (triple "poller", int_field "voter" json) with
-      | Some key, Some voter ->
-        on_poll_event t ~kind ~time ~emitter:voter key (fun span ->
-            span.votes <- span.votes + 1;
-            if span.first_vote_at = None then span.first_vote_at <- Some time)
-      | _ -> ())
-    | "evaluation_started" -> (
-      match triple "poller" with
-      | Some ((poller, _, _) as key) ->
-        let votes = Option.value ~default:0 (int_field "votes" json) in
-        on_poll_event t ~kind ~time ~emitter:poller key (fun span ->
-            if span.evaluation_at = None then begin
-              span.evaluation_at <- Some time;
-              span.votes_at_evaluation <- votes
-            end)
-      | None -> ())
-    | "repair_applied" -> (
-      match triple "poller" with
-      | Some ((poller, _, _) as key) ->
-        on_poll_event t ~kind ~time ~emitter:poller key (fun span ->
-            span.repairs <- span.repairs + 1;
-            if span.first_repair_at = None then span.first_repair_at <- Some time)
-      | None -> ())
-    | "poll_concluded" -> (
-      match triple "poller" with
-      | Some (poller, au, poll_id) ->
-        let outcome = Option.bind (str "outcome" json) outcome_of_string in
-        conclude t ~time ~poller ~au ~poll_id ~outcome
-      | None -> ())
-    | "effort_charged" -> (
-      match (triple "poller", int_field "peer" json, float_field "seconds" json) with
-      | Some key, Some peer, Some seconds ->
-        on_poll_event t ~kind ~time ~emitter:peer key (fun span ->
-            span.effort_spent <- span.effort_spent +. seconds)
-      | _ -> ())
-    | "effort_received" -> (
-      (* The event names both endpoints but not which is the poller:
-         resolve against the spans we know. Receipts the poller emits
-         (vote proofs) key on [peer]; receipts a voter emits (intro and
-         remaining proofs) key on [from]. *)
-      match
-        ( int_field "peer" json,
-          int_field "from" json,
-          int_field "au" json,
-          int_field "poll_id" json,
-          float_field "seconds" json )
-      with
-      | Some peer, Some from_, Some au, Some poll_id, Some seconds -> (
-        let add span = span.effort_received <- span.effort_received +. seconds in
-        let k_poller = (peer, au, poll_id) and k_voter = (from_, au, poll_id) in
-        match (lookup t k_poller, lookup t k_voter) with
-        | `Open span, _ | _, `Open span -> add span
-        | `Closed _, _ ->
-          (* The receiver was the poller: it must not book receipts
-             after its own conclusion. *)
-          add_anomaly t
-            (Poller_event_after_conclusion
-               { kind; poller = peer; au; poll_id; time })
-        | _, `Closed span ->
-          span.late_events <- span.late_events + 1;
-          t.late <- t.late + 1
-        | `Unknown, `Unknown -> note_orphan t ~kind ~time k_voter)
-      | _ -> ())
     | _ -> ())
+  | "invitation_refused" -> (
+    match (triple v v.View.poller, v.View.voter) with
+    | Some key, Some voter -> (
+      match open_span t ~kind ~time ~emitter:voter key with
+      | Some span -> span.invitations_refused <- span.invitations_refused + 1
+      | None -> ())
+    | _ -> ())
+  | "invitation_accepted" -> (
+    match (triple v v.View.poller, v.View.voter) with
+    | Some key, Some voter -> (
+      match open_span t ~kind ~time ~emitter:voter key with
+      | Some span -> span.invitations_accepted <- span.invitations_accepted + 1
+      | None -> ())
+    | _ -> ())
+  | "vote_sent" -> (
+    match (triple v v.View.poller, v.View.voter) with
+    | Some key, Some voter -> (
+      match open_span t ~kind ~time ~emitter:voter key with
+      | Some span ->
+        span.votes <- span.votes + 1;
+        if span.first_vote_at = None then span.first_vote_at <- Some time
+      | None -> ())
+    | _ -> ())
+  | "evaluation_started" -> (
+    match triple v v.View.poller with
+    | Some ((poller, _, _) as key) -> (
+      match open_span t ~kind ~time ~emitter:poller key with
+      | Some span ->
+        if span.evaluation_at = None then begin
+          span.evaluation_at <- Some time;
+          span.votes_at_evaluation <- Option.value ~default:0 v.View.votes
+        end
+      | None -> ())
+    | None -> ())
+  | "repair_applied" -> (
+    match triple v v.View.poller with
+    | Some ((poller, _, _) as key) -> (
+      match open_span t ~kind ~time ~emitter:poller key with
+      | Some span ->
+        span.repairs <- span.repairs + 1;
+        if span.first_repair_at = None then span.first_repair_at <- Some time
+      | None -> ())
+    | None -> ())
+  | "poll_concluded" -> (
+    match triple v v.View.poller with
+    | Some (poller, au, poll_id) ->
+      let outcome = Option.bind v.View.outcome outcome_of_string in
+      conclude t ~time ~poller ~au ~poll_id ~outcome
+    | None -> ())
+  | "effort_charged" -> (
+    match (triple v v.View.poller, v.View.peer, v.View.seconds) with
+    | Some key, Some peer, Some seconds -> (
+      match open_span t ~kind ~time ~emitter:peer key with
+      | Some span -> span.effort_spent <- span.effort_spent +. seconds
+      | None -> ())
+    | _ -> ())
+  | "effort_received" -> (
+    (* The event names both endpoints but not which is the poller:
+       resolve against the spans we know. Receipts the poller emits
+       (vote proofs) key on [peer]; receipts a voter emits (intro and
+       remaining proofs) key on [from]. *)
+    match (v.View.peer, v.View.from_, v.View.au, v.View.poll_id, v.View.seconds) with
+    | Some peer, Some from_, Some au, Some poll_id, Some seconds -> (
+      let k_poller = (peer, au, poll_id) and k_voter = (from_, au, poll_id) in
+      match (lookup t k_poller, lookup t k_voter) with
+      | `Open span, _ | _, `Open span ->
+        span.effort_received <- span.effort_received +. seconds
+      | `Closed _, _ ->
+        (* The receiver was the poller: it must not book receipts
+           after its own conclusion. *)
+        add_anomaly t
+          (Poller_event_after_conclusion { kind; poller = peer; au; poll_id; time })
+      | _, `Closed span ->
+        span.late_events <- span.late_events + 1;
+        t.late <- t.late + 1
+      | `Unknown, `Unknown -> note_orphan t ~kind ~time k_voter)
+    | _ -> ())
+  | _ -> ()
+
+let feed t json =
+  match View.of_json json with None -> () | Some v -> feed_view t v
 
 let closed_spans t = List.rev t.closed_rev
 

@@ -86,6 +86,11 @@ val create : unit -> t
     ["t"] field). Events without poll correlation are ignored. *)
 val feed : t -> Json.t -> unit
 
+(** [feed_view t v] is {!feed} without the JSON detour — the live
+    analyzers build a {!View.t} straight from the typed event. [feed]
+    is [of_json] composed with this, so both paths stay in lockstep. *)
+val feed_view : t -> View.t -> unit
+
 (** [note_malformed t ~line ~error] records a {!Malformed_line} anomaly
     — called by the offline reader for lines that fail to parse. *)
 val note_malformed : t -> line:int -> error:string -> unit

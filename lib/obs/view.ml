@@ -1,0 +1,67 @@
+type t = {
+  kind : string;
+  time : float;
+  poller : int option;
+  voter : int option;
+  claimed : int option;
+  peer : int option;
+  from_ : int option;
+  au : int option;
+  poll_id : int option;
+  inner_candidates : int option;
+  votes : int option;
+  seconds : float option;
+  role : string option;
+  phase : string option;
+  outcome : string option;
+}
+
+(* All payload fields are optional arguments so a hot caller builds the
+   record in one allocation — [make] followed by a [{ v with ... }]
+   update would copy the whole record a second time per event. *)
+let make ?poller ?voter ?claimed ?peer ?from_ ?au ?poll_id ?inner_candidates ?votes
+    ?seconds ?role ?phase ?outcome ~kind ~time () =
+  {
+    kind;
+    time;
+    poller;
+    voter;
+    claimed;
+    peer;
+    from_;
+    au;
+    poll_id;
+    inner_candidates;
+    votes;
+    seconds;
+    role;
+    phase;
+    outcome;
+  }
+
+let str name json = Option.bind (Json.member name json) Json.string_value
+let int_field name json = Option.bind (Json.member name json) Json.to_int
+let float_field name json = Option.bind (Json.member name json) Json.to_float
+
+let of_json json =
+  match str "kind" json with
+  | None -> None
+  | Some kind ->
+    Some
+      {
+        kind;
+        time = Option.value ~default:0. (float_field "t" json);
+        poller = int_field "poller" json;
+        voter = int_field "voter" json;
+        claimed = int_field "claimed" json;
+        peer = int_field "peer" json;
+        from_ = int_field "from" json;
+        au = int_field "au" json;
+        poll_id = int_field "poll_id" json;
+        inner_candidates = int_field "inner_candidates" json;
+        votes = int_field "votes" json;
+        seconds = float_field "seconds" json;
+        role = str "role" json;
+        phase = str "phase" json;
+        outcome = str "outcome" json;
+      }

@@ -284,11 +284,13 @@ let read_lines path =
 
 let test_series_csv () =
   with_temp_file (fun path ->
-      let oc = open_out path in
-      let series = Series.create ~format:Series.Csv ~columns:[ "t"; "x"; "label" ] oc in
+      let series =
+        Series.create ~format:Series.Csv ~columns:[ "t"; "x"; "label" ]
+          (Obs.Sink.open_file path)
+      in
       Series.append series [ Json.Float 1.5; Json.Int 2; Json.String "plain" ];
       Series.append series [ Json.Float 2.5; Json.Int 3; Json.String "needs,\"quoting\"" ];
-      close_out oc;
+      Series.close series;
       match read_lines path with
       | [ header; row1; row2 ] ->
         Alcotest.(check string) "header" "t,x,label" header;
@@ -298,11 +300,13 @@ let test_series_csv () =
 
 let test_series_jsonl () =
   with_temp_file (fun path ->
-      let oc = open_out path in
-      let series = Series.create ~format:Series.Jsonl ~columns:[ "t"; "x" ] oc in
+      let series =
+        Series.create ~format:Series.Jsonl ~columns:[ "t"; "x" ]
+          (Obs.Sink.open_file path)
+      in
       Series.append series [ Json.Float 1.; Json.Int 10 ];
       Series.append series [ Json.Float 2.; Json.Int 20 ];
-      close_out oc;
+      Series.close series;
       let rows =
         List.map
           (fun line -> Result.get_ok (Json.of_string line))
@@ -359,8 +363,10 @@ let test_sampler_sees_metric_changes () =
 
 let test_sampler_series_writer_deltas () =
   with_temp_file (fun path ->
-      let oc = open_out path in
-      let series = Series.create ~format:Series.Jsonl ~columns:Sampler.columns oc in
+      let series =
+        Series.create ~format:Series.Jsonl ~columns:Sampler.columns
+          (Obs.Sink.open_file path)
+      in
       let writer = Sampler.series_writer ~seed:3 series in
       let metrics = Metrics.create ~replicas:10 ~start:0. in
       Metrics.on_invitation_considered metrics;
@@ -368,7 +374,7 @@ let test_sampler_series_writer_deltas () =
       writer (Metrics.sample metrics ~now:Duration.day);
       Metrics.on_invitation_considered metrics;
       writer (Metrics.sample metrics ~now:(2. *. Duration.day));
-      close_out oc;
+      Series.close series;
       let rows = List.map (fun l -> Result.get_ok (Json.of_string l)) (read_lines path) in
       let considered row =
         Option.get (Option.bind (Json.member "invitations_considered" row) Json.to_int)
