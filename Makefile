@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke trace-report-smoke chaos-smoke runner-smoke audit-smoke bench bench-parallel bench-obs bench-check diff-bench profile clean
+.PHONY: all build test check smoke trace-report-smoke chaos-smoke soak-smoke runner-smoke audit-smoke bench bench-parallel bench-obs bench-check bench-chaos diff-bench profile clean
 
 all: build
 
@@ -62,6 +62,16 @@ chaos-smoke: build
 	  --loss 0.05 --jitter 0.5 --dup 0.02 --churn 0.01 --fault-seed 7
 	@echo "chaos-smoke: OK"
 
+# Soak smoke: a small multi-seed sweep under the full Byzantine fault
+# mix (loss, jitter, duplication, churn, corruption, replay, stale
+# delivery, stray injection). Fails if any seed sees a handler
+# exception, an auditor violation, a leaked timer/session, or zero
+# progress; the JSON report records the per-seed verdicts either way.
+soak-smoke: build
+	dune exec bin/lockss_sim.exe -- soak --peers 15 --aus 2 --quorum 4 \
+	  --years 1 --seed 1 --seeds 8 --fault-seed 7 --json soak-report.json
+	@echo "soak-smoke: OK"
+
 # Parallel-runner smoke: the same sweep with 1 and 2 worker domains must
 # render byte-identical tables (the Runner determinism contract).
 runner-smoke: build
@@ -107,14 +117,20 @@ bench-obs: build
 bench-check: build
 	dune exec bench/main.exe -- check --json BENCH_check.json
 
+# Byzantine-fault overhead: the same micro simulation fault-free vs
+# under the full default chaos mix, recorded as JSON.
+bench-chaos: build
+	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
+
 # Bench regression gate: re-run the benchmarks and diff the fresh JSON
 # against the pinned baselines; exits non-zero on any >25% regression in
 # a tracked (overhead/speedup) metric.
-diff-bench: bench-parallel bench-obs bench-check
+diff-bench: bench-parallel bench-obs bench-check bench-chaos
 	dune exec bench/main.exe -- diff-bench \
 	  BENCH_parallel.baseline.json BENCH_parallel.json \
 	  BENCH_obs.baseline.json BENCH_obs.json \
-	  BENCH_check.baseline.json BENCH_check.json
+	  BENCH_check.baseline.json BENCH_check.json \
+	  BENCH_chaos.baseline.json BENCH_chaos.json
 
 profile:
 	dune exec bench/main.exe -- profile

@@ -595,6 +595,63 @@ let run_check () =
          ("violations", Obs.Json.Int !violations);
        ])
 
+(* -- Byzantine fault-injection overhead --------------------------------- *)
+
+(* The content-fault layer (corruption, replay, stale, stray) rides the
+   per-send hot path and the hardened handlers pay validation on every
+   delivery; this target prices the full Byzantine mix against the
+   fault-free run and profiles what was injected. *)
+let run_chaos_bench () =
+  section "Byzantine fault-injection overhead (content faults + hardened handlers)";
+  note "Same one-year micro simulation, faults off vs the full Byzantine";
+  note "mix (loss, jitter, duplication, churn, corruption, replay, stale,";
+  note "stray); overhead is the best-of-repeats CPU-time ratio.";
+  let base_cfg = Scenario.config micro_scale in
+  let faulty_cfg =
+    { base_cfg with Lockss.Config.faults = Some (Chaos.faults_config Chaos.default_mix) }
+  in
+  let years = 1.0 in
+  let seed = micro_scale.Scenario.seed in
+  let repeats = 5 in
+  let off =
+    best_cpu ~repeats (fun () ->
+        ignore (Scenario.run_one ~cfg:base_cfg ~seed ~years Scenario.No_attack))
+  in
+  let on_ =
+    best_cpu ~repeats (fun () ->
+        ignore (Scenario.run_one ~cfg:faulty_cfg ~seed ~years Scenario.No_attack))
+  in
+  let overhead = if off > 0. then on_ /. off else nan in
+  (* One counted run for the injected-fault profile. *)
+  let population = Scenario.build ~cfg:faulty_cfg ~seed Scenario.No_attack in
+  Lockss.Population.run population ~until:(Repro_prelude.Duration.of_years years);
+  let transport, content =
+    match Lockss.Population.faults population with
+    | None -> (0, 0)
+    | Some f ->
+      ( Narses.Faults.dropped_count f + Narses.Faults.duplicated_count f
+        + Narses.Faults.delayed_count f,
+        Narses.Faults.corrupted_count f + Narses.Faults.replayed_count f
+        + Narses.Faults.stale_count f + Narses.Faults.stray_count f )
+  in
+  let table = Table.create [ "variant"; "best cpu (s)"; "overhead" ] in
+  Table.add_row table [ "faults off"; Printf.sprintf "%.3f" off; "1.00x" ];
+  Table.add_row table
+    [ "full Byzantine mix"; Printf.sprintf "%.3f" on_; Printf.sprintf "%.2fx" overhead ];
+  Table.print table;
+  Printf.printf "injected per run: %d transport faults, %d content faults\n" transport
+    content;
+  emit_doc
+    (Obs.Json.Assoc
+       [
+         ("repeats", Obs.Json.Int repeats);
+         ("off_s", Obs.Json.Float off);
+         ("on_s", Obs.Json.Float on_);
+         ("overhead", Obs.Json.Float overhead);
+         ("transport_faults", Obs.Json.Int transport);
+         ("content_faults", Obs.Json.Int content);
+       ])
+
 (* -- Driver ------------------------------------------------------------ *)
 
 let targets =
@@ -615,6 +672,7 @@ let targets =
     ("parallel", run_parallel);
     ("obs", run_obs);
     ("check", run_check);
+    ("chaos", run_chaos_bench);
     ("micro", run_micro);
   ]
 

@@ -106,6 +106,42 @@ let mix_term (d : Chaos.mix) =
       & opt float (d.Chaos.downtime /. Duration.day)
       & info [ "downtime-days" ] ~docv:"D" ~doc:"Days a crashed peer stays down.")
   in
+  let corrupt =
+    Arg.(
+      value
+      & opt float d.Chaos.corruption
+      & info [ "corrupt" ] ~docv:"P"
+          ~doc:
+            "Per-copy probability in [0,1] of corrupting one message field \
+             (deterministic seeded mutation) before delivery.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt float d.Chaos.replay
+      & info [ "replay" ] ~docv:"P"
+          ~doc:
+            "Per-send probability in [0,1] of re-injecting a recently delivered \
+             message from the replay ring.")
+  in
+  let stale =
+    Arg.(
+      value
+      & opt float d.Chaos.stale
+      & info [ "stale" ] ~docv:"P"
+          ~doc:
+            "Per-send probability in [0,1] of re-injecting a past delivery after a \
+             multi-day delay, well outside every protocol timeout.")
+  in
+  let stray =
+    Arg.(
+      value
+      & opt float d.Chaos.stray
+      & info [ "stray" ] ~docv:"P"
+          ~doc:
+            "Per-send probability in [0,1] of forging an unsolicited protocol message \
+             (vote, ack, proof, receipt or invitation) from an arbitrary identity.")
+  in
   let fault_seed =
     Arg.(
       value
@@ -115,17 +151,24 @@ let mix_term (d : Chaos.mix) =
             "Seed of the dedicated fault randomness stream; equal seeds replay \
              identical fault traces.")
   in
-  let make loss jitter duplication churn_per_day downtime_days fault_seed =
+  let make loss jitter duplication churn_per_day downtime_days corruption replay stale
+      stray fault_seed =
     {
       Chaos.loss;
       jitter;
       duplication;
       churn_per_day;
       downtime = Duration.of_days downtime_days;
+      corruption;
+      replay;
+      stale;
+      stray;
       fault_seed;
     }
   in
-  Term.(const make $ loss $ jitter $ dup $ churn $ downtime_days $ fault_seed)
+  Term.(
+    const make $ loss $ jitter $ dup $ churn $ downtime_days $ corrupt $ replay $ stale
+    $ stray $ fault_seed)
 
 let zero_mix =
   {
@@ -134,6 +177,10 @@ let zero_mix =
     jitter = 0.;
     duplication = 0.;
     churn_per_day = 0.;
+    corruption = 0.;
+    replay = 0.;
+    stale = 0.;
+    stray = 0.;
   }
 
 (* -- Observability options (shared by run and reproduce) --------------- *)
@@ -445,6 +492,64 @@ let chaos_cmd =
           versus the fault-free paired run. Exit status 1 if any invariant fails.")
     term
 
+(* -- soak command ------------------------------------------------------ *)
+
+let soak_cmd =
+  let seeds_count =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of independent seeds to soak (seed, seed+1, ...).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the machine-readable soak report to $(docv).")
+  in
+  let action peers aus quorum years runs seed jobs kind coverage duration_days mix
+      seeds_count json_out =
+    set_jobs jobs;
+    if seeds_count < 1 then begin
+      Printf.eprintf "invalid --seeds: need at least one seed\n";
+      exit 2
+    end;
+    let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
+    let attack = attack_of kind ~coverage ~duration_days ~years in
+    (try Narses.Faults.validate (Chaos.faults_config mix)
+     with Invalid_argument msg ->
+       Printf.eprintf "invalid fault mix: %s\n" msg;
+       exit 2);
+    let seeds = List.init seeds_count (fun i -> seed + i) in
+    let report = Experiments.Soak.run ~scale ~attack ~seeds mix in
+    Format.printf "%a" Experiments.Soak.pp_report report;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string (Experiments.Soak.report_json report));
+      output_char oc '\n';
+      close_out oc);
+    if not (Experiments.Soak.all_clean report) then exit 1
+  in
+  let term =
+    Term.(
+      const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs $ attack_kind
+      $ coverage $ duration_days $ mix_term Chaos.default_mix $ seeds_count $ json_out)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Soak the protocol across many independent seeds under the full Byzantine \
+          fault mix (loss, jitter, duplication, churn, corruption, replay, stale \
+          delivery, stray injection) with the runtime invariant auditor attached and \
+          an end-of-run leak audit. A seed fails on any handler exception, invariant \
+          violation, leaked timer/session, or lack of progress. Exit status 1 unless \
+          every seed is clean.")
+    term
+
 (* -- reproduce command ------------------------------------------------- *)
 
 let reproduce_cmd =
@@ -696,7 +801,21 @@ let trace_report_cmd =
        exit 2);
     if as_json then print_endline (Obs.Json.to_string (Obs.Analyze.report_json analyzer))
     else Format.printf "%a@." Obs.Analyze.pp_report analyzer;
-    if Obs.Analyze.anomaly_count analyzer > 0 then exit 1
+    (* Corrupt records get a file:record diagnostic on stderr so the
+       offending input is locatable even when the report went to a pipe. *)
+    List.iter
+      (fun anomaly ->
+        match anomaly with
+        | Obs.Span.Malformed_line { line; error } ->
+          Printf.eprintf "%s:%d: corrupt trace record: %s\n" path line error
+        | _ -> ())
+      (Obs.Analyze.anomalies analyzer);
+    if Obs.Analyze.anomaly_count analyzer > 0 then begin
+      Printf.eprintf
+        "%s: %d anomalies — re-record the trace or inspect the records above\n" path
+        (Obs.Analyze.anomaly_count analyzer);
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "trace-report"
@@ -906,6 +1025,7 @@ let () =
             reproduce_cmd;
             ablate_cmd;
             chaos_cmd;
+            soak_cmd;
             subversion_cmd;
             reciprocity_cmd;
             extensions_cmd;

@@ -38,7 +38,9 @@ let involves_watched event =
   | Trace.Effort_charged _ | Trace.Effort_received _ ->
     (* Effort accounting is too chatty for a timeline. *)
     false
-  | Trace.Fault_dropped _ | Trace.Fault_duplicated _ | Trace.Fault_delayed _
+  | Trace.Message_rejected _ | Trace.Fault_dropped _ | Trace.Fault_duplicated _
+  | Trace.Fault_delayed _ | Trace.Partition_dropped _ | Trace.Fault_corrupted _
+  | Trace.Fault_replayed _ | Trace.Fault_stale _ | Trace.Fault_stray _
   | Trace.Node_crashed _ | Trace.Node_restarted _ | Trace.Invariant_violated _ ->
     false
 

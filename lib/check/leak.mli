@@ -1,0 +1,33 @@
+(** End-of-run leak audit: cross-check the engine's live-event
+    population against the protocol state that is supposed to own it.
+
+    Every protocol timer is scheduled under a {!Narses.Engine} class
+    registered in {!Lockss.Peer} ([ack_timeout], [vote_timeout],
+    [proof_timeout], [receipt_timeout], [repair_timeout]). At any
+    quiescent instant — in particular when a run's horizon is reached —
+    the number of live events in each class must equal the number of
+    state-machine owners referencing one:
+
+    - [ack_timeout] — poller candidates in [Awaiting_ack];
+    - [vote_timeout] — poller candidates in [Awaiting_vote] (which hold
+      either the proof-dispatch event or the vote-patience timer);
+    - [proof_timeout] — voter sessions in [Awaiting_proof];
+    - [receipt_timeout] — voter sessions in [Voted_waiting_receipt];
+    - [repair_timeout] — polls with [repair_timer = Some _].
+
+    Beyond the per-class totals, the audit checks that every event id
+    still referenced by owner state is live (a dead reference means a
+    timeout fired or was cancelled without the owner being updated —
+    the double-cleanup bug class), and that no [Closed] voter session
+    lingers in a session table.
+
+    A violation here is a resource leak or a state-machine
+    inconsistency that per-event invariants cannot see; the soak
+    harness fails on any. *)
+
+(** [audit ~engine ~ctx] inspects the quiescent simulation and returns
+    every leak found (empty = clean). Violations use invariant ids
+    ["leak-timer-count"], ["leak-dead-reference"] and
+    ["leak-closed-session"], all with severity [Error]. *)
+val audit :
+  engine:Narses.Engine.t -> ctx:Lockss.Peer.ctx -> Invariant.violation list

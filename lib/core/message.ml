@@ -21,6 +21,74 @@ let wire_bytes (cfg : Config.t) msg =
   | Evaluation_receipt _ -> 128
   | Garbage { claimed_bytes } -> claimed_bytes
 
+let kind_string msg =
+  match msg.payload with
+  | Poll _ -> "poll"
+  | Poll_ack _ -> "poll_ack"
+  | Poll_proof _ -> "poll_proof"
+  | Vote_msg _ -> "vote"
+  | Repair_request _ -> "repair_request"
+  | Repair _ -> "repair"
+  | Evaluation_receipt _ -> "evaluation_receipt"
+  | Garbage _ -> "garbage"
+
+(* Deterministic single-field corruption: [salt] selects both the target
+   field and the perturbation, so the same (message, salt) pair always
+   yields the same mutant — a requirement for replayable fault traces.
+   Integer fields are offset by a small positive delta (which may push
+   them out of range — exactly the kind of input handlers must survive);
+   64-bit fields are xored with an odd constant so they always change. *)
+let mutate msg ~salt =
+  let sel n = Int64.to_int (Int64.shift_right_logical salt 56) mod n in
+  let delta = 1 + (Int64.to_int (Int64.logand salt 0xFFL) mod 7) in
+  let xor64 v = Int64.logxor v (Int64.logor salt 1L) in
+  let with_payload payload = { msg with payload } in
+  let mutate_common k =
+    (* Slots 0/1 hit the envelope (claimed identity / AU); the rest fall
+       through to the payload-specific mutation. *)
+    match k with
+    | 0 -> Some { msg with identity = msg.identity + delta }
+    | 1 -> Some { msg with au = msg.au + delta }
+    | _ -> None
+  in
+  let payload_slots =
+    match msg.payload with
+    | Poll { poll_id; intro } -> [| Poll { poll_id = poll_id + delta; intro } |]
+    | Poll_ack { poll_id; accepted } ->
+      [|
+        Poll_ack { poll_id = poll_id + delta; accepted };
+        Poll_ack { poll_id; accepted = not accepted };
+      |]
+    | Poll_proof { poll_id; remaining; nonce } ->
+      [|
+        Poll_proof { poll_id = poll_id + delta; remaining; nonce };
+        Poll_proof { poll_id; remaining; nonce = xor64 nonce };
+      |]
+    | Vote_msg { poll_id; vote } -> [| Vote_msg { poll_id = poll_id + delta; vote } |]
+    | Repair_request { poll_id; block } ->
+      [|
+        Repair_request { poll_id = poll_id + delta; block };
+        Repair_request { poll_id; block = block + delta };
+      |]
+    | Repair { poll_id; block; version } ->
+      [|
+        Repair { poll_id = poll_id + delta; block; version };
+        Repair { poll_id; block = block + delta; version };
+        Repair { poll_id; block; version = version + delta };
+      |]
+    | Evaluation_receipt { poll_id; receipt = r1, r2 } ->
+      [|
+        Evaluation_receipt { poll_id = poll_id + delta; receipt = (r1, r2) };
+        Evaluation_receipt { poll_id; receipt = (xor64 r1, xor64 r2) };
+      |]
+    | Garbage { claimed_bytes } -> [| Garbage { claimed_bytes = claimed_bytes + delta } |]
+  in
+  let slots = 2 + Array.length payload_slots in
+  let k = sel slots in
+  match mutate_common k with
+  | Some m -> m
+  | None -> with_payload payload_slots.(k - 2)
+
 let pp ppf msg =
   let kind =
     match msg.payload with

@@ -28,5 +28,18 @@ type t = { identity : Ids.Identity.t; au : Ids.Au_id.t; payload : payload }
     the block size. *)
 val wire_bytes : Config.t -> t -> int
 
+(** [kind_string msg] is the snake_case payload-constructor name, used
+    to label [message_rejected] trace events. *)
+val kind_string : t -> string
+
+(** [mutate msg ~salt] is [msg] with exactly one field deterministically
+    corrupted — the salt selects the field (claimed identity, AU, poll
+    id, nonce, block, version, receipt, acceptance flag or claimed size)
+    and the perturbation. The same [(msg, salt)] pair always yields the
+    same mutant, so fault traces replay identically. Used as the
+    [Narses.Net] tamper hook under corruption faults and by the fuzz
+    battery. *)
+val mutate : t -> salt:int64 -> t
+
 (** [pp ppf msg] prints a compact trace form. *)
 val pp : Format.formatter -> t -> unit

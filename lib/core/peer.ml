@@ -130,6 +130,20 @@ let note_effort_received ctx ~peer ~from_ ~phase ~au ~poll_id ~seconds =
     ~now:(Narses.Engine.now ctx.engine)
     (fun () -> Trace.Effort_received { peer; from_; phase; au; poll_id; seconds })
 
+(* Engine event classes for every protocol timer, so the end-of-run leak
+   audit can cross-check live timer counts against owner state. *)
+let cls_ack_timeout = Narses.Engine.register_class "ack_timeout"
+let cls_vote_timeout = Narses.Engine.register_class "vote_timeout"
+let cls_proof_timeout = Narses.Engine.register_class "proof_timeout"
+let cls_receipt_timeout = Narses.Engine.register_class "receipt_timeout"
+let cls_repair_timeout = Narses.Engine.register_class "repair_timeout"
+
+let reject_message ctx peer ~from_ ~au ?poll_id ~msg_kind reason =
+  Trace.emit ~bound:Trace.Debug ctx.trace
+    ~now:(Narses.Engine.now ctx.engine)
+    (fun () ->
+      Trace.Message_rejected { peer = peer.identity; from_; au; poll_id; msg_kind; reason })
+
 let session_key session = (session.vs_poller, session.vs_au, session.vs_poll_id)
 
 let closed_session_capacity = 512

@@ -168,6 +168,34 @@ val note_effort_received :
   seconds:float ->
   unit
 
+(** {2 Protocol timer classes}
+
+    Every protocol timer is scheduled under one of these {!Narses.Engine}
+    event classes so the engine's per-class live counters can be
+    cross-checked against owner state by the end-of-run leak audit
+    ([Check.Leak]). *)
+
+val cls_ack_timeout : Narses.Engine.cls
+val cls_vote_timeout : Narses.Engine.cls
+val cls_proof_timeout : Narses.Engine.cls
+val cls_receipt_timeout : Narses.Engine.cls
+val cls_repair_timeout : Narses.Engine.cls
+
+(** [reject_message ctx peer ~from_ ~au ?poll_id ~msg_kind reason] emits
+    a [Trace.Message_rejected] event: [peer] received a message claiming
+    sender [from_] that failed handler validation and was dropped
+    without touching protocol state. RNG- and charge-free, so rejecting
+    never perturbs determinism. *)
+val reject_message :
+  ctx ->
+  t ->
+  from_:Ids.Identity.t ->
+  au:Ids.Au_id.t ->
+  ?poll_id:int ->
+  msg_kind:string ->
+  Trace.reject_reason ->
+  unit
+
 (** [session_key session] is the key the voter-session table uses. *)
 val session_key : voter_session -> Ids.Identity.t * Ids.Au_id.t * int
 

@@ -63,7 +63,8 @@ let rec attempt_solicitation ctx (peer : Peer.t) (st : Peer.au_state) (poll : Pe
         send_to ctx peer ~identity:cand.Peer.cand_identity ~au:st.Peer.au
           (Message.Poll { poll_id = poll.Peer.poll_id; intro });
         let timeout =
-          Engine.schedule_in ctx.Peer.engine ~after:cfg.Config.ack_timeout (fun () ->
+          Engine.schedule_in ctx.Peer.engine ~cls:Peer.cls_ack_timeout
+            ~after:cfg.Config.ack_timeout (fun () ->
               on_ack_timeout ctx peer st poll cand)
         in
         cand.Peer.status <- Peer.Awaiting_ack timeout
@@ -250,7 +251,8 @@ let rec issue_next_repair ctx (peer : Peer.t) (st : Peer.au_state) (poll : Peer.
       send_to ctx peer ~identity:supplier ~au:st.Peer.au
         (Message.Repair_request { poll_id = poll.Peer.poll_id; block });
       let timer =
-        Engine.schedule_in ctx.Peer.engine ~after:cfg.Config.repair_timeout (fun () ->
+        Engine.schedule_in ctx.Peer.engine ~cls:Peer.cls_repair_timeout
+          ~after:cfg.Config.repair_timeout (fun () ->
             match poll.Peer.phase with
             | Peer.Repairing ->
               poll.Peer.repair_timer <- None;
@@ -454,11 +456,12 @@ let rec start_poll ctx (peer : Peer.t) (st : Peer.au_state) =
 
 let on_poll_ack ctx (peer : Peer.t) ~identity ~au ~poll_id ~accepted =
   let st = Peer.au_state peer au in
+  let reject = Peer.reject_message ctx peer ~from_:identity ~au ~poll_id ~msg_kind:"poll_ack" in
   match current_poll st ~poll_id with
-  | None -> ()
+  | None -> reject Trace.Unknown_poll
   | Some poll ->
     (match find_candidate poll identity with
-    | None -> ()
+    | None -> reject Trace.Uninvited
     | Some cand ->
       (match cand.Peer.status with
       | Peer.Awaiting_ack timeout ->
@@ -483,7 +486,8 @@ let on_poll_ack ctx (peer : Peer.t) ~identity ~au ~poll_id ~accepted =
               send_to ctx peer ~identity ~au
                 (Message.Poll_proof { poll_id; remaining; nonce });
               let timeout =
-                Engine.schedule_in ctx.Peer.engine ~after:vote_patience (fun () ->
+                Engine.schedule_in ctx.Peer.engine ~cls:Peer.cls_vote_timeout
+                  ~after:vote_patience (fun () ->
                     match cand.Peer.status with
                     | Peer.Awaiting_vote _ -> cand.Peer.status <- Peer.Failed
                     | Peer.Not_invited | Peer.Awaiting_ack _ | Peer.Voted | Peer.Failed
@@ -497,17 +501,22 @@ let on_poll_ack ctx (peer : Peer.t) ~identity ~au ~poll_id ~accepted =
           (* While the proof is being generated the candidate waits in
              Awaiting_vote state, holding the dispatch event as its
              timeout (begin_evaluation cancels it if the window ends). *)
-          cand.Peer.status <- Peer.Awaiting_vote (Engine.schedule ctx.Peer.engine ~at:finish dispatch)
+          cand.Peer.status <-
+            Peer.Awaiting_vote
+              (Engine.schedule ctx.Peer.engine ~cls:Peer.cls_vote_timeout ~at:finish
+                 dispatch)
         end
-      | Peer.Not_invited | Peer.Awaiting_vote _ | Peer.Voted | Peer.Failed -> ()))
+      | Peer.Not_invited | Peer.Awaiting_vote _ | Peer.Voted | Peer.Failed ->
+        reject Trace.Wrong_state))
 
 let on_vote ctx (peer : Peer.t) ~identity ~au ~poll_id ~vote =
   let st = Peer.au_state peer au in
+  let reject = Peer.reject_message ctx peer ~from_:identity ~au ~poll_id ~msg_kind:"vote" in
   match current_poll st ~poll_id with
-  | None -> ()
+  | None -> reject Trace.Unknown_poll
   | Some poll ->
     (match find_candidate poll identity with
-    | None -> ()
+    | None -> reject Trace.Uninvited
     | Some cand ->
       (match cand.Peer.status with
       | Peer.Awaiting_vote timeout ->
@@ -525,12 +534,18 @@ let on_vote ctx (peer : Peer.t) ~identity ~au ~poll_id ~vote =
                 ~introducer:identity ~introducee:nominee
             else poll.Peer.nominations <- nominee :: poll.Peer.nominations)
           vote.Vote.nominations
-      | Peer.Not_invited | Peer.Awaiting_ack _ | Peer.Voted | Peer.Failed -> ()))
+      | Peer.Not_invited | Peer.Awaiting_ack _ | Peer.Voted | Peer.Failed ->
+        reject Trace.Wrong_state))
 
-let on_repair ctx (peer : Peer.t) ~identity:_ ~au ~poll_id ~block ~version =
+let on_repair ctx (peer : Peer.t) ~identity ~au ~poll_id ~block ~version =
   let st = Peer.au_state peer au in
+  let reject = Peer.reject_message ctx peer ~from_:identity ~au ~poll_id ~msg_kind:"repair" in
+  if block < 0 || block >= Replica.block_count st.Peer.replica then
+    (* A corrupted block index would blow up Replica.write below. *)
+    reject Trace.Bad_block
+  else
   match current_poll st ~poll_id with
-  | None -> ()
+  | None -> reject Trace.Unknown_poll
   | Some poll ->
     (match poll.Peer.phase with
     | Peer.Repairing ->
@@ -587,5 +602,8 @@ let on_repair ctx (peer : Peer.t) ~identity:_ ~au ~poll_id ~block ~version =
         | Tally.Inconclusive ->
           poll.Peer.alarmed <- true;
           conclude ctx peer st poll ~votes Metrics.Alarmed)
-      | (_, _) :: _ | [] -> ())
-    | Peer.Soliciting | Peer.Concluded -> ())
+      | (_, _) :: _ | [] ->
+        (* Not the block at the head of the repair queue: either a stale
+           retransmission or a corrupted index. *)
+        reject Trace.Bad_block)
+    | Peer.Soliciting | Peer.Concluded -> reject Trace.Wrong_phase)

@@ -16,8 +16,28 @@ type t = {
   mutable adversary_instances : int;
 }
 
+let poll_id_of (msg : Message.t) =
+  match msg.Message.payload with
+  | Message.Poll { poll_id; _ }
+  | Message.Poll_ack { poll_id; _ }
+  | Message.Poll_proof { poll_id; _ }
+  | Message.Vote_msg { poll_id; _ }
+  | Message.Repair_request { poll_id; _ }
+  | Message.Repair { poll_id; _ }
+  | Message.Evaluation_receipt { poll_id; _ } ->
+    Some poll_id
+  | Message.Garbage _ -> None
+
 let rec dispatch ctx peer ~src (msg : Message.t) =
   if not peer.Peer.active then ()
+  else if
+    (* Every handler indexes [peer.aus] by the claimed AU; a corrupted or
+       forged AU must be rejected here, before any state is touched. *)
+    msg.Message.au < 0 || msg.Message.au >= Array.length peer.Peer.aus
+  then
+    Peer.reject_message ctx peer ~from_:msg.Message.identity ~au:msg.Message.au
+      ?poll_id:(poll_id_of msg)
+      ~msg_kind:(Message.kind_string msg) Trace.Bad_au
   else begin
     dispatch_active ctx peer ~src msg
   end
@@ -313,7 +333,58 @@ let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
             | Narses.Faults.Delayed { src; dst; extra } ->
               Trace.Fault_delayed { src; dst; extra }
             | Narses.Faults.Crashed { node } -> Trace.Node_crashed { node }
-            | Narses.Faults.Restarted { node } -> Trace.Node_restarted { node }));
+            | Narses.Faults.Restarted { node } -> Trace.Node_restarted { node }
+            | Narses.Faults.Partition_blocked { src; dst } ->
+              Trace.Partition_dropped { src; dst }
+            | Narses.Faults.Corrupted { src; dst } -> Trace.Fault_corrupted { src; dst }
+            | Narses.Faults.Replayed { src; dst; extra } ->
+              Trace.Fault_replayed { src; dst; extra }
+            | Narses.Faults.Stale { src; dst; extra } ->
+              Trace.Fault_stale { src; dst; extra }
+            | Narses.Faults.Stray { src; dst } -> Trace.Fault_stray { src; dst }));
+    (* Byzantine content faults: the network layer decides *when* (on its
+       split content stream); the protocol layer supplies the concrete
+       mutator and forger. *)
+    Narses.Net.set_tamper net (fun msg ~salt -> Message.mutate msg ~salt);
+    Narses.Net.set_stray net (fun ~salt ->
+        let byte k = Int64.to_int (Int64.logand (Int64.shift_right_logical salt k) 0xFFL) in
+        let loyal = cfg.Config.loyal_peers in
+        let dst = byte 0 mod loyal in
+        let src = byte 8 mod loyal in
+        if src <> dst then begin
+          (* Half the strays claim a real-but-uninvited loyal identity,
+             half a completely unknown one. *)
+          let identity =
+            if byte 16 land 1 = 0 then byte 24 mod loyal else nodes + (byte 24 mod 16)
+          in
+          let au = byte 32 mod cfg.Config.aus in
+          let poll_id = 1 + (byte 40 mod 64) in
+          let forged_proof () = Effort.Proof.forged ~claimed_cost:1.0 in
+          let payload =
+            match byte 48 mod 5 with
+            | 0 -> Message.Poll_ack { poll_id; accepted = true }
+            | 1 -> Message.Poll_proof { poll_id; remaining = forged_proof (); nonce = salt }
+            | 2 ->
+              Message.Vote_msg
+                {
+                  poll_id;
+                  vote =
+                    {
+                      Vote.voter = identity;
+                      nonce = salt;
+                      proof = forged_proof ();
+                      snapshot = [];
+                      nominations = [];
+                      bogus = true;
+                    };
+                }
+            | 3 -> Message.Evaluation_receipt { poll_id; receipt = (salt, salt) }
+            | _ -> Message.Poll { poll_id; intro = forged_proof () }
+          in
+          let msg = { Message.identity; au; payload } in
+          Narses.Faults.note_stray f ~src ~dst;
+          Narses.Net.send net ~src ~dst ~bytes:(Message.wire_bytes cfg msg) msg
+        end);
     Narses.Faults.on_crash f (fun node ->
         if node < cfg.Config.loyal_peers then crash_peer t ~node);
     Narses.Faults.on_restart f (fun node ->

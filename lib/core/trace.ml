@@ -57,6 +57,55 @@ let admission_path_of_string = function
   | "known_credit" -> Some (Admitted_known Grade.Credit)
   | _ -> None
 
+(* -- Reject reasons ------------------------------------------------------ *)
+
+type reject_reason =
+  | Bad_au
+  | Not_held
+  | Unknown_poll
+  | Uninvited
+  | Wrong_state
+  | Wrong_phase
+  | Unknown_session
+  | Stale_closed
+  | Bad_block
+
+let reject_reason_to_string = function
+  | Bad_au -> "bad_au"
+  | Not_held -> "not_held"
+  | Unknown_poll -> "unknown_poll"
+  | Uninvited -> "uninvited"
+  | Wrong_state -> "wrong_state"
+  | Wrong_phase -> "wrong_phase"
+  | Unknown_session -> "unknown_session"
+  | Stale_closed -> "stale_closed"
+  | Bad_block -> "bad_block"
+
+let reject_reason_of_string = function
+  | "bad_au" -> Some Bad_au
+  | "not_held" -> Some Not_held
+  | "unknown_poll" -> Some Unknown_poll
+  | "uninvited" -> Some Uninvited
+  | "wrong_state" -> Some Wrong_state
+  | "wrong_phase" -> Some Wrong_phase
+  | "unknown_session" -> Some Unknown_session
+  | "stale_closed" -> Some Stale_closed
+  | "bad_block" -> Some Bad_block
+  | _ -> None
+
+let all_reject_reasons =
+  [
+    Bad_au;
+    Not_held;
+    Unknown_poll;
+    Uninvited;
+    Wrong_state;
+    Wrong_phase;
+    Unknown_session;
+    Stale_closed;
+    Bad_block;
+  ]
+
 type event =
   | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
   | Solicitation_sent of {
@@ -132,9 +181,22 @@ type event =
       poll_id : int;
       seconds : float;
     }
+  | Message_rejected of {
+      peer : Ids.Identity.t;
+      from_ : Ids.Identity.t;
+      au : Ids.Au_id.t;
+      poll_id : int option;
+      msg_kind : string;
+      reason : reject_reason;
+    }
   | Fault_dropped of { src : Ids.Identity.t; dst : Ids.Identity.t }
   | Fault_duplicated of { src : Ids.Identity.t; dst : Ids.Identity.t }
   | Fault_delayed of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
+  | Partition_dropped of { src : Ids.Identity.t; dst : Ids.Identity.t }
+  | Fault_corrupted of { src : Ids.Identity.t; dst : Ids.Identity.t }
+  | Fault_replayed of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
+  | Fault_stale of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
+  | Fault_stray of { src : Ids.Identity.t; dst : Ids.Identity.t }
   | Node_crashed of { node : Ids.Identity.t }
   | Node_restarted of { node : Ids.Identity.t }
   | Invariant_violated of {
@@ -249,6 +311,11 @@ let pp_event ppf = function
     Format.fprintf ppf "effort: %a proves %a of %s effort to %a%a" Ids.Identity.pp from_
       Repro_prelude.Duration.pp seconds (effort_phase_to_string phase) Ids.Identity.pp
       peer pp_correlation (None, Some au, Some poll_id)
+  | Message_rejected { peer; from_; au; poll_id; msg_kind; reason } ->
+    Format.fprintf ppf "%a rejects %s from %a (%s)%a" Ids.Identity.pp peer msg_kind
+      Ids.Identity.pp from_
+      (reject_reason_to_string reason)
+      pp_correlation (None, Some au, poll_id)
   | Fault_dropped { src; dst } ->
     Format.fprintf ppf "fault: message %a -> %a dropped" Ids.Identity.pp src
       Ids.Identity.pp dst
@@ -258,6 +325,21 @@ let pp_event ppf = function
   | Fault_delayed { src; dst; extra } ->
     Format.fprintf ppf "fault: message %a -> %a delayed by %a" Ids.Identity.pp src
       Ids.Identity.pp dst Repro_prelude.Duration.pp extra
+  | Partition_dropped { src; dst } ->
+    Format.fprintf ppf "partition: message %a -> %a blocked" Ids.Identity.pp src
+      Ids.Identity.pp dst
+  | Fault_corrupted { src; dst } ->
+    Format.fprintf ppf "fault: message %a -> %a corrupted" Ids.Identity.pp src
+      Ids.Identity.pp dst
+  | Fault_replayed { src; dst; extra } ->
+    Format.fprintf ppf "fault: message %a -> %a replayed after %a" Ids.Identity.pp src
+      Ids.Identity.pp dst Repro_prelude.Duration.pp extra
+  | Fault_stale { src; dst; extra } ->
+    Format.fprintf ppf "fault: message %a -> %a replayed stale after %a" Ids.Identity.pp
+      src Ids.Identity.pp dst Repro_prelude.Duration.pp extra
+  | Fault_stray { src; dst } ->
+    Format.fprintf ppf "fault: stray message forged %a -> %a" Ids.Identity.pp src
+      Ids.Identity.pp dst
   | Node_crashed { node } -> Format.fprintf ppf "fault: %a crashed" Ids.Identity.pp node
   | Node_restarted { node } ->
     Format.fprintf ppf "fault: %a restarted" Ids.Identity.pp node
@@ -270,8 +352,9 @@ let pp_event ppf = function
 let severity = function
   | Solicitation_sent _ | Invitation_admitted _ | Invitation_refused _
   | Invitation_accepted _ | Vote_sent _ | Poll_sampled _ | Evaluation_started _
-  | Effort_charged _ | Effort_received _ | Fault_dropped _ | Fault_duplicated _
-  | Fault_delayed _ ->
+  | Effort_charged _ | Effort_received _ | Message_rejected _ | Fault_dropped _
+  | Fault_duplicated _ | Fault_delayed _ | Partition_dropped _ | Fault_corrupted _
+  | Fault_replayed _ | Fault_stale _ | Fault_stray _ ->
     Debug
   | Poll_started _ | Invitation_dropped _ | Repair_applied _
   | Poll_concluded { outcome = Metrics.Success; _ }
@@ -304,9 +387,15 @@ let kind = function
   | Poll_concluded _ -> "poll_concluded"
   | Effort_charged _ -> "effort_charged"
   | Effort_received _ -> "effort_received"
+  | Message_rejected _ -> "message_rejected"
   | Fault_dropped _ -> "fault_dropped"
   | Fault_duplicated _ -> "fault_duplicated"
   | Fault_delayed _ -> "fault_delayed"
+  | Partition_dropped _ -> "partition_dropped"
+  | Fault_corrupted _ -> "fault_corrupted"
+  | Fault_replayed _ -> "fault_replayed"
+  | Fault_stale _ -> "fault_stale"
+  | Fault_stray _ -> "fault_stray"
   | Node_crashed _ -> "node_crashed"
   | Node_restarted _ -> "node_restarted"
   | Invariant_violated _ -> "invariant_violated"
@@ -326,9 +415,15 @@ let all_kinds =
     "poll_concluded";
     "effort_charged";
     "effort_received";
+    "message_rejected";
     "fault_dropped";
     "fault_duplicated";
     "fault_delayed";
+    "partition_dropped";
+    "fault_corrupted";
+    "fault_replayed";
+    "fault_stale";
+    "fault_stray";
     "node_crashed";
     "node_restarted";
     "invariant_violated";
@@ -350,9 +445,15 @@ let involves event id =
     eq voter || eq poller
   | Effort_charged { peer; poller; _ } ->
     eq peer || (match poller with Some p -> eq p | None -> false)
-  | Effort_received { peer; from_; _ } -> eq peer || eq from_
+  | Effort_received { peer; from_; _ } | Message_rejected { peer; from_; _ } ->
+    eq peer || eq from_
   | Fault_dropped { src; dst } | Fault_duplicated { src; dst }
-  | Fault_delayed { src; dst; _ } ->
+  | Fault_delayed { src; dst; _ }
+  | Partition_dropped { src; dst }
+  | Fault_corrupted { src; dst }
+  | Fault_replayed { src; dst; _ }
+  | Fault_stale { src; dst; _ }
+  | Fault_stray { src; dst } ->
     eq src || eq dst
   | Node_crashed { node } | Node_restarted { node } -> eq node
   | Invariant_violated { peer; _ } -> (
@@ -370,11 +471,13 @@ let au_of = function
   | Evaluation_started { au; _ }
   | Repair_applied { au; _ }
   | Poll_concluded { au; _ }
-  | Effort_received { au; _ } ->
+  | Effort_received { au; _ }
+  | Message_rejected { au; _ } ->
     Some au
   | Effort_charged { au; _ } | Invariant_violated { au; _ } -> au
-  | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ | Node_crashed _
-  | Node_restarted _ ->
+  | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ | Partition_dropped _
+  | Fault_corrupted _ | Fault_replayed _ | Fault_stale _ | Fault_stray _
+  | Node_crashed _ | Node_restarted _ ->
     None
 
 (* -- JSON round-trip --------------------------------------------------- *)
@@ -502,9 +605,22 @@ let to_json ~time event =
         ("poll_id", Json.Int poll_id);
         ("seconds", Json.Float seconds);
       ]
-    | Fault_dropped { src; dst } | Fault_duplicated { src; dst } ->
+    | Message_rejected { peer; from_; au; poll_id; msg_kind; reason } ->
+      [ ("peer", Json.Int peer); ("from", Json.Int from_); ("au", Json.Int au) ]
+      @ opt "poll_id" poll_id
+      @ [
+          ("msg_kind", Json.String msg_kind);
+          ("reason", Json.String (reject_reason_to_string reason));
+        ]
+    | Fault_dropped { src; dst }
+    | Fault_duplicated { src; dst }
+    | Partition_dropped { src; dst }
+    | Fault_corrupted { src; dst }
+    | Fault_stray { src; dst } ->
       [ ("src", Json.Int src); ("dst", Json.Int dst) ]
-    | Fault_delayed { src; dst; extra } ->
+    | Fault_delayed { src; dst; extra }
+    | Fault_replayed { src; dst; extra }
+    | Fault_stale { src; dst; extra } ->
       [ ("src", Json.Int src); ("dst", Json.Int dst); ("extra", Json.Float extra) ]
     | Node_crashed { node } | Node_restarted { node } -> [ ("node", Json.Int node) ]
     | Invariant_violated { invariant; peer; au; poll_id; detail } ->
@@ -653,6 +769,16 @@ let of_json json =
       let* poll_id = int "poll_id" in
       let* seconds = field "seconds" Json.to_float in
       Ok (Effort_received { peer; from_; phase; au; poll_id; seconds })
+    | "message_rejected" ->
+      let* peer = int "peer" in
+      let* from_ = int "from" in
+      let* au = int "au" in
+      let* poll_id = opt_int "poll_id" in
+      let* msg_kind = str "msg_kind" in
+      let* reason =
+        field "reason" (fun v -> Option.bind (Json.string_value v) reject_reason_of_string)
+      in
+      Ok (Message_rejected { peer; from_; au; poll_id; msg_kind; reason })
     | "fault_dropped" ->
       let* src = int "src" in
       let* dst = int "dst" in
@@ -666,6 +792,28 @@ let of_json json =
       let* dst = int "dst" in
       let* extra = field "extra" Json.to_float in
       Ok (Fault_delayed { src; dst; extra })
+    | "partition_dropped" ->
+      let* src = int "src" in
+      let* dst = int "dst" in
+      Ok (Partition_dropped { src; dst })
+    | "fault_corrupted" ->
+      let* src = int "src" in
+      let* dst = int "dst" in
+      Ok (Fault_corrupted { src; dst })
+    | "fault_replayed" ->
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* extra = field "extra" Json.to_float in
+      Ok (Fault_replayed { src; dst; extra })
+    | "fault_stale" ->
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* extra = field "extra" Json.to_float in
+      Ok (Fault_stale { src; dst; extra })
+    | "fault_stray" ->
+      let* src = int "src" in
+      let* dst = int "dst" in
+      Ok (Fault_stray { src; dst })
     | "node_crashed" ->
       let* node = int "node" in
       Ok (Node_crashed { node })
@@ -720,8 +868,11 @@ let to_view ~time event : Obs.View.t =
     Obs.View.make ~kind ~time ~peer ~from_
       ~phase:(effort_phase_to_string phase)
       ~au ~poll_id ~seconds ()
-  | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ | Node_crashed _
-  | Node_restarted _ ->
+  | Message_rejected { peer; from_; au; poll_id; msg_kind = _; reason = _ } ->
+    Obs.View.make ~kind ~time ~peer ~from_ ~au ?poll_id ()
+  | Fault_dropped _ | Fault_duplicated _ | Fault_delayed _ | Partition_dropped _
+  | Fault_corrupted _ | Fault_replayed _ | Fault_stale _ | Fault_stray _
+  | Node_crashed _ | Node_restarted _ ->
     Obs.View.make ~kind ~time ()
   | Invariant_violated { invariant = _; peer; au; poll_id; detail = _ } ->
     Obs.View.make ~kind ~time ?peer ?au ?poll_id ()
@@ -783,6 +934,7 @@ let k_extra = ",\"extra\":"
 let k_node = ",\"node\":"
 let k_invariant = ",\"invariant\":"
 let k_detail = ",\"detail\":"
+let k_msg_kind = ",\"msg_kind\":"
 
 (* Field helpers at top level, taking the buffer as an argument:
    defining them inside [write_jsonl_rest] would allocate one closure
@@ -895,10 +1047,23 @@ let write_jsonl_rest ?(float_lit = Json.float_literal) buf event =
     int_field buf k_au au;
     int_field buf k_poll_id poll_id;
     float_field buf float_lit k_seconds seconds
-  | Fault_dropped { src; dst } | Fault_duplicated { src; dst } ->
+  | Message_rejected { peer; from_; au; poll_id; msg_kind; reason } ->
+    int_field buf k_peer peer;
+    int_field buf k_from from_;
+    int_field buf k_au au;
+    opt_field buf k_poll_id poll_id;
+    tok_field buf k_msg_kind msg_kind;
+    tok_field buf k_reason (reject_reason_to_string reason)
+  | Fault_dropped { src; dst }
+  | Fault_duplicated { src; dst }
+  | Partition_dropped { src; dst }
+  | Fault_corrupted { src; dst }
+  | Fault_stray { src; dst } ->
     int_field buf k_src src;
     int_field buf k_dst dst
-  | Fault_delayed { src; dst; extra } ->
+  | Fault_delayed { src; dst; extra }
+  | Fault_replayed { src; dst; extra }
+  | Fault_stale { src; dst; extra } ->
     int_field buf k_src src;
     int_field buf k_dst dst;
     float_field buf float_lit k_extra extra
@@ -996,6 +1161,7 @@ let a_dst = Obs.Btrace.atom "dst"
 let a_node = Obs.Btrace.atom "node"
 let a_invariant = Obs.Btrace.atom "invariant"
 let a_detail = Obs.Btrace.atom "detail"
+let a_msg_kind = Obs.Btrace.atom "msg_kind"
 let a_sev_debug = Obs.Btrace.atom "debug"
 let a_sev_info = Obs.Btrace.atom "info"
 let a_sev_warn = Obs.Btrace.atom "warn"
@@ -1018,9 +1184,15 @@ let a_k_repair_applied = Obs.Btrace.atom "repair_applied"
 let a_k_poll_concluded = Obs.Btrace.atom "poll_concluded"
 let a_k_effort_charged = Obs.Btrace.atom "effort_charged"
 let a_k_effort_received = Obs.Btrace.atom "effort_received"
+let a_k_message_rejected = Obs.Btrace.atom "message_rejected"
 let a_k_fault_dropped = Obs.Btrace.atom "fault_dropped"
 let a_k_fault_duplicated = Obs.Btrace.atom "fault_duplicated"
 let a_k_fault_delayed = Obs.Btrace.atom "fault_delayed"
+let a_k_partition_dropped = Obs.Btrace.atom "partition_dropped"
+let a_k_fault_corrupted = Obs.Btrace.atom "fault_corrupted"
+let a_k_fault_replayed = Obs.Btrace.atom "fault_replayed"
+let a_k_fault_stale = Obs.Btrace.atom "fault_stale"
+let a_k_fault_stray = Obs.Btrace.atom "fault_stray"
 let a_k_node_crashed = Obs.Btrace.atom "node_crashed"
 let a_k_node_restarted = Obs.Btrace.atom "node_restarted"
 let a_k_invariant_violated = Obs.Btrace.atom "invariant_violated"
@@ -1039,9 +1211,15 @@ let kind_atom = function
   | Poll_concluded _ -> a_k_poll_concluded
   | Effort_charged _ -> a_k_effort_charged
   | Effort_received _ -> a_k_effort_received
+  | Message_rejected _ -> a_k_message_rejected
   | Fault_dropped _ -> a_k_fault_dropped
   | Fault_duplicated _ -> a_k_fault_duplicated
   | Fault_delayed _ -> a_k_fault_delayed
+  | Partition_dropped _ -> a_k_partition_dropped
+  | Fault_corrupted _ -> a_k_fault_corrupted
+  | Fault_replayed _ -> a_k_fault_replayed
+  | Fault_stale _ -> a_k_fault_stale
+  | Fault_stray _ -> a_k_fault_stray
   | Node_crashed _ -> a_k_node_crashed
   | Node_restarted _ -> a_k_node_restarted
   | Invariant_violated _ -> a_k_invariant_violated
@@ -1054,6 +1232,27 @@ let reason_atom = function
   | Admission.Refractory -> a_reason_refractory
   | Admission.Random_drop -> a_reason_random_drop
   | Admission.Known_rate_limited -> a_reason_known_rate_limited
+
+let a_reject_bad_au = Obs.Btrace.atom "bad_au"
+let a_reject_not_held = Obs.Btrace.atom "not_held"
+let a_reject_unknown_poll = Obs.Btrace.atom "unknown_poll"
+let a_reject_uninvited = Obs.Btrace.atom "uninvited"
+let a_reject_wrong_state = Obs.Btrace.atom "wrong_state"
+let a_reject_wrong_phase = Obs.Btrace.atom "wrong_phase"
+let a_reject_unknown_session = Obs.Btrace.atom "unknown_session"
+let a_reject_stale_closed = Obs.Btrace.atom "stale_closed"
+let a_reject_bad_block = Obs.Btrace.atom "bad_block"
+
+let reject_reason_atom = function
+  | Bad_au -> a_reject_bad_au
+  | Not_held -> a_reject_not_held
+  | Unknown_poll -> a_reject_unknown_poll
+  | Uninvited -> a_reject_uninvited
+  | Wrong_state -> a_reject_wrong_state
+  | Wrong_phase -> a_reject_wrong_phase
+  | Unknown_session -> a_reject_unknown_session
+  | Stale_closed -> a_reject_stale_closed
+  | Bad_block -> a_reject_bad_block
 
 let a_path_introduced = Obs.Btrace.atom "introduced"
 let a_path_unknown = Obs.Btrace.atom "unknown"
@@ -1135,8 +1334,11 @@ let write_binary w ~time event =
       + (if au = None then 0 else 1)
       + if poll_id = None then 0 else 1
     | Effort_received _ -> 6
-    | Fault_dropped _ | Fault_duplicated _ -> 2
-    | Fault_delayed _ -> 3
+    | Message_rejected { poll_id; _ } -> 5 + (if poll_id = None then 0 else 1)
+    | Fault_dropped _ | Fault_duplicated _ | Partition_dropped _ | Fault_corrupted _
+    | Fault_stray _ ->
+      2
+    | Fault_delayed _ | Fault_replayed _ | Fault_stale _ -> 3
     | Node_crashed _ | Node_restarted _ -> 1
     | Invariant_violated { peer; au; poll_id; _ } ->
       2
@@ -1229,10 +1431,25 @@ let write_binary w ~time event =
     bin_int_field w a_poll_id poll_id;
     B.put_atom w a_seconds;
     B.put_float w seconds
-  | Fault_dropped { src; dst } | Fault_duplicated { src; dst } ->
+  | Message_rejected { peer; from_; au; poll_id; msg_kind; reason } ->
+    bin_int_field w a_peer peer;
+    bin_int_field w a_from from_;
+    bin_int_field w a_au au;
+    bin_opt_field w a_poll_id poll_id;
+    B.put_atom w a_msg_kind;
+    B.put_string w msg_kind;
+    B.put_atom w a_reason;
+    B.put_atom w (reject_reason_atom reason)
+  | Fault_dropped { src; dst }
+  | Fault_duplicated { src; dst }
+  | Partition_dropped { src; dst }
+  | Fault_corrupted { src; dst }
+  | Fault_stray { src; dst } ->
     bin_int_field w a_src src;
     bin_int_field w a_dst dst
-  | Fault_delayed { src; dst; extra } ->
+  | Fault_delayed { src; dst; extra }
+  | Fault_replayed { src; dst; extra }
+  | Fault_stale { src; dst; extra } ->
     bin_int_field w a_src src;
     bin_int_field w a_dst dst;
     B.put_atom w a_extra;

@@ -67,6 +67,40 @@ val admission_path_of_decision :
 val admission_path_to_string : admission_path -> string
 val admission_path_of_string : string -> admission_path option
 
+(** {2 Reject reasons}
+
+    Why a protocol handler refused to act on a delivered message.
+    Hardened handlers (PR 7) validate sender, session, poll id, phase
+    and field ranges before acting; anything that fails validation is
+    dropped with a [message_rejected] event instead of raising or
+    corrupting state:
+    - [Bad_au]: the AU index is out of range for the receiving peer;
+    - [Not_held]: the peer does not preserve the referenced AU;
+    - [Unknown_poll]: no current poll matches the message's poll id;
+    - [Uninvited]: the sender was never invited into the poll;
+    - [Wrong_state]: the candidate/session exists but is not in a state
+      that accepts this message (e.g. a duplicate or late reply);
+    - [Wrong_phase]: the poll is not in the phase the message belongs to;
+    - [Unknown_session]: no voter session matches the message;
+    - [Stale_closed]: the session existed but recently closed;
+    - [Bad_block]: the block index is out of range. *)
+type reject_reason =
+  | Bad_au
+  | Not_held
+  | Unknown_poll
+  | Uninvited
+  | Wrong_state
+  | Wrong_phase
+  | Unknown_session
+  | Stale_closed
+  | Bad_block
+
+val reject_reason_to_string : reject_reason -> string
+val reject_reason_of_string : string -> reject_reason option
+
+(** All reject reasons, in declaration order. *)
+val all_reject_reasons : reject_reason list
+
 type event =
   | Poll_started of { poller : Ids.Identity.t; au : Ids.Au_id.t; poll_id : int; inner_candidates : int }
   | Solicitation_sent of {
@@ -153,10 +187,34 @@ type event =
     }
       (** a provable-effort proof verified successfully; emitted only
           when effort balancing is enabled *)
+  | Message_rejected of {
+      peer : Ids.Identity.t;  (** the receiver that refused to act *)
+      from_ : Ids.Identity.t;  (** claimed sender identity; unauthenticated *)
+      au : Ids.Au_id.t;  (** claimed AU — may itself be corrupt *)
+      poll_id : int option;  (** claimed poll id, when the payload has one *)
+      msg_kind : string;  (** payload constructor, [Message.kind_string] *)
+      reason : reject_reason;
+    }
+      (** a delivered message failed handler validation and was dropped
+          without touching protocol state — the hardened complement of
+          raising or silently corrupting tallies *)
   | Fault_dropped of { src : Ids.Identity.t; dst : Ids.Identity.t }
       (** injected message loss (or a copy lost to a crashed endpoint) *)
   | Fault_duplicated of { src : Ids.Identity.t; dst : Ids.Identity.t }
   | Fault_delayed of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
+  | Partition_dropped of { src : Ids.Identity.t; dst : Ids.Identity.t }
+      (** a send suppressed by a pipe-stoppage partition — previously
+          conflated with [Fault_dropped] in the network counters *)
+  | Fault_corrupted of { src : Ids.Identity.t; dst : Ids.Identity.t }
+      (** one field of a delivered copy was mutated in flight *)
+  | Fault_replayed of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
+      (** a previously delivered message was re-injected *)
+  | Fault_stale of { src : Ids.Identity.t; dst : Ids.Identity.t; extra : float }
+      (** a previously delivered message was re-injected after a long
+          extra delay, typically after its session closed *)
+  | Fault_stray of { src : Ids.Identity.t; dst : Ids.Identity.t }
+      (** an unsolicited in-protocol message was forged from a
+          never-invited identity *)
   | Node_crashed of { node : Ids.Identity.t }  (** churn took the node down *)
   | Node_restarted of { node : Ids.Identity.t }
   | Invariant_violated of {

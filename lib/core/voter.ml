@@ -59,7 +59,8 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
   let cfg = ctx.Peer.cfg in
   let st = Peer.au_state peer au in
   let now = Engine.now ctx.Peer.engine in
-  if not st.Peer.held then ()  (* we do not preserve this AU *)
+  let reject = Peer.reject_message ctx peer ~from_:identity ~au ~poll_id ~msg_kind:"poll" in
+  if not st.Peer.held then reject Trace.Not_held  (* we do not preserve this AU *)
   else
   match
     Admission.consider st.Peer.admission ~rng:peer.Peer.rng ~now ~known:st.Peer.known
@@ -112,7 +113,7 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
           (* Stale duplicate of an invitation already handled to completion:
              admitting it would open a ghost session whose receipt timeout
              unfairly punishes the poller. *)
-          ()
+          reject Trace.Stale_closed
         else if
       (* Section 9 extension (off by default): the busier the peer already
          is, the less likely it accepts — so an attacker must spend ever
@@ -162,7 +163,8 @@ let on_poll ctx (peer : Peer.t) ~src ~identity ~au ~poll_id ~intro =
           }
         in
         let timeout =
-          Engine.schedule_in ctx.Peer.engine ~after:cfg.Config.proof_timeout
+          Engine.schedule_in ctx.Peer.engine ~cls:Peer.cls_proof_timeout
+            ~after:cfg.Config.proof_timeout
             (on_proof_timeout ctx peer session)
         in
         session.Peer.vs_state <- Peer.Awaiting_proof timeout;
@@ -210,7 +212,8 @@ let deliver_vote ctx (peer : Peer.t) (session : Peer.voter_session) () =
     (* The receipt arrives after the poller's evaluation phase, up to a
        full poll duration away. *)
     let timeout =
-      Engine.schedule_in ctx.Peer.engine ~after:cfg.Config.inter_poll_interval
+      Engine.schedule_in ctx.Peer.engine ~cls:Peer.cls_receipt_timeout
+        ~after:cfg.Config.inter_poll_interval
         (on_receipt_timeout ctx peer session)
     in
     session.Peer.vs_state <- Peer.Voted_waiting_receipt timeout;
@@ -227,8 +230,11 @@ let deliver_vote ctx (peer : Peer.t) (session : Peer.voter_session) () =
   | Peer.Awaiting_proof _ | Peer.Voted_waiting_receipt _ | Peer.Closed -> ()
 
 let on_poll_proof ctx (peer : Peer.t) ~identity ~au ~poll_id ~remaining ~nonce =
+  let reject =
+    Peer.reject_message ctx peer ~from_:identity ~au ~poll_id ~msg_kind:"poll_proof"
+  in
   match find_session peer ~identity ~au ~poll_id with
-  | None -> ()
+  | None -> reject Trace.Unknown_session
   | Some session ->
     (match session.Peer.vs_state with
     | Peer.Awaiting_proof timeout ->
@@ -262,28 +268,41 @@ let on_poll_proof ctx (peer : Peer.t) ~identity ~au ~poll_id ~remaining ~nonce =
         let at = Float.max session.Peer.vs_finish now in
         ignore (Engine.schedule ctx.Peer.engine ~at (deliver_vote ctx peer session))
       end
-    | Peer.Computing | Peer.Voted_waiting_receipt _ | Peer.Closed -> ())
+    | Peer.Computing | Peer.Voted_waiting_receipt _ | Peer.Closed ->
+      reject Trace.Wrong_state)
 
 let on_repair_request ctx (peer : Peer.t) ~identity ~au ~poll_id ~block =
+  let reject =
+    Peer.reject_message ctx peer ~from_:identity ~au ~poll_id ~msg_kind:"repair_request"
+  in
   match find_session peer ~identity ~au ~poll_id with
-  | None -> ()
+  | None -> reject Trace.Unknown_session
   | Some session ->
     (match session.Peer.vs_state with
     | Peer.Voted_waiting_receipt _ | Peer.Computing ->
       let cfg = ctx.Peer.cfg in
       let st = Peer.au_state peer au in
-      (* Serving a repair: fetch and hash one block. *)
-      Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Repair ~poller:identity ~au
-        ~poll_id
-        (Cost_model.hash_seconds cfg.Config.cost ~bytes:cfg.Config.block_bytes);
-      let version = Replica.version st.Peer.replica block in
-      reply ctx peer ~to_node:session.Peer.vs_poller_node ~au
-        (Message.Repair { poll_id; block; version })
-    | Peer.Awaiting_proof _ | Peer.Closed -> ())
+      if block < 0 || block >= Replica.block_count st.Peer.replica then
+        (* A corrupted block index would blow up Replica.version below. *)
+        reject Trace.Bad_block
+      else begin
+        (* Serving a repair: fetch and hash one block. *)
+        Peer.charge ctx ~who:peer.Peer.identity ~phase:Trace.Repair ~poller:identity ~au
+          ~poll_id
+          (Cost_model.hash_seconds cfg.Config.cost ~bytes:cfg.Config.block_bytes);
+        let version = Replica.version st.Peer.replica block in
+        reply ctx peer ~to_node:session.Peer.vs_poller_node ~au
+          (Message.Repair { poll_id; block; version })
+      end
+    | Peer.Awaiting_proof _ | Peer.Closed -> reject Trace.Wrong_state)
 
 let on_receipt ctx (peer : Peer.t) ~identity ~au ~poll_id ~receipt =
+  let reject =
+    Peer.reject_message ctx peer ~from_:identity ~au ~poll_id
+      ~msg_kind:"evaluation_receipt"
+  in
   match find_session peer ~identity ~au ~poll_id with
-  | None -> ()
+  | None -> reject Trace.Unknown_session
   | Some session ->
     (match session.Peer.vs_state with
     | Peer.Voted_waiting_receipt timeout ->
@@ -297,7 +316,8 @@ let on_receipt ctx (peer : Peer.t) ~identity ~au ~poll_id ~receipt =
       in
       if not valid then Known_peers.punish st.Peer.known ~now identity;
       close_session peer session
-    | Peer.Awaiting_proof _ | Peer.Computing | Peer.Closed -> ())
+    | Peer.Awaiting_proof _ | Peer.Computing | Peer.Closed ->
+      reject Trace.Wrong_state)
 
 let on_garbage ctx (peer : Peer.t) ~identity ~au =
   let cfg = ctx.Peer.cfg in

@@ -9,6 +9,10 @@ type mix = {
   duplication : float;
   churn_per_day : float;
   downtime : float;
+  corruption : float;
+  replay : float;
+  stale : float;
+  stray : float;
   fault_seed : int;
 }
 
@@ -19,6 +23,10 @@ let default_mix =
     duplication = 0.02;
     churn_per_day = 0.01;
     downtime = Duration.of_days 3.;
+    corruption = 0.02;
+    replay = 0.01;
+    stale = 0.005;
+    stray = 0.01;
     fault_seed = 7;
   }
 
@@ -29,6 +37,13 @@ let faults_config mix =
     duplication = mix.duplication;
     churn_per_day = mix.churn_per_day;
     downtime = mix.downtime;
+    corruption = mix.corruption;
+    replay = mix.replay;
+    stale = mix.stale;
+    (* Stale messages resurface from well before any protocol timeout:
+       three days matches the churn downtime scale. *)
+    stale_delay = Duration.of_days 3.;
+    stray = mix.stray;
     fault_seed = mix.fault_seed;
   }
 
@@ -42,6 +57,10 @@ type report = {
   injected_drops : int;
   injected_dups : int;
   injected_delays : int;
+  injected_corruptions : int;
+  injected_replays : int;
+  injected_stales : int;
+  injected_strays : int;
   crashes : int;
   restarts : int;
 }
@@ -101,20 +120,23 @@ let check_conservation population ~pending_end =
   let sent = Narses.Net.sent_count net in
   let delivered = Narses.Net.delivered_count net in
   let dropped = Narses.Net.dropped_count net in
+  let injected = Narses.Net.injected_count net in
   let dups =
     match Lockss.Population.faults population with
     | None -> 0
     | Some f -> Faults.duplicated_count f
   in
-  (* Every copy a send produced (one per send, plus one per duplication)
-     is eventually delivered, dropped, or still scheduled in the engine. *)
-  let in_flight = sent + dups - delivered - dropped in
+  (* Every copy a send produced (one per send, plus one per duplication,
+     plus one per replay/stale re-injection from the delivery ring) is
+     eventually delivered, dropped, or still scheduled in the engine. *)
+  let in_flight = sent + dups + injected - delivered - dropped in
   {
     name = "message conservation";
     ok = in_flight >= 0 && in_flight <= pending_end;
     detail =
-      Printf.sprintf "sent %d + dup %d = delivered %d + dropped %d + in-flight %d" sent
-        dups delivered dropped in_flight;
+      Printf.sprintf
+        "sent %d + dup %d + injected %d = delivered %d + dropped %d + in-flight %d" sent
+        dups injected delivered dropped in_flight;
   }
 
 let check_churn_accounting population =
@@ -129,6 +151,21 @@ let check_churn_accounting population =
       ok = crashes = restarts + down;
       detail = Printf.sprintf "crashes %d = restarts %d + still down %d" crashes restarts down;
     }
+
+let check_leak_audit population =
+  let ctx = Lockss.Population.ctx population in
+  let engine = Lockss.Population.engine population in
+  let leaks = Check.Leak.audit ~engine ~ctx in
+  {
+    name = "leak audit";
+    ok = leaks = [];
+    detail =
+      (match leaks with
+      | [] -> "engine live timers reconcile with protocol owner state"
+      | v :: _ ->
+        Printf.sprintf "%d leak violations, first: %s" (List.length leaks)
+          v.Check.Invariant.detail);
+  }
 
 let check_liveness (faulty : Lockss.Metrics.summary) =
   {
@@ -182,13 +219,25 @@ let run ?(scale = Scenario.bench) ?(attack = Scenario.No_attack) mix =
           ~seed ~years:scale.Scenario.years attack)
   in
   let comparison = Scenario.ratios ~baseline:fault_free ~attack:faulty in
-  let injected_drops, injected_dups, injected_delays, crashes, restarts =
+  let ( injected_drops,
+        injected_dups,
+        injected_delays,
+        injected_corruptions,
+        injected_replays,
+        injected_stales,
+        injected_strays,
+        crashes,
+        restarts ) =
     match Lockss.Population.faults population with
-    | None -> (0, 0, 0, 0, 0)
+    | None -> (0, 0, 0, 0, 0, 0, 0, 0, 0)
     | Some f ->
       ( Faults.dropped_count f,
         Faults.duplicated_count f,
         Faults.delayed_count f,
+        Faults.corrupted_count f,
+        Faults.replayed_count f,
+        Faults.stale_count f,
+        Faults.stray_count f,
         Faults.crash_count f,
         Faults.restart_count f )
   in
@@ -199,6 +248,7 @@ let run ?(scale = Scenario.bench) ?(attack = Scenario.No_attack) mix =
       check_pending_growth ~pending_mid ~pending_end;
       check_conservation population ~pending_end;
       check_churn_accounting population;
+      check_leak_audit population;
       check_degradation ~fault_free ~faulty;
     ]
   in
@@ -210,14 +260,22 @@ let run ?(scale = Scenario.bench) ?(attack = Scenario.No_attack) mix =
     injected_drops;
     injected_dups;
     injected_delays;
+    injected_corruptions;
+    injected_replays;
+    injected_stales;
+    injected_strays;
     crashes;
     restarts;
   }
 
 let pp_report ppf r =
-  Format.fprintf ppf "Chaos run: %d faults injected (%d drops, %d dups, %d delays), %d crashes, %d restarts@."
-    (r.injected_drops + r.injected_dups + r.injected_delays)
-    r.injected_drops r.injected_dups r.injected_delays r.crashes r.restarts;
+  Format.fprintf ppf
+    "Chaos run: %d faults injected (%d drops, %d dups, %d delays, %d corruptions, %d \
+     replays, %d stales, %d strays), %d crashes, %d restarts@."
+    (r.injected_drops + r.injected_dups + r.injected_delays + r.injected_corruptions
+    + r.injected_replays + r.injected_stales + r.injected_strays)
+    r.injected_drops r.injected_dups r.injected_delays r.injected_corruptions
+    r.injected_replays r.injected_stales r.injected_strays r.crashes r.restarts;
   Format.fprintf ppf
     "  polls: %d ok / %d inquorate / %d alarmed under faults; %d ok fault-free@."
     r.faulty.Lockss.Metrics.polls_succeeded r.faulty.Lockss.Metrics.polls_inquorate

@@ -11,10 +11,12 @@
       intervals at the end of the run;
     - {e no leaked timeouts}: the engine's pending-event population does
       not grow between the run's midpoint and its end;
-    - {e message conservation}: sent + duplicated = delivered + dropped +
-      in-flight, with in-flight non-negative and bounded by the pending
-      queue;
+    - {e message conservation}: sent + duplicated + injected = delivered
+      + dropped + in-flight, with in-flight non-negative and bounded by
+      the pending queue;
     - {e churn accounting}: crashes = restarts + nodes still down;
+    - {e leak audit}: the engine's live timers reconcile exactly with
+      the protocol state that owns them ({!Check.Leak});
     - {e bounded degradation}: access-failure probability stays within an
       order of magnitude of the fault-free paired run (same seed, same
       attack), per the paper's paired-run methodology.
@@ -28,11 +30,17 @@ type mix = {
   duplication : float;  (** per-message duplication probability *)
   churn_per_day : float;  (** crashes per node per day *)
   downtime : float;  (** seconds a crashed node stays down *)
+  corruption : float;  (** per-copy field-corruption probability *)
+  replay : float;  (** per-send probability of replaying a past delivery *)
+  stale : float;  (** per-send probability of a long-delayed replay *)
+  stray : float;  (** per-send probability of forging an unsolicited message *)
   fault_seed : int;  (** seed of the dedicated fault stream *)
 }
 
 (** [default_mix] is the acceptance mix: 5 % loss, 0.5 s jitter, 2 %
-    duplication, 0.01 crashes/node/day with 3-day downtime, seed 7. *)
+    duplication, 0.01 crashes/node/day with 3-day downtime, plus the
+    Byzantine content set (2 % corruption, 1 % replay, 0.5 % stale,
+    1 % stray), seed 7. *)
 val default_mix : mix
 
 (** [faults_config mix] is the corresponding injector configuration. *)
@@ -48,6 +56,10 @@ type report = {
   injected_drops : int;
   injected_dups : int;
   injected_delays : int;
+  injected_corruptions : int;
+  injected_replays : int;
+  injected_stales : int;
+  injected_strays : int;
   crashes : int;
   restarts : int;
 }

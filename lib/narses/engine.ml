@@ -1,5 +1,34 @@
-type event = { time : float; seq : int; action : unit -> unit; mutable live : bool }
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  cls : int;
+  mutable live : bool;
+}
+
 type event_id = event
+type cls = int
+
+(* Class names are registered once, globally, at module-initialisation
+   time (timer owners register their class in a top-level [let]); each
+   engine keeps an int array of live counts indexed by class id, so the
+   per-event bookkeeping stays a single array bump. Class 0 is the
+   implicit "unlabeled" class for callers that pass no [?cls]. *)
+let class_names = ref [| "unlabeled" |]
+let class_count = ref 1
+
+let register_class name =
+  let id = !class_count in
+  let old = !class_names in
+  let n = Array.length old in
+  if id >= n then begin
+    let bigger = Array.make (max 4 (2 * n)) "" in
+    Array.blit old 0 bigger 0 n;
+    class_names := bigger
+  end;
+  !class_names.(id) <- name;
+  incr class_count;
+  id
 
 type t = {
   mutable clock : float;
@@ -8,6 +37,7 @@ type t = {
   mutable cancelled : int;
   mutable live_count : int;
   mutable max_heap_depth : int;
+  mutable live_by_cls : int array;
   queue : event Repro_prelude.Heap.t;
 }
 
@@ -23,35 +53,60 @@ let create () =
     cancelled = 0;
     live_count = 0;
     max_heap_depth = 0;
+    live_by_cls = Array.make !class_count 0;
     queue = Repro_prelude.Heap.create ~cmp:compare_events;
   }
 
 let now t = t.clock
 
-let schedule t ~at f =
+let bump_cls t cls delta =
+  let n = Array.length t.live_by_cls in
+  if cls >= n then begin
+    (* A class registered after this engine was created; grow lazily. *)
+    let bigger = Array.make (max !class_count (cls + 1)) 0 in
+    Array.blit t.live_by_cls 0 bigger 0 n;
+    t.live_by_cls <- bigger
+  end;
+  t.live_by_cls.(cls) <- t.live_by_cls.(cls) + delta
+
+let schedule ?(cls = 0) t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%g precedes now=%g" at t.clock);
-  let ev = { time = at; seq = t.next_seq; action = f; live = true } in
+  let ev = { time = at; seq = t.next_seq; action = f; cls; live = true } in
   t.next_seq <- t.next_seq + 1;
   t.live_count <- t.live_count + 1;
+  bump_cls t cls 1;
   Repro_prelude.Heap.add t.queue ev;
   let depth = Repro_prelude.Heap.length t.queue in
   if depth > t.max_heap_depth then t.max_heap_depth <- depth;
   ev
 
-let schedule_in t ~after f =
+let schedule_in ?cls t ~after f =
   if after < 0. then invalid_arg "Engine.schedule_in: negative delay";
-  schedule t ~at:(t.clock +. after) f
+  schedule ?cls t ~at:(t.clock +. after) f
 
 let cancel t ev =
   if ev.live then begin
     ev.live <- false;
     t.live_count <- t.live_count - 1;
+    bump_cls t ev.cls (-1);
     t.cancelled <- t.cancelled + 1
   end
 
 let pending t = t.live_count
+let is_live (ev : event_id) = ev.live
+
+let live_by_class t =
+  let names = !class_names in
+  let out = ref [] in
+  for cls = !class_count - 1 downto 1 do
+    let count =
+      if cls < Array.length t.live_by_cls then t.live_by_cls.(cls) else 0
+    in
+    out := (names.(cls), count) :: !out
+  done;
+  !out
 
 let step t =
   match Repro_prelude.Heap.pop t.queue with
@@ -60,6 +115,7 @@ let step t =
     if ev.live then begin
       ev.live <- false;
       t.live_count <- t.live_count - 1;
+      bump_cls t ev.cls (-1);
       t.clock <- ev.time;
       t.executed <- t.executed + 1;
       ev.action ()

@@ -12,18 +12,32 @@ type t
 (** Handle to a scheduled event, usable with {!cancel}. *)
 type event_id
 
+(** An event class label for leak auditing: timer owners register a
+    class once at module-initialisation time and tag their schedules
+    with it, and the engine maintains a per-class live count for free.
+    {!Check.Leak} cross-checks these counts against owner state at end
+    of run. *)
+type cls
+
+(** [register_class name] allocates a fresh global class id. Call once
+    per class, at module-initialisation time. *)
+val register_class : string -> cls
+
 (** [create ()] is an engine at time [0.] with no pending events. *)
 val create : unit -> t
 
 (** [now t] is the current simulated time in seconds. *)
 val now : t -> float
 
-(** [schedule t ~at f] runs [f ()] at absolute time [at], which must not
-    precede [now t]. Returns a handle for cancellation. *)
-val schedule : t -> at:float -> (unit -> unit) -> event_id
+(** [schedule ?cls t ~at f] runs [f ()] at absolute time [at], which must
+    not precede [now t]. Returns a handle for cancellation. [cls]
+    (default: an unlabeled class excluded from {!live_by_class}) tags
+    the event for the per-class live counters. *)
+val schedule : ?cls:cls -> t -> at:float -> (unit -> unit) -> event_id
 
-(** [schedule_in t ~after f] runs [f ()] after [after] seconds ([>= 0]). *)
-val schedule_in : t -> after:float -> (unit -> unit) -> event_id
+(** [schedule_in ?cls t ~after f] runs [f ()] after [after] seconds
+    ([>= 0]). *)
+val schedule_in : ?cls:cls -> t -> after:float -> (unit -> unit) -> event_id
 
 (** [cancel t id] prevents the event from firing if it has not fired yet;
     cancelling a fired or cancelled event is a no-op. *)
@@ -31,6 +45,16 @@ val cancel : t -> event_id -> unit
 
 (** [pending t] is the number of live (uncancelled, unfired) events. *)
 val pending : t -> int
+
+(** [is_live id] is [true] while the event has neither fired nor been
+    cancelled — lets the leak audit check that a timer handle still held
+    in protocol state is actually pending. *)
+val is_live : event_id -> bool
+
+(** [live_by_class t] is the current live-event count for every
+    registered class (in registration order), including zero counts;
+    unlabeled events are not listed. *)
+val live_by_class : t -> (string * int) list
 
 (** Raised by {!run} and {!run_until} when [max_events] executions have
     fired and live events remain; the message reports the budget, the

@@ -7,6 +7,11 @@ type config = {
   duplication : float;
   churn_per_day : float;
   downtime : float;
+  corruption : float;
+  replay : float;
+  stale : float;
+  stale_delay : float;
+  stray : float;
   fault_seed : int;
 }
 
@@ -17,11 +22,17 @@ let none =
     duplication = 0.;
     churn_per_day = 0.;
     downtime = Duration.of_days 3.;
+    corruption = 0.;
+    replay = 0.;
+    stale = 0.;
+    stale_delay = Duration.of_days 3.;
+    stray = 0.;
     fault_seed = 0;
   }
 
 let is_none c =
   c.loss = 0. && c.jitter = 0. && c.duplication = 0. && c.churn_per_day = 0.
+  && c.corruption = 0. && c.replay = 0. && c.stale = 0. && c.stray = 0.
 
 let validate c =
   let check cond msg = if not cond then invalid_arg ("Faults: " ^ msg) in
@@ -29,7 +40,12 @@ let validate c =
   check (c.jitter >= 0.) "jitter must be non-negative";
   check (c.duplication >= 0. && c.duplication <= 1.) "duplication must be a probability";
   check (c.churn_per_day >= 0.) "churn_per_day must be non-negative";
-  check (c.churn_per_day = 0. || c.downtime > 0.) "downtime must be positive under churn"
+  check (c.churn_per_day = 0. || c.downtime > 0.) "downtime must be positive under churn";
+  check (c.corruption >= 0. && c.corruption <= 1.) "corruption must be a probability";
+  check (c.replay >= 0. && c.replay <= 1.) "replay must be a probability";
+  check (c.stale >= 0. && c.stale <= 1.) "stale must be a probability";
+  check (c.stale = 0. || c.stale_delay > 0.) "stale_delay must be positive under stale";
+  check (c.stray >= 0. && c.stray <= 1.) "stray must be a probability"
 
 type event =
   | Dropped of { src : int; dst : int }
@@ -37,12 +53,18 @@ type event =
   | Delayed of { src : int; dst : int; extra : float }
   | Crashed of { node : int }
   | Restarted of { node : int }
+  | Partition_blocked of { src : int; dst : int }
+  | Corrupted of { src : int; dst : int }
+  | Replayed of { src : int; dst : int; extra : float }
+  | Stale of { src : int; dst : int; extra : float }
+  | Stray of { src : int; dst : int }
 
 type t = {
   cfg : config;
   engine : Engine.t;
   link_rng : Rng.t;  (* loss/jitter/duplication draws, in send order *)
   churn_rng : Rng.t;  (* split per node when churn starts *)
+  content_rng : Rng.t;  (* corruption/replay/stale/stray draws *)
   down : bool array;
   mutable observer : (time:float -> event -> unit) option;
   mutable crash_hooks : (int -> unit) list;
@@ -53,17 +75,25 @@ type t = {
   mutable delayed : int;
   mutable crashes : int;
   mutable restarts : int;
+  mutable partition_blocked : int;
+  mutable corrupted : int;
+  mutable replayed : int;
+  mutable stales : int;
+  mutable strays : int;
 }
 
 let create ~engine ~nodes cfg =
   validate cfg;
   if nodes <= 0 then invalid_arg "Faults.create: nodes must be positive";
   let root = Rng.create cfg.fault_seed in
+  (* Splits taken in a fixed order so enabling the content faults does
+     not perturb the pre-existing link/churn streams for a given seed. *)
   {
     cfg;
     engine;
     link_rng = Rng.split root;
     churn_rng = Rng.split root;
+    content_rng = Rng.split root;
     down = Array.make nodes false;
     observer = None;
     crash_hooks = [];
@@ -74,6 +104,11 @@ let create ~engine ~nodes cfg =
     delayed = 0;
     crashes = 0;
     restarts = 0;
+    partition_blocked = 0;
+    corrupted = 0;
+    replayed = 0;
+    stales = 0;
+    strays = 0;
   }
 
 let config t = t.cfg
@@ -117,9 +152,58 @@ let plan t ~src ~dst =
     else [ first ]
   end
 
+(* Content-fault draws. Unlike the link stream, each draw is guarded by
+   its rate being non-zero, so a run with content faults disabled makes
+   no [content_rng] draws at all and the pre-existing fault streams stay
+   byte-identical for a given seed. *)
+
+let corrupt_salt t =
+  if t.cfg.corruption > 0. && Rng.bernoulli t.content_rng t.cfg.corruption then
+    Some (Rng.bits64 t.content_rng)
+  else None
+
+let replay_extra t =
+  if t.cfg.replay > 0. && Rng.bernoulli t.content_rng t.cfg.replay then
+    Some (Rng.float t.content_rng 1.0 *. t.cfg.jitter)
+  else None
+
+let stale_extra t =
+  if t.cfg.stale > 0. && Rng.bernoulli t.content_rng t.cfg.stale then
+    Some (t.cfg.stale_delay +. (Rng.float t.content_rng 1.0 *. t.cfg.jitter))
+  else None
+
+let stray_salt t =
+  if t.cfg.stray > 0. && Rng.bernoulli t.content_rng t.cfg.stray then
+    Some (Rng.bits64 t.content_rng)
+  else None
+
+let pick t n =
+  if n <= 0 then invalid_arg "Faults.pick: empty range"
+  else Rng.int t.content_rng n
+
 let note_down_drop t ~src ~dst =
   t.dropped <- t.dropped + 1;
   emit t (Dropped { src; dst })
+
+let note_partition_block t ~src ~dst =
+  t.partition_blocked <- t.partition_blocked + 1;
+  emit t (Partition_blocked { src; dst })
+
+let note_corrupted t ~src ~dst =
+  t.corrupted <- t.corrupted + 1;
+  emit t (Corrupted { src; dst })
+
+let note_replayed t ~src ~dst ~extra =
+  t.replayed <- t.replayed + 1;
+  emit t (Replayed { src; dst; extra })
+
+let note_stale t ~src ~dst ~extra =
+  t.stales <- t.stales + 1;
+  emit t (Stale { src; dst; extra })
+
+let note_stray t ~src ~dst =
+  t.strays <- t.strays + 1;
+  emit t (Stray { src; dst })
 
 let start_churn t ~nodes =
   if t.churn_started then invalid_arg "Faults.start_churn: already started";
@@ -154,3 +238,8 @@ let duplicated_count t = t.duplicated
 let delayed_count t = t.delayed
 let crash_count t = t.crashes
 let restart_count t = t.restarts
+let partition_blocked_count t = t.partition_blocked
+let corrupted_count t = t.corrupted
+let replayed_count t = t.replayed
+let stale_count t = t.stales
+let stray_count t = t.strays

@@ -43,19 +43,55 @@ val create :
     message. *)
 val register : 'msg t -> Topology.node -> (src:Topology.node -> 'msg -> unit) -> unit
 
+(** [set_tamper t f] installs the message mutator applied when the fault
+    layer decides a copy is corrupted: [f msg ~salt] must be a
+    deterministic function of its arguments. The network layer is
+    generic in ['msg], so the concrete mutator is supplied by the
+    protocol layer ([Lockss.Message.mutate]). Without a tamper hook,
+    corruption decisions are never drawn. *)
+val set_tamper : 'msg t -> ('msg -> salt:int64 -> 'msg) -> unit
+
+(** [set_stray t f] installs the stray-forger hook, invoked when the
+    fault layer decides to inject an unsolicited message. The hook is
+    expected to forge an in-protocol message and send it through
+    {!send} (so strays appear in {!sent_count} and conservation holds). *)
+val set_stray : 'msg t -> (salt:int64 -> unit) -> unit
+
 (** [send t ~src ~dst ~bytes msg] schedules delivery of [msg] after the
     topology-determined transfer time, unless either endpoint is stopped
     or crashed (checked both at send and at delivery time, so a node
     stopped mid-flight loses the message, as a flooded pipe would).
     Under fault injection one logical send can deliver zero, one or two
-    copies; {!dropped_count} counts each lost copy once. *)
+    copies, each copy may be corrupted through the tamper hook, and the
+    send may additionally trigger a replay/stale re-injection from the
+    ring of recent deliveries or a stray forgery; {!dropped_count}
+    counts each lost copy once. *)
 val send : 'msg t -> src:Topology.node -> dst:Topology.node -> bytes:int -> 'msg -> unit
 
 (** Counters for tests and reporting. *)
 val sent_count : 'msg t -> int
 
 val delivered_count : 'msg t -> int
+
+(** [dropped_count t] is the total copies lost for any reason —
+    partition blockage, injected loss, crashed endpoints, or a missing
+    handler. The first two are broken out below; the split satisfies
+    [partition_dropped + fault_dropped <= dropped]. *)
 val dropped_count : 'msg t -> int
+
+(** [partition_dropped_count t] counts copies suppressed by a
+    {!Partition} stoppage (at send or delivery time). *)
+val partition_dropped_count : 'msg t -> int
+
+(** [fault_dropped_count t] counts copies lost to the {!Faults} injector:
+    probabilistic loss and crashed endpoints. *)
+val fault_dropped_count : 'msg t -> int
+
+(** [injected_count t] counts replay/stale copies re-injected from the
+    delivery ring; these are extra deliveries that are not logical
+    sends, so conservation reads
+    [sent + duplicated + injected = delivered + dropped + in_flight]. *)
+val injected_count : 'msg t -> int
 
 (** [bytes_delivered t] is the cumulative payload volume delivered. *)
 val bytes_delivered : 'msg t -> int

@@ -354,7 +354,7 @@ let test_fault_seed_changes_trace () =
 let test_chaos_harness_all_green () =
   let scale = { micro with Scenario.years = 1.; seed = 3 } in
   let report = Chaos.run ~scale Chaos.default_mix in
-  Alcotest.(check int) "six invariants evaluated" 6 (List.length report.Chaos.checks);
+  Alcotest.(check int) "seven invariants evaluated" 7 (List.length report.Chaos.checks);
   List.iter
     (fun (c : Chaos.check) ->
       Alcotest.(check bool) (c.Chaos.name ^ " — " ^ c.Chaos.detail) true c.Chaos.ok)
@@ -365,7 +365,14 @@ let test_chaos_harness_all_green () =
   Alcotest.(check bool) "faults were actually injected" true
     (report.Chaos.injected_drops > 0
     && report.Chaos.injected_dups > 0
-    && report.Chaos.injected_delays > 0)
+    && report.Chaos.injected_delays > 0);
+  Alcotest.(check bool) "content faults were actually injected" true
+    (report.Chaos.injected_corruptions > 0
+    && report.Chaos.injected_replays > 0
+    && report.Chaos.injected_stales > 0
+    && report.Chaos.injected_strays > 0);
+  Alcotest.(check bool) "leak audit invariant present" true
+    (List.exists (fun (c : Chaos.check) -> c.Chaos.name = "leak audit") report.Chaos.checks)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in

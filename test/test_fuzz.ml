@@ -142,6 +142,147 @@ let prop_sessions_end_in_legal_states =
               peer.Peer.voter_sessions true)
           ctx.Peer.peers)
 
+(* -- Byzantine message-mutation battery ------------------------------------ *)
+
+(* The acceptance property for the hardened handlers: any well-formed
+   message, corrupted in one or two fields, delivered straight into a
+   live peer's dispatch must either be rejected with a taxonomized
+   [message_rejected] event or absorbed without raising, without
+   tripping the runtime invariant auditor, and without leaking a timer
+   or session. *)
+
+let byz_cfg =
+  {
+    Config.default with
+    Config.loyal_peers = 12;
+    aus = 2;
+    quorum = 3;
+    max_disagree = 0;
+    inner_circle_factor = 2;
+    outer_circle_size = 3;
+    reference_list_target = 8;
+    friends_count = 3;
+    inter_poll_interval = Duration.of_days 30.;
+    drop_unknown = 0.5;
+    drop_debt = 0.25;
+  }
+
+let message_gen =
+  let open QCheck2.Gen in
+  let proof_gen =
+    oneofl
+      [
+        Effort.Proof.forged ~claimed_cost:1.;
+        Effort.Proof.forged ~claimed_cost:1e6;
+      ]
+  in
+  let i64_gen = map Int64.of_int (int_range 0 1_000_000) in
+  let vote_gen =
+    let* voter = int_range 0 40 in
+    let* nonce = i64_gen in
+    let* proof = proof_gen in
+    let* snapshot =
+      list_size (int_range 0 3) (pair (int_range (-1) 12) (int_range 0 3))
+    in
+    (* Nominations stay within the loyal range: in a real deployment every
+       nomination names some reachable node; unknown claimed identities are
+       exercised through the envelope instead. *)
+    let* nominations = list_size (int_range 0 2) (int_range 0 11) in
+    let* bogus = bool in
+    return { Vote.voter; nonce; proof; snapshot; nominations; bogus }
+  in
+  let* identity = int_range 0 40 in
+  let* au = int_range (-2) 4 in
+  let* poll_id = int_range 0 30 in
+  let* payload =
+    oneof
+      [
+        (let* intro = proof_gen in
+         return (Message.Poll { poll_id; intro }));
+        (let* accepted = bool in
+         return (Message.Poll_ack { poll_id; accepted }));
+        (let* remaining = proof_gen in
+         let* nonce = i64_gen in
+         return (Message.Poll_proof { poll_id; remaining; nonce }));
+        (let* vote = vote_gen in
+         return (Message.Vote_msg { poll_id; vote }));
+        (let* block = int_range (-2) 50 in
+         return (Message.Repair_request { poll_id; block }));
+        (let* block = int_range (-2) 50 in
+         let* version = int_range (-1) 9 in
+         return (Message.Repair { poll_id; block; version }));
+        (let* r1 = i64_gen in
+         let* r2 = i64_gen in
+         return (Message.Evaluation_receipt { poll_id; receipt = (r1, r2) }));
+        (let* claimed_bytes = int_range 0 100_000 in
+         return (Message.Garbage { claimed_bytes }));
+      ]
+  in
+  return { Message.identity; au; payload }
+
+(* Salts with live selector (top byte) and delta (bottom byte) bits, so
+   every mutation slot of every payload gets drawn. *)
+let salt_gen =
+  let open QCheck2.Gen in
+  let* hi = int_range 0 0xFF in
+  let* lo = int_range 0 0xFFFF in
+  return Int64.(logor (shift_left (of_int hi) 56) (of_int lo))
+
+let sessions_legal (ctx : Peer.ctx) =
+  Array.for_all
+    (fun (peer : Peer.t) ->
+      Hashtbl.fold
+        (fun _key (session : Peer.voter_session) acc ->
+          acc
+          &&
+          match session.Peer.vs_state with
+          | Peer.Awaiting_proof _ | Peer.Computing | Peer.Voted_waiting_receipt _ ->
+            true
+          | Peer.Closed -> false)
+        peer.Peer.voter_sessions true)
+    ctx.Peer.peers
+
+(* Accumulated across all cases so a final check can assert the battery
+   actually exercised the reject taxonomy. *)
+let battery_rejected = ref 0
+
+let prop_mutated_messages_rejected_or_absorbed =
+  QCheck2.Test.make ~name:"mutated messages are rejected or absorbed safely" ~count:40
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 5 25) (pair message_gen salt_gen))
+        (int_range 1 10_000) bool)
+    (fun (msgs, seed, double) ->
+      let population = Population.create ~seed byz_cfg in
+      Trace.subscribe ~interest:Trace.Debug (Population.trace population)
+        (fun ~time:_ event ->
+          match event with
+          | Trace.Message_rejected _ -> incr battery_rejected
+          | _ -> ());
+      let auditor = Experiments.Scenario.make_auditor ~cfg:byz_cfg () in
+      Check.Auditor.attach auditor (Population.trace population);
+      (* Warm the world so live polls and sessions exist to collide with. *)
+      Population.run population ~until:(Duration.of_days 45.);
+      List.iter
+        (fun (msg, salt) ->
+          let m = Message.mutate msg ~salt in
+          let m = if double then Message.mutate m ~salt:(Int64.add salt 977L) else m in
+          Population.default_handler population 0 ~src:1 m)
+        msgs;
+      (* Long enough for every timer armed by an absorbed mutant (proof,
+         receipt) to fire and clean up. *)
+      Population.run population ~until:(Duration.of_days 90.);
+      Check.Auditor.finish ~metrics:(Population.summary population) auditor;
+      let ctx = Population.ctx population in
+      let leaks =
+        Check.Leak.audit ~engine:(Population.engine population) ~ctx
+      in
+      Check.Auditor.violations auditor = [] && leaks = [] && sessions_legal ctx)
+
+let mutation_battery_exercised_taxonomy () =
+  Alcotest.(check bool) "battery produced taxonomized rejections" true
+    (!battery_rejected > 0)
+
 (* -- Obs.Json round-trip -------------------------------------------------- *)
 
 let json_gen =
@@ -208,6 +349,12 @@ let () =
           QCheck_alcotest.to_alcotest ~long:true prop_random_simulations_run;
           QCheck_alcotest.to_alcotest prop_runs_are_reproducible;
           QCheck_alcotest.to_alcotest prop_sessions_end_in_legal_states;
+        ] );
+      ( "byzantine message mutation",
+        [
+          QCheck_alcotest.to_alcotest prop_mutated_messages_rejected_or_absorbed;
+          Alcotest.test_case "taxonomy exercised" `Quick
+            mutation_battery_exercised_taxonomy;
         ] );
       ("json properties", [ QCheck_alcotest.to_alcotest prop_json_round_trips ]);
     ]

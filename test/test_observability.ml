@@ -117,9 +117,23 @@ let sample_events =
       };
     Trace.Effort_received
       { peer = 3; from_ = 5; phase = Trace.Voting; au = 1; poll_id = 7; seconds = 12.25 };
+    Trace.Message_rejected
+      {
+        peer = 3;
+        from_ = 5;
+        au = 1;
+        poll_id = Some 7;
+        msg_kind = "vote";
+        reason = Trace.Uninvited;
+      };
     Trace.Fault_dropped { src = 3; dst = 5 };
     Trace.Fault_duplicated { src = 3; dst = 5 };
     Trace.Fault_delayed { src = 3; dst = 5; extra = 0.25 };
+    Trace.Partition_dropped { src = 3; dst = 5 };
+    Trace.Fault_corrupted { src = 3; dst = 5 };
+    Trace.Fault_replayed { src = 3; dst = 5; extra = 42.5 };
+    Trace.Fault_stale { src = 3; dst = 5; extra = 259200. };
+    Trace.Fault_stray { src = 9; dst = 5 };
     Trace.Node_crashed { node = 5 };
     Trace.Node_restarted { node = 5 };
     Trace.Invariant_violated
