@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke trace-report-smoke chaos-smoke soak-smoke runner-smoke audit-smoke bench bench-parallel bench-obs bench-check bench-chaos diff-bench profile clean
+.PHONY: all build test check smoke trace-report-smoke chaos-smoke soak-smoke runner-smoke audit-smoke bench bench-parallel bench-obs bench-check bench-chaos bench-scale diff-bench profile clean
 
 all: build
 
@@ -122,15 +122,25 @@ bench-check: build
 bench-chaos: build
 	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
 
+# Population scale sweep: 100 -> 1k -> 10k peers; per-event cost and
+# resident memory per point, recorded as JSON.
+bench-scale: build
+	dune exec bench/main.exe -- scale --json BENCH_scale.json
+
 # Bench regression gate: re-run the benchmarks and diff the fresh JSON
 # against the pinned baselines; exits non-zero on any >25% regression in
-# a tracked (overhead/speedup) metric.
-diff-bench: bench-parallel bench-obs bench-check bench-chaos
+# a tracked (overhead/speedup/slowdown) metric. The scale pair gates at
+# a looser 75%: its slowdown ratios fold in cache-hierarchy effects that
+# vary across machines, while a genuine per-event cost-curve regression
+# (O(peers) work per event) overshoots any plausible threshold.
+diff-bench: bench-parallel bench-obs bench-check bench-chaos bench-scale
 	dune exec bench/main.exe -- diff-bench \
 	  BENCH_parallel.baseline.json BENCH_parallel.json \
 	  BENCH_obs.baseline.json BENCH_obs.json \
 	  BENCH_check.baseline.json BENCH_check.json \
 	  BENCH_chaos.baseline.json BENCH_chaos.json
+	dune exec bench/main.exe -- diff-bench --threshold 75 \
+	  BENCH_scale.baseline.json BENCH_scale.json
 
 profile:
 	dune exec bench/main.exe -- profile

@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- --list       # available targets
      dune exec bench/main.exe -- parallel --json BENCH_parallel.json
                                               # serial vs parallel timings
+     dune exec bench/main.exe -- scale --json BENCH_scale.json
+                                              # 100 -> 10k peer sweep
 
    Absolute numbers are not expected to match the paper (our substrate
    is a simulator at reduced scale, not the authors' testbed); each
@@ -376,8 +378,17 @@ let run_parallel () =
   note "Same sweeps, jobs=1 versus the auto worker count; results are";
   note "byte-identical either way (see test/test_runner.ml), so the only";
   note "question is wall-clock. Speedup ~1.0 is expected on one core.";
-  let auto_jobs = Experiments.Runner.default_jobs () in
-  note "workers: %d (Domain.recommended_domain_count or LOCKSS_JOBS)" auto_jobs;
+  let requested_jobs = Experiments.Runner.default_jobs () in
+  (* LOCKSS_JOBS can request more workers than the machine has cores;
+     the speedup those workers can deliver is bounded by the cores. *)
+  let effective_jobs = min requested_jobs (Domain.recommended_domain_count ()) in
+  let degenerate = effective_jobs < 2 in
+  note "workers: %d requested (Domain.recommended_domain_count or LOCKSS_JOBS), %d effective"
+    requested_jobs effective_jobs;
+  if degenerate then
+    note
+      "DEGENERATE: fewer than 2 effective workers — speedups here measure \
+       scheduling overhead, not parallelism, and the regression gate skips them.";
   (* A run-wide profiler collects per-worker busy time and GC pressure
      across the parallel phases; workers report through Runner, the
      profiler itself stays on this domain. *)
@@ -417,8 +428,189 @@ let run_parallel () =
   emit_doc
     (Obs.Json.Assoc
        [
-         ("jobs", Obs.Json.Int auto_jobs);
+         ("requested_jobs", Obs.Json.Int requested_jobs);
+         ("effective_jobs", Obs.Json.Int effective_jobs);
+         ("degenerate", Obs.Json.Bool degenerate);
          ("targets", Obs.Json.List (List.map snd entries));
+       ])
+
+(* -- Population scale sweep --------------------------------------------- *)
+
+(* Sweep the population 100 -> 1k -> 10k peers and check that per-event
+   cost stays flat: peer state is interned and sized to the replicas
+   that exist, so neither setup nor the event loop may go quadratic in
+   the peer count. Horizons shrink as populations grow to keep each
+   point's wall-clock bounded; events/sec is per-event cost, so the
+   ratios compare across horizons. *)
+let scale_base = (100, 1.0)
+let scale_bigs = [ (1_000, 0.5); (10_000, 0.15) ]
+
+(* Two noise defenses, because on a busy shared host the machine's
+   effective speed swings ~2x over minutes and a major GC slice over
+   the 182MB heap of the 10k point can land inside any one timing
+   window:
+   - each large point is *paired* with a freshly built 100-peer
+     population and the two advance in interleaved sim-time chunks, so
+     the slowdown ratio compares measurements taken seconds apart on
+     the same machine state (the round-robin trick the obs bench uses);
+   - the per-event cost per population is the best chunk's, the robust
+     estimator for short runs. *)
+let scale_chunks = 4
+
+type scale_point = {
+  sp_peers : int;
+  sp_years : float;
+  sp_setup_cpu_s : float;
+  sp_live_words : int;
+  sp_pop : Lockss.Population.t;
+  mutable sp_run_cpu_s : float;
+  mutable sp_executed : int;
+  mutable sp_best_cost : float;  (* best-chunk CPU seconds per event *)
+}
+
+let scale_build (peers, years) =
+  let sc =
+    {
+      Scenario.peers;
+      aus = 2;
+      quorum = 5;
+      max_disagree = 1;
+      outer_circle = 3;
+      reference_target = min 15 (peers - 1);
+      years;
+      runs = 1;
+      seed = 11;
+    }
+  in
+  let cfg = Scenario.config sc in
+  (* Gc.stat performs a full major collection, so live_words deltas
+     around the build isolate the population's resident size. *)
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let t0 = Sys.time () in
+  let pop = Scenario.build ~cfg ~seed:sc.Scenario.seed Scenario.No_attack in
+  let sp_setup_cpu_s = Sys.time () -. t0 in
+  let sp_live_words = (Gc.stat ()).Gc.live_words - live0 in
+  {
+    sp_peers = peers;
+    sp_years = years;
+    sp_setup_cpu_s;
+    sp_live_words;
+    sp_pop = pop;
+    sp_run_cpu_s = 0.;
+    sp_executed = 0;
+    sp_best_cost = infinity;
+  }
+
+let scale_advance p ~chunk =
+  let executed () =
+    (Narses.Engine.stats (Lockss.Population.engine p.sp_pop)).Narses.Engine.executed
+  in
+  let before = executed () in
+  let t = Sys.time () in
+  Lockss.Population.run p.sp_pop
+    ~until:
+      (Duration.of_years
+         (p.sp_years *. float_of_int chunk /. float_of_int scale_chunks));
+  let dt = Sys.time () -. t in
+  let after = executed () in
+  p.sp_run_cpu_s <- p.sp_run_cpu_s +. dt;
+  p.sp_executed <- after;
+  let delta = after - before in
+  if delta > 0 && dt /. float_of_int delta < p.sp_best_cost then
+    p.sp_best_cost <- dt /. float_of_int delta
+
+let run_scale () =
+  section "Population scale sweep (per-event cost must stay flat)";
+  note "100 -> 1k -> 10k peers, 2 AUs each, full coverage; reports run-phase";
+  note "throughput and resident population memory per point. The tracked";
+  note "[slowdown] ratios are per-event cost relative to the 100-peer point";
+  note "(1.0 = flat; the gate fails past neutral + threshold).";
+  (* Each pair: a fresh base population interleaved chunk-by-chunk with
+     one large population; the pair's slowdown is the ratio of their
+     best per-event costs. *)
+  let pairs =
+    List.map
+      (fun big ->
+        timed (fun () ->
+            let base = scale_build scale_base in
+            let bigp = scale_build big in
+            for chunk = 1 to scale_chunks do
+              scale_advance base ~chunk;
+              scale_advance bigp ~chunk
+            done;
+            (base, bigp)))
+      scale_bigs
+  in
+  let points =
+    match pairs with
+    | (base, _) :: _ -> base :: List.map snd pairs
+    | [] -> []
+  in
+  let eps p = if p.sp_best_cost < infinity then 1. /. p.sp_best_cost else nan in
+  let table =
+    Table.create
+      [
+        "peers"; "years"; "setup (s)"; "run (s)"; "events"; "events/s"; "live MB";
+        "words/replica";
+      ]
+  in
+  List.iter
+    (fun p ->
+      let replicas = p.sp_peers * 2 in
+      Table.add_row table
+        [
+          string_of_int p.sp_peers;
+          Printf.sprintf "%g" p.sp_years;
+          Printf.sprintf "%.2f" p.sp_setup_cpu_s;
+          Printf.sprintf "%.2f" p.sp_run_cpu_s;
+          string_of_int p.sp_executed;
+          Printf.sprintf "%.0f" (eps p);
+          Printf.sprintf "%.1f" (float_of_int (p.sp_live_words * 8) /. 1e6);
+          Printf.sprintf "%.0f"
+            (float_of_int p.sp_live_words /. float_of_int replicas);
+        ])
+    points;
+  Table.print table;
+  let ratios =
+    List.map
+      (fun (base, bigp) ->
+        let slowdown =
+          if base.sp_best_cost > 0. && base.sp_best_cost < infinity then
+            bigp.sp_best_cost /. base.sp_best_cost
+          else nan
+        in
+        Printf.printf "slowdown %d vs %d: %.2fx\n" bigp.sp_peers base.sp_peers
+          slowdown;
+        Obs.Json.Assoc
+          [
+            ( "name",
+              Obs.Json.String
+                (Printf.sprintf "%d_vs_%d" bigp.sp_peers base.sp_peers) );
+            ("slowdown", Obs.Json.Float slowdown);
+          ])
+      pairs
+  in
+  emit_doc
+    (Obs.Json.Assoc
+       [
+         ( "points",
+           Obs.Json.List
+             (List.map
+                (fun p ->
+                  Obs.Json.Assoc
+                    [
+                      ("name", Obs.Json.String (string_of_int p.sp_peers));
+                      ("peers", Obs.Json.Int p.sp_peers);
+                      ("aus", Obs.Json.Int 2);
+                      ("years", Obs.Json.Float p.sp_years);
+                      ("setup_cpu_s", Obs.Json.Float p.sp_setup_cpu_s);
+                      ("run_cpu_s", Obs.Json.Float p.sp_run_cpu_s);
+                      ("executed", Obs.Json.Int p.sp_executed);
+                      ("events_per_sec", Obs.Json.Float (eps p));
+                      ("live_words", Obs.Json.Int p.sp_live_words);
+                    ])
+                points) );
+         ("ratios", Obs.Json.List ratios);
        ])
 
 (* -- Observability overhead --------------------------------------------- *)
@@ -670,6 +862,7 @@ let targets =
     ("extensions", run_extensions);
     ("profile", run_profile);
     ("parallel", run_parallel);
+    ("scale", run_scale);
     ("obs", run_obs);
     ("check", run_check);
     ("chaos", run_chaos_bench);

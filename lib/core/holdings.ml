@@ -1,0 +1,58 @@
+type t =
+  | Full of { peers : int; aus : int }
+  | Sparse of { peers : int; per_au : int array array }
+
+let full ~peers ~aus = Full { peers; aus }
+
+let sparse ~peers per_au =
+  Array.iter
+    (fun holders ->
+      for i = 1 to Array.length holders - 1 do
+        if holders.(i - 1) >= holders.(i) then
+          invalid_arg "Holdings.sparse: holder sets must be strictly ascending"
+      done)
+    per_au;
+  Sparse { peers; per_au }
+
+let peers = function Full { peers; _ } | Sparse { peers; _ } -> peers
+
+let holds t ~peer ~au =
+  match t with
+  | Full { peers; aus } -> peer >= 0 && peer < peers && au >= 0 && au < aus
+  | Sparse { per_au; _ } ->
+    let holders = per_au.(au) in
+    let lo = ref 0 and hi = ref (Array.length holders) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if holders.(mid) < peer then lo := mid + 1 else hi := mid
+    done;
+    !lo < Array.length holders && holders.(!lo) = peer
+
+let replicas = function
+  | Full { peers; aus } -> peers * aus
+  | Sparse { per_au; _ } ->
+    Array.fold_left (fun acc holders -> acc + Array.length holders) 0 per_au
+
+let holders_excluding t ~au ~limit ~excluding =
+  match t with
+  | Full { peers; _ } ->
+    let bound = min peers limit in
+    let n = if excluding >= 0 && excluding < bound then bound - 1 else bound in
+    Array.init n (fun i ->
+        if excluding >= 0 && excluding < bound && i >= excluding then i + 1 else i)
+  | Sparse { per_au; _ } ->
+    let holders = per_au.(au) in
+    let count = ref 0 in
+    Array.iter
+      (fun h -> if h < limit && h <> excluding then incr count)
+      holders;
+    let out = Array.make !count 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun h ->
+        if h < limit && h <> excluding then begin
+          out.(!k) <- h;
+          incr k
+        end)
+      holders;
+    out

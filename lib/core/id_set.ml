@@ -1,0 +1,70 @@
+module Bitset = Repro_prelude.Bitset
+
+(* The elements live in [elts.(0 .. len-1)] in REVERSE logical order:
+   the logical head is [elts.(len - 1)], so a logical prepend is an
+   O(1) append at the end of the array. Keeping the logical order
+   list-compatible matters twice over: member order feeds Fisher-Yates
+   shuffles (so it determines seeded draw results) and is emitted
+   verbatim in Poll_sampled trace events. *)
+type t = { mutable elts : int array; mutable len : int; bits : Bitset.t }
+
+let of_ordered_list xs =
+  let n = List.length xs in
+  let elts = Array.make (max 8 n) 0 in
+  let bits = Bitset.create () in
+  let i = ref (n - 1) in
+  List.iter
+    (fun x ->
+      if Bitset.mem bits x then invalid_arg "Id_set.of_ordered_list: duplicate";
+      elts.(!i) <- x;
+      Bitset.add bits x;
+      decr i)
+    xs;
+  { elts; len = n; bits }
+
+let size t = t.len
+let mem t x = Bitset.mem t.bits x
+
+let prepend t x =
+  if not (Bitset.mem t.bits x) then begin
+    if t.len = Array.length t.elts then begin
+      let elts = Array.make (2 * t.len) 0 in
+      Array.blit t.elts 0 elts 0 t.len;
+      t.elts <- elts
+    end;
+    t.elts.(t.len) <- x;
+    t.len <- t.len + 1;
+    Bitset.add t.bits x
+  end
+
+let remove t x =
+  if Bitset.mem t.bits x then begin
+    let i = ref 0 in
+    while t.elts.(!i) <> x do
+      incr i
+    done;
+    Array.blit t.elts (!i + 1) t.elts !i (t.len - !i - 1);
+    t.len <- t.len - 1;
+    Bitset.remove t.bits x
+  end
+
+let to_list t =
+  let acc = ref [] in
+  for i = 0 to t.len - 1 do
+    acc := t.elts.(i) :: !acc
+  done;
+  !acc
+
+let to_ordered_array t = Array.init t.len (fun i -> t.elts.(t.len - 1 - i))
+
+let filtered_ordered_array t ~keep =
+  let buf = Array.make (max 1 t.len) 0 in
+  let k = ref 0 in
+  for i = t.len - 1 downto 0 do
+    let x = t.elts.(i) in
+    if keep x then begin
+      buf.(!k) <- x;
+      incr k
+    end
+  done;
+  Array.sub buf 0 !k

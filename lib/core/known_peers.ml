@@ -1,9 +1,48 @@
 type entry = { mutable grade : Grade.t; mutable updated : float }
-type t = { decay_period : float; entries : (Ids.Identity.t, entry) Hashtbl.t }
+
+(* [ids.(0 .. n-1)] mirrors the hashtable's key set, ascending. Keeping
+   it sorted incrementally (binary-search insert on first encounter,
+   shift-out on punish) makes [entries] and [good_ids] linear scans in
+   id order instead of a fold-and-sort per call. *)
+type t = {
+  decay_period : float;
+  entries : (Ids.Identity.t, entry) Hashtbl.t;
+  mutable ids : Ids.Identity.t array;
+  mutable n : int;
+}
 
 let create ~decay_period =
   if decay_period <= 0. then invalid_arg "Known_peers.create: decay period";
-  { decay_period; entries = Hashtbl.create 32 }
+  { decay_period; entries = Hashtbl.create 32; ids = Array.make 16 0; n = 0 }
+
+(* Smallest index whose id is >= [id] (= [t.n] when all are smaller). *)
+let lower_bound t id =
+  let lo = ref 0 and hi = ref t.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.ids.(mid) < id then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let insert_id t id =
+  let i = lower_bound t id in
+  if not (i < t.n && t.ids.(i) = id) then begin
+    if t.n = Array.length t.ids then begin
+      let ids = Array.make (2 * t.n) 0 in
+      Array.blit t.ids 0 ids 0 t.n;
+      t.ids <- ids
+    end;
+    Array.blit t.ids i t.ids (i + 1) (t.n - i);
+    t.ids.(i) <- id;
+    t.n <- t.n + 1
+  end
+
+let remove_id t id =
+  let i = lower_bound t id in
+  if i < t.n && t.ids.(i) = id then begin
+    Array.blit t.ids (i + 1) t.ids i (t.n - i - 1);
+    t.n <- t.n - 1
+  end
 
 (* Any grade reaches the absorbing Debt state in at most two decay steps,
    so steps beyond this bound are equivalent; clamping keeps the
@@ -28,7 +67,9 @@ let grade t ~now identity =
 
 let update t ~now identity f ~if_unknown =
   match Hashtbl.find_opt t.entries identity with
-  | None -> Hashtbl.replace t.entries identity { grade = if_unknown; updated = now }
+  | None ->
+    Hashtbl.replace t.entries identity { grade = if_unknown; updated = now };
+    insert_id t identity
   | Some entry ->
     entry.grade <- f (effective t entry ~now);
     entry.updated <- now
@@ -38,13 +79,33 @@ let raise_grade t ~now identity =
 
 let lower t ~now identity = update t ~now identity Grade.lower ~if_unknown:Grade.Debt
 
-let punish t ~now:_ identity = Hashtbl.remove t.entries identity
+let punish t ~now:_ identity =
+  Hashtbl.remove t.entries identity;
+  remove_id t identity
 
 let set t ~now identity grade =
-  Hashtbl.replace t.entries identity { grade; updated = now }
+  Hashtbl.replace t.entries identity { grade; updated = now };
+  insert_id t identity
 
 let known t identity = Hashtbl.mem t.entries identity
 
 let entries t ~now =
-  Hashtbl.fold (fun id entry acc -> (id, effective t entry ~now) :: acc) t.entries []
-  |> List.sort compare
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    let id = t.ids.(i) in
+    let entry = Hashtbl.find t.entries id in
+    acc := (id, effective t entry ~now) :: !acc
+  done;
+  !acc
+
+let good_ids t ~now ~excluding =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    let id = t.ids.(i) in
+    if not (Ids.Identity.equal id excluding) then begin
+      match effective t (Hashtbl.find t.entries id) ~now with
+      | Grade.Debt -> ()
+      | Grade.Even | Grade.Credit -> acc := id :: !acc
+    end
+  done;
+  !acc

@@ -41,5 +41,11 @@ val set : t -> now:float -> Ids.Identity.t -> Grade.t -> unit
     encountered. *)
 val known : t -> Ids.Identity.t -> bool
 
-(** [entries t ~now] lists (identity, effective grade) pairs. *)
+(** [entries t ~now] lists (identity, effective grade) pairs, ascending
+    by identity. *)
 val entries : t -> now:float -> (Ids.Identity.t * Grade.t) list
+
+(** [good_ids t ~now ~excluding] is the ascending list of known peers
+    whose effective grade is [Even] or [Credit], without [excluding]
+    (the owner's own identity). *)
+val good_ids : t -> now:float -> excluding:Ids.Identity.t -> Ids.Identity.t list

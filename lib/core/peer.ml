@@ -161,14 +161,9 @@ let note_session_closed peer key =
 let session_recently_closed peer key = Hashtbl.mem peer.closed_sessions key
 
 let fallback_identities peer st ~now =
-  let known_good =
-    Known_peers.entries st.known ~now
-    |> List.filter_map (fun (id, grade) ->
-           match grade with
-           | Grade.Debt -> None
-           | Grade.Even | Grade.Credit ->
-             if Ids.Identity.equal id peer.identity then None else Some id)
-  in
   (* Friends come from the per-AU reference list, which was filtered to
-     holders of the AU at bootstrap. *)
-  List.sort_uniq Ids.Identity.compare (known_good @ Reference_list.friends st.reference)
+     holders of the AU at bootstrap. Both inputs arrive ascending and
+     duplicate-free, so the union is a linear sorted merge instead of a
+     sort over a freshly concatenated list. *)
+  let known_good = Known_peers.good_ids st.known ~now ~excluding:peer.identity in
+  Reference_list.merged_with_friends st.reference known_good

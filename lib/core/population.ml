@@ -60,39 +60,50 @@ and dispatch_active ctx peer ~src (msg : Message.t) =
     Voter.on_receipt ctx peer ~identity ~au ~poll_id ~receipt
   | Message.Garbage _ -> Voter.on_garbage ctx peer ~identity ~au
 
-let all_identities cfg = List.init cfg.Config.loyal_peers (fun i -> i)
-
 (* Which peers hold which AUs. Full coverage is the paper's setup; lower
    coverage assigns each AU a random holder subset that is always larger
-   than an inner circle, so polls remain possible. *)
+   than an inner circle, so polls remain possible. The sampling below
+   shuffles a [loyal]-length sequence per AU either way, so the seeded
+   draw stream is unchanged from the dense-matrix representation. *)
 let assign_holdings cfg rng ~loyal =
-  let aus = cfg.Config.aus in
-  let holding = Array.make_matrix loyal aus (cfg.Config.au_coverage >= 1.) in
-  if cfg.Config.au_coverage < 1. then begin
+  if cfg.Config.au_coverage >= 1. then Holdings.full ~peers:loyal ~aus:cfg.Config.aus
+  else begin
     let holders_per_au =
       max
         ((cfg.Config.inner_circle_factor * cfg.Config.quorum) + 1)
         (int_of_float (Float.round (cfg.Config.au_coverage *. float_of_int loyal)))
     in
-    let everyone = List.init loyal (fun i -> i) in
-    for au = 0 to aus - 1 do
-      List.iter
-        (fun peer -> holding.(peer).(au) <- true)
-        (Rng.sample rng holders_per_au everyone)
-    done
-  end;
-  holding
+    let everyone = Array.init loyal (fun i -> i) in
+    let per_au = Array.make cfg.Config.aus [||] in
+    for au = 0 to cfg.Config.aus - 1 do
+      let sampled = Rng.sample_array rng holders_per_au (Array.copy everyone) in
+      per_au.(au) <- Array.of_list (List.sort compare sampled)
+    done;
+    Holdings.sparse ~peers:loyal per_au
+  end
 
-let make_peer cfg rng holding node =
+let make_peer cfg rng holdings node =
   let peer_rng = Rng.split rng in
-  let others = List.filter (fun i -> i <> node) (all_identities cfg) in
-  let friends = Rng.sample peer_rng cfg.Config.friends_count others in
+  (* Bootstrap candidates span the initially-active population only:
+     ids [0, loyal_peers) minus this node (dormant ids lie above). *)
+  let active = cfg.Config.loyal_peers in
+  let others =
+    if node >= 0 && node < active then
+      Array.init (active - 1) (fun i -> if i >= node then i + 1 else i)
+    else Array.init active (fun i -> i)
+  in
+  (* [others] is not read again, so the sample may shuffle it in place. *)
+  let friends = Rng.sample_array peer_rng cfg.Config.friends_count others in
   let aus =
     Array.init cfg.Config.aus (fun au ->
-        let held = holding.(node).(au) in
-        let holders = List.filter (fun id -> holding.(id).(au)) others in
-        let au_friends = List.filter (fun id -> holding.(id).(au)) friends in
-        let initial = Rng.sample peer_rng cfg.Config.reference_list_target holders in
+        let held = Holdings.holds holdings ~peer:node ~au in
+        let holders =
+          Holdings.holders_excluding holdings ~au ~limit:active ~excluding:node
+        in
+        let au_friends =
+          List.filter (fun id -> Holdings.holds holdings ~peer:id ~au) friends
+        in
+        let initial = Rng.sample_array peer_rng cfg.Config.reference_list_target holders in
         let known = Known_peers.create ~decay_period:cfg.Config.grade_decay_period in
         (* Bootstrap reciprocity: the initial reference list models peers
            learned while crawling the publisher together, so they start on
@@ -272,14 +283,9 @@ let create ?(seed = 42) ?(extra_nodes = 0) ?(dormant = 0) cfg =
     Narses.Net.create ~model:cfg.Config.network_model ?faults ~engine ~topology
       ~partition ()
   in
-  let holding = assign_holdings cfg (Rng.split rng) ~loyal in
-  let replicas =
-    Array.fold_left
-      (fun acc row -> Array.fold_left (fun acc h -> if h then acc + 1 else acc) acc row)
-      0 holding
-  in
-  let metrics = Metrics.create ~replicas ~start:0. in
-  let peers = Array.init loyal (make_peer cfg rng holding) in
+  let holdings = assign_holdings cfg (Rng.split rng) ~loyal in
+  let metrics = Metrics.create ~replicas:(Holdings.replicas holdings) ~start:0. in
+  let peers = Array.init loyal (make_peer cfg rng holdings) in
   let ctx =
     {
       Peer.engine;

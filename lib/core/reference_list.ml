@@ -2,41 +2,76 @@ module Rng = Repro_prelude.Rng
 
 type t = {
   target : int;
-  friends : Ids.Identity.t list;
-  mutable members : Ids.Identity.t list;
+  (* Creation order: the friend-bias sample shuffles this array, so its
+     order is part of the seeded behaviour. *)
+  friends : Ids.Identity.t array;
+  (* Ascending and duplicate-free, for the sorted merge in
+     {!merged_with_friends}. *)
+  friends_sorted : Ids.Identity.t array;
+  members : Id_set.t;
 }
 
 let dedup ids = List.sort_uniq Ids.Identity.compare ids
 
 let create ~target ~friends ~initial =
   if target <= 0 then invalid_arg "Reference_list.create: target must be positive";
-  { target; friends; members = dedup (initial @ friends) }
+  {
+    target;
+    friends = Array.of_list friends;
+    friends_sorted = Array.of_list (dedup friends);
+    members = Id_set.of_ordered_list (dedup (initial @ friends));
+  }
 
-let members t = t.members
-let friends t = t.friends
-let size t = List.length t.members
-let mem t identity = List.exists (Ids.Identity.equal identity) t.members
-let insert t identity = if not (mem t identity) then t.members <- identity :: t.members
-
-let remove t identity =
-  t.members <- List.filter (fun m -> not (Ids.Identity.equal m identity)) t.members
+let members t = Id_set.to_list t.members
+let friends t = Array.to_list t.friends
+let size t = Id_set.size t.members
+let mem t identity = Id_set.mem t.members identity
+let insert t identity = Id_set.prepend t.members identity
+let remove t identity = Id_set.remove t.members identity
 
 let sample t ~rng ~count ~excluding =
   let eligible =
-    List.filter (fun m -> not (List.exists (Ids.Identity.equal m) excluding)) t.members
+    Id_set.filtered_ordered_array t.members
+      ~keep:(fun m -> not (List.exists (Ids.Identity.equal m) excluding))
   in
-  Rng.sample rng count eligible
+  Rng.sample_array rng count eligible
 
-let nominate t ~rng ~count = Rng.sample rng count t.members
+let nominate t ~rng ~count = Rng.sample_array rng count (Id_set.to_ordered_array t.members)
 
 let update t ~rng ~voted ~agreeing_outer ~fallback =
   List.iter (remove t) voted;
   List.iter (insert t) agreeing_outer;
-  (* Friend bias: a few friends re-enter with every poll. *)
-  let friend_sample = Rng.sample rng (max 1 (List.length t.friends / 2)) t.friends in
-  List.iter (insert t) friend_sample;
+  (* Friend bias: a few friends re-enter with every poll. A drained
+     friend set contributes a well-defined empty sample (and consumes no
+     draws, matching the shuffle of an empty sequence). *)
+  let friend_count = Array.length t.friends in
+  if friend_count > 0 then begin
+    let friend_sample =
+      Rng.sample_array rng (max 1 (friend_count / 2)) (Array.copy t.friends)
+    in
+    List.iter (insert t) friend_sample
+  end;
   if size t < t.target then begin
     let missing = t.target - size t in
     let candidates = List.filter (fun c -> not (mem t c)) fallback in
     List.iter (insert t) (Rng.sample rng missing candidates)
   end
+
+let merged_with_friends t ids =
+  let fs = t.friends_sorted in
+  let nf = Array.length fs in
+  let rec drain i = if i >= nf then [] else fs.(i) :: drain (i + 1) in
+  let rec go i ids acc =
+    if i >= nf then List.rev_append acc ids
+    else begin
+      match ids with
+      | [] -> List.rev_append acc (drain i)
+      | x :: rest ->
+        let f = fs.(i) in
+        let c = Ids.Identity.compare f x in
+        if c < 0 then go (i + 1) ids (f :: acc)
+        else if c = 0 then go (i + 1) rest (x :: acc)
+        else go i rest (x :: acc)
+    end
+  in
+  go 0 ids []

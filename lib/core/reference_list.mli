@@ -37,7 +37,8 @@ val nominate : t -> rng:Repro_prelude.Rng.t -> count:int -> Ids.Identity.t list
 (** [update t ~rng ~voted ~agreeing_outer ~fallback] applies the
     poll-conclusion rule: remove [voted], insert [agreeing_outer] and a
     friend sample, then top up toward the target from [fallback] (peers
-    known to preserve the AU) if discovery alone left the list short. *)
+    known to preserve the AU) if discovery alone left the list short.
+    An empty friend set yields an empty friend sample. *)
 val update :
   t ->
   rng:Repro_prelude.Rng.t ->
@@ -51,3 +52,9 @@ val insert : t -> Ids.Identity.t -> unit
 
 (** [remove t identity] deletes a member if present. *)
 val remove : t -> Ids.Identity.t -> unit
+
+(** [merged_with_friends t ids] merges the ascending duplicate-free
+    [ids] with the friend set: equal to
+    [List.sort_uniq compare (ids @ friends t)] but a linear sorted
+    merge. Used to assemble per-AU fallback identity lists. *)
+val merged_with_friends : t -> Ids.Identity.t list -> Ids.Identity.t list

@@ -12,6 +12,7 @@ type delta = {
 type report = {
   deltas : delta list;
   missing_tracked : string list;
+  skipped : string list;
   added : string list;
   threshold_pct : float;
 }
@@ -24,15 +25,24 @@ let element_key json =
     (fun m -> Option.bind (Json.member m json) Json.string_value)
     key_members
 
-let flatten json =
+let join prefix seg = if prefix = "" then seg else prefix ^ "." ^ seg
+
+(* Flatten to (path, value) leaves, and separately collect the prefixes
+   of objects carrying [("degenerate", true)] — benches mark a whole
+   sub-document degenerate when the environment cannot exercise what the
+   metric measures (e.g. a parallel sweep on a 1-core host). *)
+let flatten_with_degenerate json =
   let acc = ref [] in
-  let join prefix seg = if prefix = "" then seg else prefix ^ "." ^ seg in
+  let degenerate = ref [] in
   let rec go prefix (json : Json.t) =
     match json with
     | Int i -> acc := (prefix, float_of_int i) :: !acc
     | Float f -> acc := (prefix, f) :: !acc
     | Bool _ | Null | String _ -> ()
-    | Assoc fields -> List.iter (fun (k, v) -> go (join prefix k) v) fields
+    | Assoc fields ->
+      if List.exists (fun (k, v) -> k = "degenerate" && v = Json.Bool true) fields
+      then degenerate := prefix :: !degenerate;
+      List.iter (fun (k, v) -> go (join prefix k) v) fields
     | List items ->
       List.iteri
         (fun i item ->
@@ -45,18 +55,31 @@ let flatten json =
         items
   in
   go "" json;
-  List.rev !acc
+  (List.rev !acc, List.rev !degenerate)
 
-let direction_of_path path =
-  let last =
-    match String.rindex_opt path '.' with
-    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
-    | None -> path
-  in
-  match last with
-  | "overhead" -> Some Higher_is_worse
-  | "speedup" -> Some Lower_is_worse
+let flatten json = fst (flatten_with_degenerate json)
+
+let last_segment path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+(* The tracked-metric registry: direction of badness plus an optional
+   neutral point. A neutral is the metric's natural no-effect value —
+   for [overhead] and [slowdown] ratios that is 1.0: a baseline that
+   happens to land *better* than neutral (chaos overhead 0.69, because
+   faults drop messages) must not turn later drift back toward 1.0 into
+   a failure. [speedup] deliberately has no neutral: collapsing from a
+   2x speedup to 1x is a real loss of parallelism, so it gates against
+   the baseline itself. *)
+let tracked_of_path path =
+  match last_segment path with
+  | "overhead" -> Some (Higher_is_worse, Some 1.0)
+  | "slowdown" -> Some (Higher_is_worse, Some 1.0)
+  | "speedup" -> Some (Lower_is_worse, None)
   | _ -> None
+
+let direction_of_path path = Option.map fst (tracked_of_path path)
 
 let change_pct ~baseline ~current =
   if Float.is_finite baseline && baseline <> 0. && Float.is_finite current then
@@ -65,30 +88,63 @@ let change_pct ~baseline ~current =
 
 let default_threshold_pct = 25.
 
+(* A metric regresses only on movement past the reference point in its
+   bad direction. The reference is the baseline, slackened to the
+   neutral when the baseline is on the better side of it. *)
+let regresses ~threshold_pct ~direction ~neutral ~baseline ~current =
+  if not (Float.is_finite baseline && Float.is_finite current) then false
+  else
+    let frac = threshold_pct /. 100. in
+    match direction with
+    | Higher_is_worse ->
+      let ref_ = match neutral with Some n -> Float.max baseline n | None -> baseline in
+      current > ref_ +. (Float.abs ref_ *. frac)
+    | Lower_is_worse ->
+      let ref_ = match neutral with Some n -> Float.min baseline n | None -> baseline in
+      current < ref_ -. (Float.abs ref_ *. frac)
+
 let compare_json ?(threshold_pct = default_threshold_pct) ~baseline ~current () =
-  let base = flatten baseline and cur = flatten current in
+  let base, base_deg = flatten_with_degenerate baseline in
+  let cur, cur_deg = flatten_with_degenerate current in
+  let deg_prefixes = base_deg @ cur_deg in
+  let under_degenerate path =
+    List.exists
+      (fun d -> d = "" || path = d || String.starts_with ~prefix:(d ^ ".") path)
+      deg_prefixes
+  in
   let cur_tbl = Hashtbl.create 64 in
   List.iter (fun (path, v) -> Hashtbl.replace cur_tbl path v) cur;
-  let deltas, missing_tracked =
+  let deltas, missing_tracked, skipped =
     List.fold_left
-      (fun (deltas, missing) (path, b) ->
+      (fun (deltas, missing, skipped) (path, b) ->
+        let tracked = tracked_of_path path in
+        let skip = tracked <> None && under_degenerate path in
         match Hashtbl.find_opt cur_tbl path with
         | Some c ->
-          let direction = direction_of_path path in
           let pct = change_pct ~baseline:b ~current:c in
           let regressed =
-            match direction with
+            match tracked with
             | None -> false
-            | Some Higher_is_worse -> Float.is_finite pct && pct > threshold_pct
-            | Some Lower_is_worse -> Float.is_finite pct && pct < -.threshold_pct
+            | Some _ when skip -> false
+            | Some (direction, neutral) ->
+              regresses ~threshold_pct ~direction ~neutral ~baseline:b ~current:c
           in
-          ( { path; baseline = b; current = c; change_pct = pct; direction; regressed }
+          ( {
+              path;
+              baseline = b;
+              current = c;
+              change_pct = pct;
+              direction = Option.map fst tracked;
+              regressed;
+            }
             :: deltas,
-            missing )
+            missing,
+            if skip then path :: skipped else skipped )
         | None ->
-          ( deltas,
-            if direction_of_path path <> None then path :: missing else missing ))
-      ([], []) base
+          if tracked = None then (deltas, missing, skipped)
+          else if skip then (deltas, missing, path :: skipped)
+          else (deltas, path :: missing, skipped))
+      ([], [], []) base
   in
   let base_tbl = Hashtbl.create 64 in
   List.iter (fun (path, _) -> Hashtbl.replace base_tbl path ()) base;
@@ -100,6 +156,7 @@ let compare_json ?(threshold_pct = default_threshold_pct) ~baseline ~current () 
   {
     deltas = List.sort (fun a b -> compare a.path b.path) deltas;
     missing_tracked = List.rev missing_tracked;
+    skipped = List.rev skipped;
     added;
     threshold_pct;
   }
@@ -131,11 +188,14 @@ let report_json report =
       ("regressions", Json.List (List.map delta_to_json (regressions report)));
       ( "missing_tracked",
         Json.List (List.map (fun p -> Json.String p) report.missing_tracked) );
+      ("skipped", Json.List (List.map (fun p -> Json.String p) report.skipped));
       ("added", Json.List (List.map (fun p -> Json.String p) report.added));
       ("deltas", Json.List (List.map delta_to_json report.deltas));
     ]
 
 let pp_report ppf report =
+  let skipped_tbl = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace skipped_tbl p ()) report.skipped;
   let tracked = List.filter (fun d -> d.direction <> None) report.deltas in
   Format.fprintf ppf "@[<v>";
   Format.fprintf ppf "tracked metrics (threshold %.0f%%):@," report.threshold_pct;
@@ -143,9 +203,16 @@ let pp_report ppf report =
     (fun d ->
       Format.fprintf ppf "  %-50s %10.4g -> %10.4g  %+7.1f%%  %s@," d.path d.baseline
         d.current d.change_pct
-        (if d.regressed then "REGRESSED" else "ok"))
+        (if d.regressed then "REGRESSED"
+         else if Hashtbl.mem skipped_tbl d.path then "SKIPPED (degenerate)"
+         else "ok"))
     tracked;
   if tracked = [] then Format.fprintf ppf "  (none)@,";
+  List.iter
+    (fun path ->
+      if not (List.exists (fun d -> d.path = path) report.deltas) then
+        Format.fprintf ppf "  %-50s SKIPPED (degenerate)@," path)
+    report.skipped;
   List.iter
     (fun path -> Format.fprintf ppf "  %-50s MISSING (tracked in baseline)@," path)
     report.missing_tracked;

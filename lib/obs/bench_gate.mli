@@ -2,18 +2,37 @@
     baseline and fail on regressions of tracked ratios.
 
     Bench artifacts mix machine-dependent absolutes (mean seconds) with
-    machine-independent ratios ([overhead], [speedup]). Only the ratios
-    are {e tracked}: an [.overhead] leaf regresses when it grows past
-    the threshold, a [.speedup] leaf when it shrinks past it. Absolute
-    leaves are still diffed and reported, but informationally — CI
-    machines are too noisy to gate wall-clock.
+    machine-independent ratios ([overhead], [speedup], [slowdown]).
+    Only the ratios are {e tracked}, and each tracked metric carries an
+    explicit bad direction: [overhead] and [slowdown] fail when they
+    grow, [speedup] when it shrinks. Absolute leaves are still diffed
+    and reported, but informationally — CI machines are too noisy to
+    gate wall-clock.
+
+    Ratio metrics with a natural no-effect point also carry a {e
+    neutral} (1.0 for [overhead] and [slowdown]). The gate's reference
+    is the baseline slackened to the neutral when the baseline landed on
+    the better side of it: a chaos run whose baseline overhead was a
+    lucky 0.69 (faults drop messages, so the faulted run was faster)
+    does not fail CI when a later run drifts back to 1.0 — only
+    movement {e past} the neutral in the bad direction does. [speedup]
+    has no neutral on purpose: collapsing from 2x to 1x is a genuine
+    loss of parallelism and gates against the baseline itself.
 
     JSON is flattened to dotted paths. Lists of objects are keyed by
-    their ["variant"], ["target"], ["phase"] or ["bucket"] member when
-    present (so reordering a bench's variant list does not shuffle the
-    diff), by index otherwise. A tracked path present in the baseline
-    but missing from the current artifact is itself a failure: silently
-    dropping a gated metric must not pass CI. *)
+    their ["variant"], ["target"], ["phase"], ["bucket"] or ["name"]
+    member when present (so reordering a bench's variant list does not
+    shuffle the diff), by index otherwise. A tracked path present in
+    the baseline but missing from the current artifact is itself a
+    failure: silently dropping a gated metric must not pass CI.
+
+    An object containing [("degenerate", true)] marks its whole subtree
+    degenerate: the environment could not exercise what the tracked
+    metrics under it measure (e.g. a parallel-speedup sweep on a 1-core
+    host). Tracked paths under a degenerate prefix — in either the
+    baseline or the current artifact — are excluded from both the
+    regression check and the missing-tracked check, and surfaced in
+    {!type-report}[.skipped] instead. *)
 
 type direction = Higher_is_worse | Lower_is_worse
 
@@ -29,12 +48,17 @@ type delta = {
 type report = {
   deltas : delta list;  (** every shared numeric path, sorted *)
   missing_tracked : string list;  (** tracked in baseline, absent now *)
+  skipped : string list;  (** tracked, but under a degenerate prefix *)
   added : string list;  (** numeric in current, absent from baseline *)
   threshold_pct : float;
 }
 
 (** [flatten json] is every numeric leaf as [(dotted-path, value)]. *)
 val flatten : Json.t -> (string * float) list
+
+(** Bad direction and neutral point for a flattened path, from its last
+    segment; [None] when the path is informational. *)
+val tracked_of_path : string -> (direction * float option) option
 
 (** Tracked direction for a flattened path, from its last segment. *)
 val direction_of_path : string -> direction option

@@ -1,0 +1,33 @@
+type t = { mutable words : int array }
+
+let bits_per_word = Sys.int_size
+
+let create ?(capacity = 256) () =
+  { words = Array.make (max 1 ((capacity + bits_per_word - 1) / bits_per_word)) 0 }
+
+let ensure t w =
+  let n = Array.length t.words in
+  if w >= n then begin
+    let words = Array.make (max (w + 1) (2 * n)) 0 in
+    Array.blit t.words 0 words 0 n;
+    t.words <- words
+  end
+
+let check i = if i < 0 then invalid_arg "Bitset: negative element"
+
+let mem t i =
+  check i;
+  let w = i / bits_per_word in
+  w < Array.length t.words && t.words.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check i;
+  let w = i / bits_per_word in
+  ensure t w;
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check i;
+  let w = i / bits_per_word in
+  if w < Array.length t.words then
+    t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))

@@ -1,0 +1,20 @@
+(** Growable bitset over non-negative ints.
+
+    Membership is O(1); memory is one bit per int up to the largest
+    element ever added (identities are interned to small dense ints, so
+    a population's worth of bits is a few kilobytes). All operations
+    raise [Invalid_argument] on negative elements. *)
+
+type t
+
+(** [create ?capacity ()] is an empty set pre-sized for elements below
+    [capacity]; it grows transparently beyond that. *)
+val create : ?capacity:int -> unit -> t
+
+val mem : t -> int -> bool
+
+(** [add t i] inserts [i] (idempotent). *)
+val add : t -> int -> unit
+
+(** [remove t i] deletes [i] if present. *)
+val remove : t -> int -> unit

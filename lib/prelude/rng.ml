@@ -67,8 +67,13 @@ let shuffle t arr =
     arr.(j) <- tmp
   done
 
-let sample t k xs =
-  let arr = Array.of_list xs in
+(* Fisher-Yates over the WHOLE array regardless of [k], so the draw
+   sequence depends only on the array length — [sample] and
+   [sample_array] on equal-content sequences consume identical streams
+   and return identical results. *)
+let sample_array t k arr =
   shuffle t arr;
   let n = min k (Array.length arr) in
   Array.to_list (Array.sub arr 0 n)
+
+let sample t k xs = sample_array t k (Array.of_list xs)

@@ -59,3 +59,11 @@ val shuffle : t -> 'a array -> unit
 (** [sample t k xs] draws [min k (List.length xs)] distinct elements of
     [xs], uniformly at random, in random order. *)
 val sample : t -> int -> 'a list -> 'a list
+
+(** [sample_array t k arr] is [sample] over an array: it shuffles [arr]
+    in place and returns its first [min k (Array.length arr)] elements.
+    Given the same elements in the same order, [sample] and
+    [sample_array] consume the same number of draws and return the same
+    result, so callers can swap list-based state for arrays without
+    perturbing seeded streams. *)
+val sample_array : t -> int -> 'a array -> 'a list

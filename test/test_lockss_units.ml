@@ -548,6 +548,114 @@ let test_reference_list_insert_remove () =
   Reference_list.remove rl 2;
   Alcotest.(check bool) "removed" false (Reference_list.mem rl 2)
 
+let test_reference_list_empty_friends_update () =
+  (* Regression: a peer whose friends list has drained used to request a
+     >= 1-element sample from an empty list; the friend-bias step must
+     now be a well-defined no-op while removal, insertion and fallback
+     top-up still apply. *)
+  let rl = Reference_list.create ~target:4 ~friends:[] ~initial:[ 1; 2; 3; 4 ] in
+  Reference_list.update rl ~rng:(rng ()) ~voted:[ 1; 2 ] ~agreeing_outer:[ 9 ]
+    ~fallback:[ 5; 6; 7 ];
+  Alcotest.(check bool) "voted removed" false
+    (Reference_list.mem rl 1 || Reference_list.mem rl 2);
+  Alcotest.(check bool) "agreeing outer inserted" true (Reference_list.mem rl 9);
+  Alcotest.(check int) "topped back up to target" 4 (Reference_list.size rl);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d from initial/outer/fallback" m)
+        true
+        (List.mem m [ 3; 4; 5; 6; 7; 9 ]))
+    (Reference_list.members rl)
+
+(* The compact representation (flat int arrays + bitset membership) must
+   be observationally identical to the plain-list bookkeeping it
+   replaced: same member order after any prepend/remove interleaving,
+   and same seeded sample results. The model below IS the old
+   implementation, element for element. *)
+let prop_id_set_models_list =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"compact reference list agrees with list model" ~count:500
+       QCheck2.Gen.(
+         triple (int_range 1 1_000_000)
+           (list_size (int_range 0 20) (int_range 0 50))
+           (list_size (int_range 0 80) (pair (int_range 0 1) (int_range 0 50))))
+       (fun (seed, initial, ops) ->
+         let rl =
+           Reference_list.create ~target:12 ~friends:[] ~initial
+         in
+         (* Old representation: sort_uniq of initial, prepend on insert,
+            order-preserving filter on remove. *)
+         let model = ref (List.sort_uniq Ids.Identity.compare initial) in
+         List.iter
+           (fun (op, x) ->
+             match op with
+             | 0 ->
+               Reference_list.insert rl x;
+               if not (List.mem x !model) then model := x :: !model
+             | _ ->
+               Reference_list.remove rl x;
+               model := List.filter (fun m -> m <> x) !model)
+           ops;
+         let members = Reference_list.members rl in
+         let r1 = Rng.create seed and r2 = Rng.create seed in
+         let sampled_compact = Reference_list.nominate rl ~rng:r1 ~count:5 in
+         let sampled_model = Rng.sample r2 5 !model in
+         members = !model
+         && Reference_list.size rl = List.length !model
+         && List.for_all (fun m -> Reference_list.mem rl m) !model
+         && List.for_all (fun x -> List.mem x !model || not (Reference_list.mem rl x))
+              (List.init 51 Fun.id)
+         && sampled_compact = sampled_model))
+
+let prop_known_peers_sorted_ids_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"known-peers entries agree with per-id grades" ~count:300
+       QCheck2.Gen.(
+         list_size (int_range 0 60) (triple (int_range 0 3) (int_range 0 40) (float_range 0. 5000.)))
+       (fun ops ->
+         let kp = Known_peers.create ~decay_period:1000. in
+         (* Timestamps must be non-decreasing like simulation time. *)
+         let now = ref 0. in
+         List.iter
+           (fun (op, id, dt) ->
+             now := !now +. dt;
+             match op with
+             | 0 -> Known_peers.raise_grade kp ~now:!now id
+             | 1 -> Known_peers.lower kp ~now:!now id
+             | 2 -> Known_peers.punish kp ~now:!now id
+             | _ -> Known_peers.set kp ~now:!now id Grade.Credit)
+           ops;
+         let entries = Known_peers.entries kp ~now:!now in
+         (* Reference: every id's grade through the public point lookup,
+            ascending — what the fold-and-sort implementation returned. *)
+         let reference =
+           List.filter_map
+             (fun id ->
+               Option.map (fun g -> (id, g)) (Known_peers.grade kp ~now:!now id))
+             (List.init 41 Fun.id)
+         in
+         let good = Known_peers.good_ids kp ~now:!now ~excluding:7 in
+         let good_reference =
+           List.filter_map
+             (fun (id, g) ->
+               if id <> 7 && g <> Grade.Debt then Some id else None)
+             entries
+         in
+         entries = reference && good = good_reference))
+
+let prop_merged_with_friends_is_sort_uniq =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"fallback merge equals sort_uniq of concat" ~count:300
+       QCheck2.Gen.(
+         pair (list_size (int_range 0 8) (int_range 0 40))
+           (list_size (int_range 0 30) (int_range 0 40)))
+       (fun (friends, ids) ->
+         let rl = Reference_list.create ~target:12 ~friends ~initial:[] in
+         let ascending = List.sort_uniq Ids.Identity.compare ids in
+         Reference_list.merged_with_friends rl ascending
+         = List.sort_uniq Ids.Identity.compare (ascending @ friends)))
+
 let prop_reference_list_update_invariants =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"reference-list update removes voted, keeps size" ~count:200
@@ -720,6 +828,7 @@ let () =
           quick "lower unknown" test_known_peers_lower_unknown_enters_debt;
           prop_known_peers_decay_monotone;
           prop_grade_raise_lower_inverse;
+          prop_known_peers_sorted_ids_model;
         ] );
       ( "introductions",
         [
@@ -750,7 +859,10 @@ let () =
           quick "sample excludes" test_reference_list_sample_excludes;
           quick "update rule" test_reference_list_update_rule;
           quick "insert/remove" test_reference_list_insert_remove;
+          quick "empty friends update" test_reference_list_empty_friends_update;
           prop_reference_list_update_invariants;
+          prop_id_set_models_list;
+          prop_merged_with_friends_is_sort_uniq;
         ] );
       ( "config",
         [

@@ -709,6 +709,82 @@ let test_gate_absolutes_informational () =
   Alcotest.(check bool) "9x slower wall-clock still passes" true
     (Obs.Bench_gate.ok (Obs.Bench_gate.compare_json ~baseline:base ~current ()))
 
+let test_gate_neutral_slackens_lucky_baseline () =
+  (* A chaos run can legitimately land below 1.0 overhead (faults drop
+     messages). Drifting back to the neutral must not fail; moving past
+     the neutral by the threshold must. *)
+  let doc overhead = Json.Assoc [ ("overhead", Json.Float overhead) ] in
+  Alcotest.(check bool) "0.69 -> 1.0 passes (return to neutral)" true
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 0.69) ~current:(doc 1.0) ()));
+  Alcotest.(check bool) "0.69 -> 1.2 passes (within threshold of neutral)" true
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 0.69) ~current:(doc 1.2) ()));
+  Alcotest.(check bool) "0.69 -> 1.3 regresses (past neutral + threshold)" false
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 0.69) ~current:(doc 1.3) ()));
+  (* A baseline already above neutral keeps gating against itself. *)
+  Alcotest.(check bool) "2.0 -> 2.8 still regresses" false
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 2.0) ~current:(doc 2.8) ()))
+
+let test_gate_slowdown_tracked () =
+  let doc v = Json.Assoc [ ("slowdown", Json.Float v) ] in
+  Alcotest.(check bool) "slowdown growth past neutral regresses" false
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 1.1) ~current:(doc 1.6) ()));
+  Alcotest.(check bool) "slowdown shrink passes" true
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 1.1) ~current:(doc 0.8) ()))
+
+let parallel_doc ~degenerate ~speedup =
+  Json.Assoc
+    ([ ("requested_jobs", Json.Int 4); ("effective_jobs", Json.Int 1) ]
+    @ (if degenerate then [ ("degenerate", Json.Bool true) ] else [])
+    @ [
+        ( "targets",
+          Json.List
+            [
+              Json.Assoc
+                [
+                  ("target", Json.String "stoppage sweep");
+                  ("speedup", Json.Float speedup);
+                ];
+            ] );
+      ])
+
+let test_gate_degenerate_skips_tracked () =
+  (* Current artifact marked degenerate: the speedup collapse is not a
+     regression, it is an environment that cannot parallelise. *)
+  let report =
+    Obs.Bench_gate.compare_json
+      ~baseline:(parallel_doc ~degenerate:false ~speedup:2.0)
+      ~current:(parallel_doc ~degenerate:true ~speedup:1.0)
+      ()
+  in
+  Alcotest.(check bool) "degenerate current skips the speedup gate" true
+    (Obs.Bench_gate.ok report);
+  Alcotest.(check bool) "skipped path reported" true
+    (List.mem "targets.stoppage sweep.speedup" report.Obs.Bench_gate.skipped);
+  (* Degenerate baseline also skips, including the missing-tracked check. *)
+  let report =
+    Obs.Bench_gate.compare_json
+      ~baseline:(parallel_doc ~degenerate:true ~speedup:1.0)
+      ~current:(Json.Assoc [ ("requested_jobs", Json.Int 4) ])
+      ()
+  in
+  Alcotest.(check bool) "degenerate baseline never demands the metric" true
+    (Obs.Bench_gate.ok report);
+  Alcotest.(check bool) "absent metric reported as skipped, not missing" true
+    (List.mem "targets.stoppage sweep.speedup" report.Obs.Bench_gate.skipped);
+  (* Neither side degenerate: the same collapse fails as before. *)
+  Alcotest.(check bool) "non-degenerate collapse still regresses" false
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json
+          ~baseline:(parallel_doc ~degenerate:false ~speedup:2.0)
+          ~current:(parallel_doc ~degenerate:false ~speedup:1.0)
+          ()))
+
 (* -- Suite --------------------------------------------------------------- *)
 
 let () =
@@ -768,5 +844,10 @@ let () =
           tc "speedup is lower-is-worse" `Quick test_gate_speedup_lower_is_worse;
           tc "missing tracked metric fails" `Quick test_gate_missing_tracked_fails;
           tc "absolutes are informational" `Quick test_gate_absolutes_informational;
+          tc "neutral slackens lucky baselines" `Quick
+            test_gate_neutral_slackens_lucky_baseline;
+          tc "slowdown is tracked" `Quick test_gate_slowdown_tracked;
+          tc "degenerate prefixes skip the gate" `Quick
+            test_gate_degenerate_skips_tracked;
         ] );
     ]
