@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke trace-report-smoke chaos-smoke soak-smoke runner-smoke audit-smoke bench bench-parallel bench-obs bench-check bench-chaos bench-scale diff-bench profile clean
+.PHONY: all build test check smoke trace-report-smoke chaos-smoke soak-smoke runner-smoke audit-smoke baseline-smoke bench bench-parallel bench-obs bench-check bench-chaos bench-scale bench-scale-full diff-bench diff-bench-only pin-bench-parallel pin-baseline diff-baseline profile clean
 
 all: build
 
@@ -122,10 +122,29 @@ bench-check: build
 bench-chaos: build
 	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
 
-# Population scale sweep: 100 -> 1k -> 10k peers; per-event cost and
-# resident memory per point, recorded as JSON.
+# Population scale sweep, CI shape: 100 -> 1k peers only, skipping the
+# ~29s 10k-peer setup. The full sweep lives in bench-scale-full.
 bench-scale: build
-	dune exec bench/main.exe -- scale --json BENCH_scale.json
+	dune exec bench/main.exe -- scale --points 100,1000 --json BENCH_scale.json
+
+# Full population scale sweep: 100 -> 1k -> 10k peers; per-event cost
+# and resident memory per point, recorded (and gated) separately from
+# the reduced CI sweep.
+bench-scale-full: build
+	dune exec bench/main.exe -- scale --json BENCH_scale_full.json
+	dune exec bench/main.exe -- diff-bench --threshold 75 \
+	  $(BENCH_SCALE_FULL_PAIR)
+
+# The baseline/current artifact pairs the regression gate diffs — the
+# single source of truth for both `make diff-bench` here and the CI
+# gate steps (`make diff-bench-only`).
+BENCH_PAIRS = \
+  BENCH_parallel.baseline.json BENCH_parallel.json \
+  BENCH_obs.baseline.json BENCH_obs.json \
+  BENCH_check.baseline.json BENCH_check.json \
+  BENCH_chaos.baseline.json BENCH_chaos.json
+BENCH_SCALE_PAIR = BENCH_scale.baseline.json BENCH_scale.json
+BENCH_SCALE_FULL_PAIR = BENCH_scale_full.baseline.json BENCH_scale_full.json
 
 # Bench regression gate: re-run the benchmarks and diff the fresh JSON
 # against the pinned baselines; exits non-zero on any >25% regression in
@@ -133,14 +152,52 @@ bench-scale: build
 # a looser 75%: its slowdown ratios fold in cache-hierarchy effects that
 # vary across machines, while a genuine per-event cost-curve regression
 # (O(peers) work per event) overshoots any plausible threshold.
-diff-bench: bench-parallel bench-obs bench-check bench-chaos bench-scale
-	dune exec bench/main.exe -- diff-bench \
-	  BENCH_parallel.baseline.json BENCH_parallel.json \
-	  BENCH_obs.baseline.json BENCH_obs.json \
-	  BENCH_check.baseline.json BENCH_check.json \
-	  BENCH_chaos.baseline.json BENCH_chaos.json
-	dune exec bench/main.exe -- diff-bench --threshold 75 \
-	  BENCH_scale.baseline.json BENCH_scale.json
+diff-bench: bench-parallel bench-obs bench-check bench-chaos bench-scale diff-bench-only
+
+# The gate alone, against artifacts produced earlier (CI runs the bench
+# targets as separate steps so their logs stay attributable).
+diff-bench-only:
+	dune exec bench/main.exe -- diff-bench $(BENCH_PAIRS)
+	dune exec bench/main.exe -- diff-bench --threshold 75 $(BENCH_SCALE_PAIR)
+
+# Re-pin the parallel-speedup baseline from a fresh run. Meant for a
+# multicore host (CI's repin-bench workflow): a pin taken on a 1-core
+# machine is degenerate and disarms the speedup gate.
+pin-bench-parallel: bench-parallel
+	cp BENCH_parallel.json BENCH_parallel.baseline.json
+	@echo "pinned BENCH_parallel.baseline.json — commit it to arm the speedup gate"
+
+# -- Paper-figure result baselines --------------------------------------
+
+# Pin the paper-figure golden baselines (baselines/*.baseline.json) at
+# the CLI's default scale, then verify the pins round-trip clean.
+pin-baseline: build
+	dune exec bin/lockss_sim.exe -- pin-baseline
+	dune exec bin/lockss_sim.exe -- diff-baseline
+
+# Diff current figure results against the pinned golden baselines;
+# exits non-zero on any drift past tolerance.
+diff-baseline: build
+	dune exec bin/lockss_sim.exe -- diff-baseline
+
+# Result-regression smoke: pin a micro-scale baseline into a scratch
+# dir, check the clean diff passes, then perturb one pinned value and
+# check the diff fails with a drift verdict.
+baseline-smoke: build
+	rm -rf /tmp/baseline-smoke && mkdir -p /tmp/baseline-smoke
+	dune exec bin/lockss_sim.exe -- pin-baseline fig3 \
+	  --peers 15 --aus 2 --quorum 4 --years 1 --baseline-dir /tmp/baseline-smoke
+	dune exec bin/lockss_sim.exe -- diff-baseline fig3 \
+	  --peers 15 --aus 2 --quorum 4 --years 1 --baseline-dir /tmp/baseline-smoke
+	awk 'f==0 && /"value":/ { sub(/"value":[-0-9.eE+]+/, "\"value\":99.5"); f=1 } { print }' \
+	  /tmp/baseline-smoke/fig3.baseline.json > /tmp/baseline-smoke/fig3.perturbed.json
+	mv /tmp/baseline-smoke/fig3.perturbed.json /tmp/baseline-smoke/fig3.baseline.json
+	! dune exec bin/lockss_sim.exe -- diff-baseline fig3 \
+	  --peers 15 --aus 2 --quorum 4 --years 1 --baseline-dir /tmp/baseline-smoke \
+	  > /tmp/baseline-smoke/drift.txt 2>&1
+	grep -q 'DRIFT' /tmp/baseline-smoke/drift.txt || \
+	  { echo "baseline-smoke: perturbed pin did not report drift" >&2; exit 1; }
+	@echo "baseline-smoke: OK"
 
 profile:
 	dune exec bench/main.exe -- profile

@@ -14,6 +14,8 @@
                                               # serial vs parallel timings
      dune exec bench/main.exe -- scale --json BENCH_scale.json
                                               # 100 -> 10k peer sweep
+     dune exec bench/main.exe -- scale --points 100,1000
+                                              # skip the 10k point (CI)
 
    Absolute numbers are not expected to match the paper (our substrate
    is a simulator at reduced scale, not the authors' testbed); each
@@ -445,6 +447,28 @@ let run_parallel () =
 let scale_base = (100, 1.0)
 let scale_bigs = [ (1_000, 0.5); (10_000, 0.15) ]
 
+(* Population sizes to sweep, set by [--points 100,1000]. The 100-peer
+   base always runs (every slowdown ratio is relative to it); the
+   option selects which of the large points join it, letting CI skip
+   the ~29s 10k-peer setup while `make bench-scale-full` keeps the
+   whole sweep. *)
+let scale_points : int list option ref = ref None
+
+let selected_scale_bigs () =
+  match !scale_points with
+  | None -> scale_bigs
+  | Some points ->
+    let known = fst scale_base :: List.map fst scale_bigs in
+    List.iter
+      (fun p ->
+        if not (List.mem p known) then begin
+          Printf.eprintf "unknown scale point %d (known: %s)\n" p
+            (String.concat ", " (List.map string_of_int known));
+          exit 1
+        end)
+      points;
+    List.filter (fun (peers, _) -> List.mem peers points) scale_bigs
+
 (* Two noise defenses, because on a busy shared host the machine's
    effective speed swings ~2x over minutes and a major GC slice over
    the 182MB heap of the 10k point can land inside any one timing
@@ -525,6 +549,14 @@ let run_scale () =
   note "throughput and resident population memory per point. The tracked";
   note "[slowdown] ratios are per-event cost relative to the 100-peer point";
   note "(1.0 = flat; the gate fails past neutral + threshold).";
+  let bigs = selected_scale_bigs () in
+  if List.length bigs < List.length scale_bigs then
+    note "points: sweeping %s only (of %s) — full sweep: make bench-scale-full"
+      (String.concat ", "
+         (string_of_int (fst scale_base) :: List.map (fun (p, _) -> string_of_int p) bigs))
+      (String.concat ", "
+         (string_of_int (fst scale_base)
+         :: List.map (fun (p, _) -> string_of_int p) scale_bigs));
   (* Each pair: a fresh base population interleaved chunk-by-chunk with
      one large population; the pair's slowdown is the ratio of their
      best per-event costs. *)
@@ -539,7 +571,7 @@ let run_scale () =
               scale_advance bigp ~chunk
             done;
             (base, bigp)))
-      scale_bigs
+      bigs
   in
   let points =
     match pairs with
@@ -911,6 +943,16 @@ let rec extract_opts = function
   | "--compare" :: path :: rest ->
     compare_with := Some path;
     extract_opts rest
+  | "--points" :: spec :: rest ->
+    let parse s =
+      match int_of_string_opt (String.trim s) with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "invalid --points %S (need comma-separated peer counts)\n" spec;
+        exit 1
+    in
+    scale_points := Some (List.map parse (String.split_on_char ',' spec));
+    extract_opts rest
   | "--threshold" :: pct :: rest ->
     (match float_of_string_opt pct with
     | Some t when t >= 0. -> threshold := t
@@ -918,8 +960,8 @@ let rec extract_opts = function
       Printf.eprintf "invalid --threshold %S (need a non-negative percent)\n" pct;
       exit 1);
     extract_opts rest
-  | ("--json" | "--compare" | "--threshold") :: [] ->
-    prerr_endline "--json/--compare/--threshold require an argument";
+  | ("--json" | "--compare" | "--threshold" | "--points") :: [] ->
+    prerr_endline "--json/--compare/--threshold/--points require an argument";
     exit 1
   | arg :: rest -> arg :: extract_opts rest
 

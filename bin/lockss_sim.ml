@@ -1,10 +1,12 @@
 (* lockss_sim: command-line driver for the LOCKSS attrition-defense
    simulator.
 
-     lockss_sim run        -- one scenario, fully parameterised
-     lockss_sim reproduce  -- regenerate a paper figure/table
-     lockss_sim ablate     -- defense ablation table
-     lockss_sim chaos      -- fault injection + invariant checks *)
+     lockss_sim run           -- one scenario, fully parameterised
+     lockss_sim reproduce     -- regenerate a paper figure/table
+     lockss_sim ablate        -- defense ablation table
+     lockss_sim chaos         -- fault injection + invariant checks
+     lockss_sim pin-baseline  -- pin golden result baselines
+     lockss_sim diff-baseline -- diff fresh results against the pins *)
 
 module Duration = Repro_prelude.Duration
 module Scenario = Experiments.Scenario
@@ -296,6 +298,51 @@ let observe_term =
     const make $ trace_out $ trace_level $ trace_format $ metrics_out $ sample_interval
     $ spans_out $ ledger_out $ profile_out)
 
+(* -- Manifest + baseline options --------------------------------------- *)
+
+let manifest_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "manifest-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a run manifest to $(docv) as one JSON object: command, targets, the \
+           seed list consumed, worker-domain counts, injected fault mix, git revision, \
+           host/toolchain identification, and wall/CPU seconds.")
+
+(* The manifest handle is opened before the sweep so wall/CPU cover the
+   whole command; writing is a no-op without --manifest-out. *)
+let emit_manifest ~manifest_out ~handle ~seeds ?targets ?fault_mix () =
+  match manifest_out with
+  | None -> ()
+  | Some path ->
+    Experiments.Manifest.write ~path
+      (Experiments.Manifest.finish handle ~seeds ?targets ?fault_mix ());
+    Printf.printf "wrote manifest %s\n" path
+
+let seeds_of_scale (scale : Scenario.scale) =
+  List.init scale.Scenario.runs (fun i -> scale.Scenario.seed + i)
+
+let fault_mix_json (m : Chaos.mix) =
+  Obs.Json.Assoc
+    [
+      ("loss", Obs.Json.Float m.Chaos.loss);
+      ("jitter", Obs.Json.Float m.Chaos.jitter);
+      ("duplication", Obs.Json.Float m.Chaos.duplication);
+      ("churn_per_day", Obs.Json.Float m.Chaos.churn_per_day);
+      ("downtime", Obs.Json.Float m.Chaos.downtime);
+      ("corruption", Obs.Json.Float m.Chaos.corruption);
+      ("replay", Obs.Json.Float m.Chaos.replay);
+      ("stale", Obs.Json.Float m.Chaos.stale);
+    ]
+
+let baseline_dir =
+  Arg.(
+    value
+    & opt string "baselines"
+    & info [ "baseline-dir" ] ~docv:"DIR"
+        ~doc:"Directory holding the pinned golden baselines (default $(b,baselines)).")
+
 let scale_of ~peers ~aus ~quorum ~years ~runs ~seed =
   let quorum = max 2 quorum in
   {
@@ -404,8 +451,9 @@ let report_audits audits =
 
 let run_cmd =
   let action peers aus quorum years runs seed jobs capacity mttf interval_months kind
-      coverage duration_days mix observe check =
+      coverage duration_days mix observe check manifest_out =
     set_jobs jobs;
+    let handle = Experiments.Manifest.start ~command:"run" () in
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let cfg = config_of scale ~capacity ~mttf ~interval_months in
     let fault_cfg = Chaos.faults_config mix in
@@ -427,7 +475,7 @@ let run_cmd =
         c.Scenario.access_failure c.Scenario.delay_ratio c.Scenario.friction
         c.Scenario.cost_ratio
     in
-    match (attack, check) with
+    (match (attack, check) with
     | Scenario.No_attack, false ->
       let summary = Scenario.run_avg ?observe ~cfg scale Scenario.No_attack in
       Format.printf "%a@." Lockss.Metrics.pp_summary summary
@@ -439,13 +487,17 @@ let run_cmd =
     | _, true ->
       let c, audits = Scenario.compare_runs_audited ?observe ~cfg scale attack in
       print_comparison c;
-      report_audits audits
+      report_audits audits);
+    let fault_mix =
+      if Narses.Faults.is_none fault_cfg then None else Some (fault_mix_json mix)
+    in
+    emit_manifest ~manifest_out ~handle ~seeds:(seeds_of_scale scale) ?fault_mix ()
   in
   let term =
     Term.(
       const action $ peers $ aus $ quorum $ years $ runs $ seed $ jobs $ capacity $ mttf
       $ interval_months $ attack_kind $ coverage $ duration_days $ mix_term zero_mix
-      $ observe_term $ check_flag)
+      $ observe_term $ check_flag $ manifest_out)
   in
   Cmd.v
     (Cmd.info "run"
@@ -552,6 +604,37 @@ let soak_cmd =
 
 (* -- reproduce command ------------------------------------------------- *)
 
+(* One sweep execution feeds the printed table, the optional plot files
+   and the optional baseline check: Golden.sweeps shares the lazies. *)
+let table_of_target sweeps target =
+  let module Golden = Experiments.Golden in
+  match target with
+  | "fig2" -> Some (Experiments.Baseline.to_table (Golden.baseline_points sweeps))
+  | "fig3" -> Some (Experiments.Stoppage.fig3_table (Golden.stoppage_points sweeps))
+  | "fig4" -> Some (Experiments.Stoppage.fig4_table (Golden.stoppage_points sweeps))
+  | "fig5" -> Some (Experiments.Stoppage.fig5_table (Golden.stoppage_points sweeps))
+  | "fig6" ->
+    Some (Experiments.Admission_attack.fig6_table (Golden.admission_points sweeps))
+  | "fig7" ->
+    Some (Experiments.Admission_attack.fig7_table (Golden.admission_points sweeps))
+  | "fig8" ->
+    Some (Experiments.Admission_attack.fig8_table (Golden.admission_points sweeps))
+  | "table1" -> Some (Experiments.Effort_attack.to_table (Golden.effort_rows sweeps))
+  | _ -> None
+
+(* Compare one freshly captured target against its pin. Returns the
+   report, or an error when the pin is unreadable/absent. *)
+let check_target ~dir ~scale sweeps target =
+  let pin_path = Obs.Baseline.path ~dir target in
+  match Obs.Baseline.load pin_path with
+  | Error msg ->
+    Error
+      (Printf.sprintf "%s — pin it first with: lockss_sim pin-baseline %s" msg target)
+  | Ok pinned ->
+    (match Experiments.Golden.capture sweeps ~scale target with
+    | Error msg -> Error msg
+    | Ok current -> Ok (Obs.Baseline.compare ~baseline:pinned ~current))
+
 let reproduce_cmd =
   let target =
     Arg.(
@@ -573,50 +656,227 @@ let reproduce_cmd =
       & info [ "plot" ] ~docv:"DIR"
           ~doc:"Also write gnuplot .dat/.gp files for the figure into $(docv).")
   in
-  let action target peers aus quorum years runs seed jobs csv_path plot_dir =
+  let check_baseline =
+    Arg.(
+      value & flag
+      & info [ "check-baseline" ]
+          ~doc:
+            "After regenerating the target, diff its metrics against the pinned golden \
+             baseline in --baseline-dir and print the per-metric delta report; exit \
+             status 1 on any drift past tolerance (or when no baseline is pinned).")
+  in
+  let action target peers aus quorum years runs seed jobs csv_path plot_dir
+      check_baseline dir manifest_out =
     set_jobs jobs;
+    let handle = Experiments.Manifest.start ~command:("reproduce " ^ target) () in
     let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
     let module Table = Repro_prelude.Table in
-    let stoppage = lazy (Experiments.Stoppage.sweep ~scale ()) in
-    let flood = lazy (Experiments.Admission_attack.sweep ~scale ()) in
-    let baseline = lazy (Experiments.Baseline.sweep ~scale ()) in
+    let module Golden = Experiments.Golden in
+    let sweeps = Golden.sweeps ~scale in
     (match plot_dir with
     | None -> ()
     | Some dir ->
       (match target with
-      | "fig2" -> Experiments.Plot.write_baseline ~dir (Lazy.force baseline)
-      | "fig3" | "fig4" | "fig5" -> Experiments.Plot.write_stoppage ~dir (Lazy.force stoppage)
-      | "fig6" | "fig7" | "fig8" -> Experiments.Plot.write_admission ~dir (Lazy.force flood)
+      | "fig2" -> Experiments.Plot.write_baseline ~dir (Golden.baseline_points sweeps)
+      | "fig3" | "fig4" | "fig5" ->
+        Experiments.Plot.write_stoppage ~dir (Golden.stoppage_points sweeps)
+      | "fig6" | "fig7" | "fig8" ->
+        Experiments.Plot.write_admission ~dir (Golden.admission_points sweeps)
       | _ -> Printf.eprintf "--plot is only available for fig2..fig8\n"));
     let table =
-      match target with
-      | "fig2" -> Experiments.Baseline.to_table (Lazy.force baseline)
-      | "fig3" -> Experiments.Stoppage.fig3_table (Lazy.force stoppage)
-      | "fig4" -> Experiments.Stoppage.fig4_table (Lazy.force stoppage)
-      | "fig5" -> Experiments.Stoppage.fig5_table (Lazy.force stoppage)
-      | "fig6" -> Experiments.Admission_attack.fig6_table (Lazy.force flood)
-      | "fig7" -> Experiments.Admission_attack.fig7_table (Lazy.force flood)
-      | "fig8" -> Experiments.Admission_attack.fig8_table (Lazy.force flood)
-      | "table1" ->
-        Experiments.Effort_attack.to_table (Experiments.Effort_attack.sweep ~scale ())
-      | other ->
-        Printf.eprintf "unknown target %S\n" other;
+      match table_of_target sweeps target with
+      | Some table -> table
+      | None ->
+        Printf.eprintf "unknown target %S\n" target;
         exit 2
     in
     Table.print table;
-    match csv_path with None -> () | Some path -> Table.save_csv table path
+    (match csv_path with None -> () | Some path -> Table.save_csv table path);
+    let drifted =
+      if not check_baseline then false
+      else
+        match check_target ~dir ~scale sweeps target with
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          true
+        | Ok report ->
+          Format.printf "%a@." Obs.Baseline.pp_report report;
+          not (Obs.Baseline.ok report)
+    in
+    emit_manifest ~manifest_out ~handle ~seeds:(seeds_of_scale scale)
+      ~targets:[ target ] ();
+    if drifted then exit 1
   in
   let term =
     Term.(
       const action $ target $ peers $ aus $ quorum $ years $ runs $ seed $ jobs $ csv
-      $ plot)
+      $ plot $ check_baseline $ baseline_dir $ manifest_out)
   in
   Cmd.v
     (Cmd.info "reproduce"
        ~doc:
          "Regenerate a figure or table from the paper's evaluation section, fanning \
-          the sweep's independent runs out over --jobs worker domains. (Per-run \
-          tracing/metrics files are a $(b,run)-command feature.)")
+          the sweep's independent runs out over --jobs worker domains; \
+          $(b,--check-baseline) then diffs the result against its pinned golden \
+          baseline. (Per-run tracing/metrics files are a $(b,run)-command feature.)")
+    term
+
+(* -- pin-baseline / diff-baseline commands ------------------------------ *)
+
+let baseline_targets_arg =
+  Arg.(
+    value
+    & pos_all string []
+    & info [] ~docv:"TARGET"
+        ~doc:
+          "Targets to pin/diff (fig2..fig8, table1); all of them when none is given.")
+
+let resolve_baseline_targets = function
+  | [] -> Experiments.Golden.targets
+  | targets ->
+    List.iter
+      (fun t ->
+        if not (List.mem t Experiments.Golden.targets) then begin
+          Printf.eprintf "unknown target %S (known: %s)\n" t
+            (String.concat " " Experiments.Golden.targets);
+          exit 2
+        end)
+      targets;
+    targets
+
+let pin_baseline_cmd =
+  let tolerance =
+    Arg.(
+      value
+      & opt float Obs.Baseline.default_tolerance_pct
+      & info [ "tolerance-pct" ] ~docv:"PCT"
+          ~doc:
+            "Per-metric drift tolerance baked into the pin, as a percent of the \
+             pinned value (default 0.01: seeded runs are deterministic, so the \
+             allowance only absorbs float-formatting noise).")
+  in
+  let action targets peers aus quorum years runs seed jobs tolerance dir manifest_out =
+    set_jobs jobs;
+    let targets = resolve_baseline_targets targets in
+    let handle = Experiments.Manifest.start ~command:"pin-baseline" () in
+    let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
+    let sweeps = Experiments.Golden.sweeps ~scale in
+    let provenance = Experiments.Manifest.provenance () in
+    List.iter
+      (fun target ->
+        match
+          Experiments.Golden.capture ~tolerance_pct:tolerance sweeps ~scale target
+        with
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+        | Ok captured ->
+          let captured = { captured with Obs.Baseline.provenance } in
+          Obs.Baseline.save ~dir captured;
+          Printf.printf "pinned %s (%d metrics)\n"
+            (Obs.Baseline.path ~dir target)
+            (List.length captured.Obs.Baseline.metrics))
+      targets;
+    emit_manifest ~manifest_out ~handle ~seeds:(seeds_of_scale scale) ~targets ()
+  in
+  let term =
+    Term.(
+      const action $ baseline_targets_arg $ peers $ aus $ quorum $ years $ runs $ seed
+      $ jobs $ tolerance $ baseline_dir $ manifest_out)
+  in
+  Cmd.v
+    (Cmd.info "pin-baseline"
+       ~doc:
+         "Run the paper-figure sweeps and pin their results as golden baseline \
+          documents under --baseline-dir: per-figure series points and headline \
+          metrics, each with a drift direction and tolerance, plus the scale \
+          fingerprint and pin provenance. Commit the pins; $(b,diff-baseline) and \
+          $(b,reproduce --check-baseline) gate against them.")
+    term
+
+let diff_baseline_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the delta reports as one JSON object instead of human-readable text.")
+  in
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Also write the machine-readable delta report to $(docv) — the artifact \
+             the nightly reproduce gate uploads.")
+  in
+  let action targets peers aus quorum years runs seed jobs json_flag report_out dir
+      manifest_out =
+    set_jobs jobs;
+    let targets = resolve_baseline_targets targets in
+    let handle = Experiments.Manifest.start ~command:"diff-baseline" () in
+    let scale = scale_of ~peers ~aus ~quorum ~years ~runs ~seed in
+    let sweeps = Experiments.Golden.sweeps ~scale in
+    let results =
+      List.map (fun target -> (target, check_target ~dir ~scale sweeps target)) targets
+    in
+    let ok_overall =
+      List.for_all
+        (fun (_, result) ->
+          match result with Ok report -> Obs.Baseline.ok report | Error _ -> false)
+        results
+    in
+    let report_doc =
+      Obs.Json.Assoc
+        [
+          ("ok", Obs.Json.Bool ok_overall);
+          ("baseline_dir", Obs.Json.String dir);
+          ( "targets",
+            Obs.Json.List
+              (List.map
+                 (fun (target, result) ->
+                   match result with
+                   | Ok report -> Obs.Baseline.report_json report
+                   | Error msg ->
+                     Obs.Json.Assoc
+                       [
+                         ("experiment", Obs.Json.String target);
+                         ("ok", Obs.Json.Bool false);
+                         ("error", Obs.Json.String msg);
+                       ])
+                 results) );
+        ]
+    in
+    if json_flag then print_endline (Obs.Json.to_string report_doc)
+    else
+      List.iter
+        (fun (target, result) ->
+          match result with
+          | Error msg -> Printf.printf "baseline %s: FAILED — %s\n" target msg
+          | Ok report -> Format.printf "%a@." Obs.Baseline.pp_report report)
+        results;
+    (match report_out with
+    | None -> ()
+    | Some path ->
+      Experiments.Manifest.write ~path report_doc;
+      Printf.printf "wrote delta report %s\n" path);
+    emit_manifest ~manifest_out ~handle ~seeds:(seeds_of_scale scale) ~targets ();
+    if not ok_overall then exit 1
+  in
+  let term =
+    Term.(
+      const action $ baseline_targets_arg $ peers $ aus $ quorum $ years $ runs $ seed
+      $ jobs $ json_flag $ report_out $ baseline_dir $ manifest_out)
+  in
+  Cmd.v
+    (Cmd.info "diff-baseline"
+       ~doc:
+         "Re-run the paper-figure sweeps and diff every metric against the pinned \
+          golden baselines: per-metric value/pin/delta/tolerance/verdict, config \
+          fingerprint check, and missing/new metric detection. Exit status 1 on any \
+          drift past tolerance — the simulator is deterministic for pinned seeds, so \
+          drift means a code change moved the science and must be either fixed or \
+          deliberately re-pinned.")
     term
 
 (* -- check-trace command ----------------------------------------------- *)
@@ -1023,6 +1283,8 @@ let () =
           [
             run_cmd;
             reproduce_cmd;
+            pin_baseline_cmd;
+            diff_baseline_cmd;
             ablate_cmd;
             chaos_cmd;
             soak_cmd;

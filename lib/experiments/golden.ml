@@ -1,0 +1,175 @@
+module B = Obs.Baseline
+module Json = Obs.Json
+
+let targets = [ "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "table1" ]
+
+type sweeps = {
+  stoppage : Stoppage.point list Lazy.t;
+  admission : Admission_attack.point list Lazy.t;
+  baseline : Baseline.point list Lazy.t;
+  effort : Effort_attack.row list Lazy.t;
+}
+
+let sweeps ~scale =
+  {
+    stoppage = lazy (Stoppage.sweep ~scale ());
+    admission = lazy (Admission_attack.sweep ~scale ());
+    baseline = lazy (Baseline.sweep ~scale ());
+    effort = lazy (Effort_attack.sweep ~scale ());
+  }
+
+let stoppage_points s = Lazy.force s.stoppage
+let admission_points s = Lazy.force s.admission
+let baseline_points s = Lazy.force s.baseline
+let effort_rows s = Lazy.force s.effort
+
+let config_fingerprint (scale : Scenario.scale) =
+  [
+    ("peers", Json.Int scale.Scenario.peers);
+    ("aus", Json.Int scale.Scenario.aus);
+    ("quorum", Json.Int scale.Scenario.quorum);
+    ("max_disagree", Json.Int scale.Scenario.max_disagree);
+    ("outer_circle", Json.Int scale.Scenario.outer_circle);
+    ("reference_target", Json.Int scale.Scenario.reference_target);
+    ("years", Json.Float scale.Scenario.years);
+    ("runs", Json.Int scale.Scenario.runs);
+    ("seed", Json.Int scale.Scenario.seed);
+  ]
+
+(* -- Metric naming -------------------------------------------------------
+
+   Names double as series-point keys: the bracketed coordinates use the
+   same formatting as the printed tables (Report.pct, Report.days,
+   Report.months), so a drifted metric is findable in the reproduce
+   output by eye. *)
+
+let duration_key ~coverage ~duration metric =
+  Printf.sprintf "%s[cov=%s,days=%s]" metric (Report.pct coverage)
+    (Report.days duration)
+
+let fig2_key ~interval ~mttf_years ~collection metric =
+  Printf.sprintf "%s[int=%s,mttf=%gy,aus=%d]" metric (Report.months interval)
+    mttf_years collection
+
+let table1_key ~strategy ~collection metric =
+  Printf.sprintf "%s[strategy=%s,aus=%d]" metric
+    (Format.asprintf "%a" Adversary.Brute_force.pp_strategy strategy)
+    collection
+
+(* Headline aggregates over the figure's own grid: the extreme in the
+   metric's bad direction plus the mean, so both a localized spike and a
+   broad shift of the whole curve drift a compact, readable metric. *)
+let headline ~mk name direction values =
+  match List.filter Float.is_finite values with
+  | [] -> []
+  | finite ->
+    let worst =
+      match direction with
+      | B.Higher_is_worse -> List.fold_left Float.max neg_infinity finite
+      | B.Lower_is_worse | B.Neutral -> List.fold_left Float.min infinity finite
+    in
+    let mean = List.fold_left ( +. ) 0. finite /. float_of_int (List.length finite) in
+    [
+      mk ~direction (Printf.sprintf "%s.worst" name) worst;
+      mk ~direction:B.Neutral (Printf.sprintf "%s.mean" name) mean;
+    ]
+
+let capture ?tolerance_pct sweeps ~scale target =
+  let mk ~direction name value = B.metric ~direction ?tolerance_pct name value in
+  let duration_series triples ~metric ~direction =
+    headline ~mk metric direction (List.map (fun (_, _, v) -> v) triples)
+    @ List.map
+        (fun (coverage, duration, v) ->
+          mk ~direction (duration_key ~coverage ~duration metric) v)
+        triples
+  in
+  let stoppage_metrics ~metric ~direction value =
+    duration_series ~metric ~direction
+      (List.map
+         (fun (p : Stoppage.point) -> (p.Stoppage.coverage, p.Stoppage.duration, value p))
+         (stoppage_points sweeps))
+  in
+  let admission_metrics ~metric ~direction value =
+    duration_series ~metric ~direction
+      (List.map
+         (fun (p : Admission_attack.point) ->
+           (p.Admission_attack.coverage, p.Admission_attack.duration, value p))
+         (admission_points sweeps))
+  in
+  let higher = B.Higher_is_worse in
+  let metrics =
+    match target with
+    | "fig2" ->
+      let points = baseline_points sweeps in
+      headline ~mk "access_failure" higher
+        (List.map (fun (p : Baseline.point) -> p.Baseline.access_failure) points)
+      @ List.concat_map
+          (fun (p : Baseline.point) ->
+            let key = fig2_key ~interval:p.Baseline.interval
+                ~mttf_years:p.Baseline.mttf_years ~collection:p.Baseline.collection
+            in
+            [
+              mk ~direction:higher (key "af") p.Baseline.access_failure;
+              mk ~direction:B.Neutral (key "af_min") p.Baseline.afp_min;
+              mk ~direction:B.Neutral (key "af_max") p.Baseline.afp_max;
+            ])
+          points
+      |> Option.some
+    | "fig3" ->
+      Some
+        (stoppage_metrics ~metric:"access_failure" ~direction:higher (fun p ->
+             p.Stoppage.access_failure))
+    | "fig4" ->
+      Some
+        (stoppage_metrics ~metric:"delay_ratio" ~direction:higher (fun p ->
+             p.Stoppage.delay_ratio))
+    | "fig5" ->
+      Some
+        (stoppage_metrics ~metric:"friction" ~direction:higher (fun p ->
+             p.Stoppage.friction))
+    | "fig6" ->
+      Some
+        (admission_metrics ~metric:"access_failure" ~direction:higher (fun p ->
+             p.Admission_attack.access_failure))
+    | "fig7" ->
+      Some
+        (admission_metrics ~metric:"delay_ratio" ~direction:higher (fun p ->
+             p.Admission_attack.delay_ratio))
+    | "fig8" ->
+      Some
+        (admission_metrics ~metric:"friction" ~direction:higher (fun p ->
+             p.Admission_attack.friction))
+    | "table1" ->
+      let rows = effort_rows sweeps in
+      let lower = B.Lower_is_worse in
+      headline ~mk "friction" higher
+        (List.map (fun (r : Effort_attack.row) -> r.Effort_attack.friction) rows)
+      @ headline ~mk "cost_ratio" lower
+          (List.map (fun (r : Effort_attack.row) -> r.Effort_attack.cost_ratio) rows)
+      @ headline ~mk "delay_ratio" higher
+          (List.map (fun (r : Effort_attack.row) -> r.Effort_attack.delay_ratio) rows)
+      @ headline ~mk "access_failure" higher
+          (List.map (fun (r : Effort_attack.row) -> r.Effort_attack.access_failure) rows)
+      @ List.concat_map
+          (fun (r : Effort_attack.row) ->
+            let key metric =
+              table1_key ~strategy:r.Effort_attack.strategy
+                ~collection:r.Effort_attack.collection metric
+            in
+            [
+              mk ~direction:higher (key "friction") r.Effort_attack.friction;
+              mk ~direction:lower (key "cost_ratio") r.Effort_attack.cost_ratio;
+              mk ~direction:higher (key "delay_ratio") r.Effort_attack.delay_ratio;
+              mk ~direction:higher (key "access_failure") r.Effort_attack.access_failure;
+            ])
+          rows
+      |> Option.some
+    | _ -> None
+  in
+  match metrics with
+  | None ->
+    Error
+      (Printf.sprintf "unknown baseline target %S (known: %s)" target
+         (String.concat " " targets))
+  | Some metrics ->
+    Ok (B.make ~experiment:target ~config:(config_fingerprint scale) metrics)

@@ -1,0 +1,62 @@
+module Json = Obs.Json
+
+type t = { command : string; wall0 : float; cpu0 : float; started_at : float }
+
+let start ~command () =
+  { command; wall0 = Unix.gettimeofday (); cpu0 = Sys.time (); started_at = Unix.time () }
+
+let first_output_line cmd =
+  match Unix.open_process_in cmd with
+  | exception (Unix.Unix_error _ | Sys_error _) -> None
+  | ic ->
+    let line = try Some (input_line ic) with End_of_file | Sys_error _ -> None in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> (match line with Some l when l <> "" -> Some l | _ -> None)
+    | _ | (exception Unix.Unix_error _) -> None)
+
+let git_describe () =
+  Option.value ~default:"unknown"
+    (first_output_line "git describe --always --dirty 2>/dev/null")
+
+let iso8601 epoch =
+  let tm = Unix.gmtime epoch in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
+
+let provenance () =
+  [
+    ("git", Json.String (git_describe ()));
+    ("host", Json.String (hostname ()));
+    ("ocaml", Json.String Sys.ocaml_version);
+    ("pinned_at", Json.String (iso8601 (Unix.time ())));
+  ]
+
+let finish t ~seeds ?(targets = []) ?fault_mix () =
+  let jobs_requested = Runner.jobs () in
+  let jobs_effective = min jobs_requested (Domain.recommended_domain_count ()) in
+  Json.Assoc
+    [
+      ("schema", Json.String "lockss-manifest/1");
+      ("command", Json.String t.command);
+      ("targets", Json.List (List.map (fun s -> Json.String s) targets));
+      ("seeds", Json.List (List.map (fun s -> Json.Int s) seeds));
+      ("jobs_requested", Json.Int jobs_requested);
+      ("jobs_effective", Json.Int jobs_effective);
+      ("fault_mix", Option.value ~default:Json.Null fault_mix);
+      ("git", Json.String (git_describe ()));
+      ("host", Json.String (hostname ()));
+      ("ocaml", Json.String Sys.ocaml_version);
+      ("started_at", Json.String (iso8601 t.started_at));
+      ("wall_s", Json.Float (Unix.gettimeofday () -. t.wall0));
+      ("cpu_s", Json.Float (Sys.time () -. t.cpu0));
+    ]
+
+let write ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')

@@ -1,0 +1,384 @@
+type direction = Higher_is_worse | Lower_is_worse | Neutral
+
+type metric = {
+  name : string;
+  value : float;
+  direction : direction;
+  tolerance_pct : float;
+}
+
+type t = {
+  experiment : string;
+  config : (string * Json.t) list;
+  provenance : (string * Json.t) list;
+  metrics : metric list;
+}
+
+let schema_tag = "lockss-baseline/1"
+let default_tolerance_pct = 0.01
+
+let metric ?(direction = Neutral) ?(tolerance_pct = default_tolerance_pct) name value =
+  { name; value; direction; tolerance_pct }
+
+let make ~experiment ~config ?(provenance = []) metrics =
+  { experiment; config; provenance; metrics }
+
+(* -- JSON ---------------------------------------------------------------- *)
+
+let direction_to_string = function
+  | Higher_is_worse -> "higher_is_worse"
+  | Lower_is_worse -> "lower_is_worse"
+  | Neutral -> "neutral"
+
+let direction_of_string = function
+  | "higher_is_worse" -> Ok Higher_is_worse
+  | "lower_is_worse" -> Ok Lower_is_worse
+  | "neutral" -> Ok Neutral
+  | other -> Error (Printf.sprintf "unknown direction %S" other)
+
+(* The compact JSON writer renders non-finite floats as [null]; pinned
+   values must survive the round trip, so non-finite values are stored
+   as tagged strings instead. *)
+let value_to_json v =
+  if Float.is_nan v then Json.String "nan"
+  else if v = infinity then Json.String "inf"
+  else if v = neg_infinity then Json.String "-inf"
+  else Json.Float v
+
+let value_of_json = function
+  | Json.String "nan" -> Ok nan
+  | Json.String "inf" -> Ok infinity
+  | Json.String "-inf" -> Ok neg_infinity
+  | (Json.Int _ | Json.Float _) as j ->
+    (match Json.to_float j with Some v -> Ok v | None -> Error "not a number")
+  | _ -> Error "not a number or tagged non-finite string"
+
+let metric_to_json m =
+  Json.Assoc
+    [
+      ("name", Json.String m.name);
+      ("value", value_to_json m.value);
+      ("direction", Json.String (direction_to_string m.direction));
+      ("tolerance_pct", Json.Float m.tolerance_pct);
+    ]
+
+let to_json t =
+  Json.Assoc
+    [
+      ("schema", Json.String schema_tag);
+      ("experiment", Json.String t.experiment);
+      ("config", Json.Assoc t.config);
+      ("provenance", Json.Assoc t.provenance);
+      ("metrics", Json.List (List.map metric_to_json t.metrics));
+    ]
+
+let metric_of_json json =
+  let str name = Option.bind (Json.member name json) Json.string_value in
+  match (str "name", Json.member "value" json) with
+  | None, _ -> Error "metric without a \"name\""
+  | Some name, None -> Error (Printf.sprintf "metric %S without a \"value\"" name)
+  | Some name, Some v ->
+    (match value_of_json v with
+    | Error msg -> Error (Printf.sprintf "metric %S: %s" name msg)
+    | Ok value ->
+      let tolerance_pct =
+        match Option.bind (Json.member "tolerance_pct" json) Json.to_float with
+        | Some t -> t
+        | None -> default_tolerance_pct
+      in
+      (match direction_of_string (Option.value ~default:"neutral" (str "direction")) with
+      | Error msg -> Error (Printf.sprintf "metric %S: %s" name msg)
+      | Ok direction -> Ok { name; value; direction; tolerance_pct }))
+
+let assoc_fields = function Some (Json.Assoc fields) -> fields | _ -> []
+
+let of_json json =
+  match Option.bind (Json.member "schema" json) Json.string_value with
+  | None -> Error "not a baseline document: missing \"schema\" tag"
+  | Some tag when tag <> schema_tag ->
+    Error (Printf.sprintf "unsupported baseline schema %S (want %S)" tag schema_tag)
+  | Some _ ->
+    (match Option.bind (Json.member "experiment" json) Json.string_value with
+    | None -> Error "baseline document without an \"experiment\" name"
+    | Some experiment ->
+      let config = assoc_fields (Json.member "config" json) in
+      let provenance = assoc_fields (Json.member "provenance" json) in
+      let metric_jsons =
+        match Json.member "metrics" json with Some (Json.List l) -> l | _ -> []
+      in
+      let rec parse acc seen = function
+        | [] -> Ok (List.rev acc)
+        | j :: rest ->
+          (match metric_of_json j with
+          | Error msg -> Error msg
+          | Ok m ->
+            if List.mem m.name seen then
+              Error (Printf.sprintf "duplicate metric name %S" m.name)
+            else parse (m :: acc) (m.name :: seen) rest)
+      in
+      (match parse [] [] metric_jsons with
+      | Error msg -> Error msg
+      | Ok metrics -> Ok { experiment; config; provenance; metrics }))
+
+(* -- Comparison ---------------------------------------------------------- *)
+
+type verdict = Within | Drift_worse | Drift_better | Drift
+
+type delta = {
+  name : string;
+  pinned : float;
+  current : float;
+  delta : float;
+  change_pct : float;
+  tolerance_pct : float;
+  metric_direction : direction;
+  verdict : verdict;
+}
+
+type report = {
+  experiment : string;
+  deltas : delta list;
+  missing : string list;
+  added : string list;
+  config_mismatch : (string * Json.t option * Json.t option) list;
+}
+
+(* Two-sided drift: exact equality (NaN included — Float.equal treats
+   NaN as equal to itself) always passes; otherwise both values must be
+   finite and within the relative tolerance of the pinned magnitude. A
+   pinned 0 therefore accepts only an exact 0. *)
+let within ~tolerance_pct ~pinned ~current =
+  Float.equal pinned current
+  || Float.is_finite pinned
+     && Float.is_finite current
+     && Float.abs (current -. pinned) <= Float.abs pinned *. (tolerance_pct /. 100.)
+
+let drift_verdict direction ~pinned ~current =
+  if Float.is_nan pinned || Float.is_nan current then Drift
+  else
+    match direction with
+    | Neutral -> Drift
+    | Higher_is_worse -> if current > pinned then Drift_worse else Drift_better
+    | Lower_is_worse -> if current < pinned then Drift_worse else Drift_better
+
+let compare ~baseline ~current =
+  let current_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (m : metric) -> Hashtbl.replace current_tbl m.name m.value)
+    current.metrics;
+  let deltas, missing =
+    List.fold_left
+      (fun (deltas, missing) (m : metric) ->
+        match Hashtbl.find_opt current_tbl m.name with
+        | None -> (deltas, m.name :: missing)
+        | Some now ->
+          let verdict =
+            if within ~tolerance_pct:m.tolerance_pct ~pinned:m.value ~current:now then
+              Within
+            else drift_verdict m.direction ~pinned:m.value ~current:now
+          in
+          let change_pct =
+            if Float.is_finite m.value && m.value <> 0. && Float.is_finite now then
+              (now -. m.value) /. Float.abs m.value *. 100.
+            else nan
+          in
+          ( {
+              name = m.name;
+              pinned = m.value;
+              current = now;
+              delta = now -. m.value;
+              change_pct;
+              tolerance_pct = m.tolerance_pct;
+              metric_direction = m.direction;
+              verdict;
+            }
+            :: deltas,
+            missing ))
+      ([], []) baseline.metrics
+  in
+  let pinned_names = Hashtbl.create 64 in
+  List.iter
+    (fun (m : metric) -> Hashtbl.replace pinned_names m.name ())
+    baseline.metrics;
+  let added =
+    List.filter_map
+      (fun (m : metric) -> if Hashtbl.mem pinned_names m.name then None else Some m.name)
+      current.metrics
+  in
+  let keys fields = List.map fst fields in
+  let all_keys =
+    keys baseline.config
+    @ List.filter (fun k -> not (List.mem_assoc k baseline.config)) (keys current.config)
+  in
+  (* Numeric-aware equality: the writer prints 1.0 as "1", which parses
+     back as Int, so Int/Float pairs with equal values must not flag. *)
+  let rec json_equal a b =
+    match (a, b) with
+    | Json.Int i, Json.Float f | Json.Float f, Json.Int i ->
+      Float.equal (float_of_int i) f
+    | Json.Float f, Json.Float g -> Float.equal f g
+    | Json.List xs, Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_equal xs ys
+    | Json.Assoc xs, Json.Assoc ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k, v) (k', v') -> String.equal k k' && json_equal v v')
+           xs ys
+    | _ -> a = b
+  in
+  let config_mismatch =
+    List.filter_map
+      (fun key ->
+        match (List.assoc_opt key baseline.config, List.assoc_opt key current.config) with
+        | Some b, Some c when json_equal b c -> None
+        | None, None -> None
+        | b, c -> Some (key, b, c))
+      all_keys
+  in
+  {
+    experiment = baseline.experiment;
+    deltas = List.rev deltas;
+    missing = List.rev missing;
+    added;
+    config_mismatch;
+  }
+
+let drifted report = List.filter (fun d -> d.verdict <> Within) report.deltas
+
+let ok report =
+  drifted report = []
+  && report.missing = []
+  && report.added = []
+  && report.config_mismatch = []
+
+(* -- Report rendering ---------------------------------------------------- *)
+
+let verdict_to_string = function
+  | Within -> "ok"
+  | Drift_worse -> "DRIFT (worse)"
+  | Drift_better -> "DRIFT (better)"
+  | Drift -> "DRIFT"
+
+let delta_to_json d =
+  Json.Assoc
+    [
+      ("name", Json.String d.name);
+      ("pinned", value_to_json d.pinned);
+      ("current", value_to_json d.current);
+      ("delta", value_to_json d.delta);
+      ("change_pct", value_to_json d.change_pct);
+      ("tolerance_pct", Json.Float d.tolerance_pct);
+      ("direction", Json.String (direction_to_string d.metric_direction));
+      ("verdict", Json.String (verdict_to_string d.verdict));
+    ]
+
+let report_json report =
+  Json.Assoc
+    [
+      ("experiment", Json.String report.experiment);
+      ("ok", Json.Bool (ok report));
+      ("drifted", Json.List (List.map delta_to_json (drifted report)));
+      ("missing", Json.List (List.map (fun n -> Json.String n) report.missing));
+      ("added", Json.List (List.map (fun n -> Json.String n) report.added));
+      ( "config_mismatch",
+        Json.List
+          (List.map
+             (fun (key, pinned, current) ->
+               let side = function None -> Json.Null | Some j -> j in
+               Json.Assoc
+                 [
+                   ("key", Json.String key);
+                   ("pinned", side pinned);
+                   ("current", side current);
+                 ])
+             report.config_mismatch) );
+      ("deltas", Json.List (List.map delta_to_json report.deltas));
+    ]
+
+let pp_float ppf v = Format.fprintf ppf "%10.6g" v
+
+let pp_report ppf report =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "baseline %s: %d pinned metrics@," report.experiment
+    (List.length report.deltas + List.length report.missing);
+  List.iter
+    (fun (key, pinned, current) ->
+      let side = function None -> "(absent)" | Some j -> Json.to_string j in
+      Format.fprintf ppf "  CONFIG MISMATCH %-20s pinned %s, current %s@," key
+        (side pinned) (side current))
+    report.config_mismatch;
+  let drifted_list = drifted report in
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  %-52s %a -> %a  delta %a (tol %g%%)  %s@," d.name pp_float
+        d.pinned pp_float d.current pp_float d.delta d.tolerance_pct
+        (verdict_to_string d.verdict))
+    drifted_list;
+  List.iter
+    (fun name -> Format.fprintf ppf "  %-52s MISSING from the current run@," name)
+    report.missing;
+  List.iter
+    (fun name -> Format.fprintf ppf "  %-52s NEW (not pinned)@," name)
+    report.added;
+  if ok report then
+    Format.fprintf ppf "  all within tolerance@,verdict: OK@]"
+  else
+    Format.fprintf ppf
+      "verdict: DRIFT (%d drifted, %d missing, %d new, %d config) — if intended, \
+       re-pin with pin-baseline@]"
+      (List.length drifted_list)
+      (List.length report.missing)
+      (List.length report.added)
+      (List.length report.config_mismatch)
+
+(* -- Files --------------------------------------------------------------- *)
+
+let path ~dir experiment = Filename.concat dir (experiment ^ ".baseline.json")
+
+(* One metric per line, stable key order: pins live in git and their
+   diffs should read like the delta report. *)
+let render (t : t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema\": %s,\n"
+                           (Json.to_string (Json.String schema_tag)));
+  Buffer.add_string buf (Printf.sprintf "  \"experiment\": %s,\n"
+                           (Json.to_string (Json.String t.experiment)));
+  Buffer.add_string buf (Printf.sprintf "  \"config\": %s,\n"
+                           (Json.to_string (Json.Assoc t.config)));
+  Buffer.add_string buf (Printf.sprintf "  \"provenance\": %s,\n"
+                           (Json.to_string (Json.Assoc t.provenance)));
+  Buffer.add_string buf "  \"metrics\": [\n";
+  let n = List.length t.metrics in
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf "    ";
+      Buffer.add_string buf (Json.to_string (metric_to_json m));
+      if i < n - 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n')
+    t.metrics;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let save ~dir (t : t) =
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error _ -> ());
+  let target = path ~dir t.experiment in
+  let tmp = target ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t));
+  Sys.rename tmp target
+
+let load file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    (match Json.of_string (String.trim contents) with
+    | Error msg -> Error (Printf.sprintf "%s: invalid JSON: %s" file msg)
+    | Ok json ->
+      (match of_json json with
+      | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+      | Ok t -> Ok t))

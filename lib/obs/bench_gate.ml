@@ -14,6 +14,7 @@ type report = {
   missing_tracked : string list;
   skipped : string list;
   added : string list;
+  degenerate_subtrees : string list;
   threshold_pct : float;
 }
 
@@ -153,11 +154,15 @@ let compare_json ?(threshold_pct = default_threshold_pct) ~baseline ~current () 
       (fun (path, _) -> if Hashtbl.mem base_tbl path then None else Some path)
       cur
   in
+  let degenerate_subtrees =
+    List.sort_uniq String.compare deg_prefixes
+  in
   {
     deltas = List.sort (fun a b -> compare a.path b.path) deltas;
     missing_tracked = List.rev missing_tracked;
     skipped = List.rev skipped;
     added;
+    degenerate_subtrees;
     threshold_pct;
   }
 
@@ -189,6 +194,8 @@ let report_json report =
       ( "missing_tracked",
         Json.List (List.map (fun p -> Json.String p) report.missing_tracked) );
       ("skipped", Json.List (List.map (fun p -> Json.String p) report.skipped));
+      ( "degenerate_subtrees",
+        Json.List (List.map (fun p -> Json.String p) report.degenerate_subtrees) );
       ("added", Json.List (List.map (fun p -> Json.String p) report.added));
       ("deltas", Json.List (List.map delta_to_json report.deltas));
     ]
@@ -230,4 +237,19 @@ let pp_report ppf report =
   end;
   if report.added <> [] then
     Format.fprintf ppf "new metrics: %s@," (String.concat ", " report.added);
-  Format.fprintf ppf "verdict: %s@]" (if ok report then "OK" else "REGRESSED")
+  (* The verdict line names every degenerate subtree whose tracked
+     metrics were skipped: an all-green gate that silently measured
+     nothing (e.g. a speedup sweep on a 1-core host) must say so. *)
+  let degenerate_note =
+    match report.degenerate_subtrees with
+    | [] -> ""
+    | subtrees ->
+      let name = function "" -> "(root)" | p -> p in
+      Printf.sprintf " — %d degenerate subtree%s skipped: %s"
+        (List.length subtrees)
+        (if List.length subtrees = 1 then "" else "s")
+        (String.concat ", " (List.map name subtrees))
+  in
+  Format.fprintf ppf "verdict: %s%s@]"
+    (if ok report then "OK" else "REGRESSED")
+    degenerate_note

@@ -50,6 +50,11 @@ type report = {
   missing_tracked : string list;  (** tracked in baseline, absent now *)
   skipped : string list;  (** tracked, but under a degenerate prefix *)
   added : string list;  (** numeric in current, absent from baseline *)
+  degenerate_subtrees : string list;
+      (** sorted, deduped prefixes marked [degenerate:true] in either
+          artifact; the document root renders as ["(root)"]. The
+          verdict line enumerates them so an all-green gate that
+          skipped its tracked metrics says so. *)
   threshold_pct : float;
 }
 

@@ -766,6 +766,22 @@ let test_gate_degenerate_skips_tracked () =
     (Obs.Bench_gate.ok report);
   Alcotest.(check bool) "skipped path reported" true
     (List.mem "targets.stoppage sweep.speedup" report.Obs.Bench_gate.skipped);
+  (* The degenerate subtree is enumerated (document root here, the
+     [degenerate:true] member sits at top level) and named on the
+     verdict line — an all-green gate that measured nothing must say
+     so. *)
+  Alcotest.(check (list string))
+    "degenerate subtree enumerated" [ "" ]
+    report.Obs.Bench_gate.degenerate_subtrees;
+  let rendered = Format.asprintf "%a" Obs.Bench_gate.pp_report report in
+  Alcotest.(check bool) "verdict line names the skipped subtree" true
+    (let needle = "1 degenerate subtree skipped: (root)" in
+     let nlen = String.length needle in
+     let rec has i =
+       i + nlen <= String.length rendered
+       && (String.sub rendered i nlen = needle || has (i + 1))
+     in
+     has 0);
   (* Degenerate baseline also skips, including the missing-tracked check. *)
   let report =
     Obs.Bench_gate.compare_json
