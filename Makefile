@@ -104,8 +104,14 @@ bench:
 	dune exec bench/main.exe
 
 # Serial vs parallel wall-clock for the heavier sweeps, recorded as JSON.
+# CI arms the multicore criteria through BENCH_PARALLEL_FLAGS:
+# `--require-parallel` (nonzero exit when <2 effective workers) and
+# `--min-speedup 0.75` (each target must reach 0.75 x its usable
+# parallelism, min of jobs and the sweep width).
+BENCH_PARALLEL_FLAGS ?=
 bench-parallel: build
-	dune exec bench/main.exe -- parallel --json BENCH_parallel.json
+	dune exec bench/main.exe -- parallel --json BENCH_parallel.json \
+	  $(BENCH_PARALLEL_FLAGS)
 
 # Observability overhead: tracing disabled vs live span+ledger builders
 # vs full file sinks, recorded as JSON.
@@ -163,7 +169,8 @@ diff-bench-only:
 # Re-pin the parallel-speedup baseline from a fresh run. Meant for a
 # multicore host (CI's repin-bench workflow): a pin taken on a 1-core
 # machine is degenerate and disarms the speedup gate.
-pin-bench-parallel: bench-parallel
+pin-bench-parallel:
+	$(MAKE) bench-parallel BENCH_PARALLEL_FLAGS="--require-parallel $(BENCH_PARALLEL_FLAGS)"
 	cp BENCH_parallel.json BENCH_parallel.baseline.json
 	@echo "pinned BENCH_parallel.baseline.json — commit it to arm the speedup gate"
 

@@ -303,6 +303,25 @@ let compare_with = ref None
 let threshold = ref 25.
 let gate_failed = ref false
 
+(* [--require-parallel]: fail the parallel target outright when fewer
+   than 2 effective workers are available, instead of marking the
+   artifact degenerate and moving on. CI runners that exist to arm the
+   speedup gate use this so a silently single-core runner cannot pin a
+   degenerate baseline. *)
+let require_parallel = ref false
+
+(* [--min-speedup V]: require each parallel target's speedup to reach
+   [V * min(effective_jobs, target's parallelism cap)] — V is the
+   per-core efficiency floor, e.g. 0.75. Skipped on degenerate runs
+   unless [--require-parallel] already failed them. *)
+let min_speedup = ref None
+
+(* [--allow-degenerate]: a tracked metric that went degenerate in the
+   current run while its baseline pin was live is normally a gate
+   failure (see Bench_gate); this demotes it to a warning for intentional
+   environment changes (e.g. re-pinning from a smaller machine). *)
+let allow_degenerate = ref false
+
 let load_json path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg ->
@@ -331,19 +350,24 @@ let emit_doc doc =
   | None -> ()
   | Some path ->
     let report =
-      Obs.Bench_gate.compare_json ~threshold_pct:!threshold ~baseline:(load_json path)
+      Obs.Bench_gate.compare_json ~threshold_pct:!threshold
+        ~allow_degenerate_current:!allow_degenerate ~baseline:(load_json path)
         ~current:doc ()
     in
     Printf.printf "gate: comparing against %s\n" path;
     Format.printf "%a@." Obs.Bench_gate.pp_report report;
     if not (Obs.Bench_gate.ok report) then gate_failed := true
 
+(* Each target carries its parallelism cap — the widest fan-out its
+   job list allows — so the [--min-speedup] floor never demands more
+   parallelism than the workload offers: the stoppage sweep is a
+   5-duration x 4-coverage grid, the baseline sweep a 4x3x2 grid, and a
+   chaos run is one faulted/fault-free pair. *)
 let parallel_targets =
   [
-    ("stoppage sweep", fun () -> ignore (Stoppage.sweep ~scale ()));
-    ("baseline sweep", fun () -> ignore (Baseline.sweep ~scale ()));
-    ( "chaos paired run",
-      fun () -> ignore (Chaos.run ~scale Chaos.default_mix) );
+    ("stoppage sweep", 20, fun () -> ignore (Stoppage.sweep ~scale ()));
+    ("baseline sweep", 24, fun () -> ignore (Baseline.sweep ~scale ()));
+    ("chaos paired run", 2, fun () -> ignore (Chaos.run ~scale Chaos.default_mix));
   ]
 
 let wall f =
@@ -387,10 +411,17 @@ let run_parallel () =
   let degenerate = effective_jobs < 2 in
   note "workers: %d requested (Domain.recommended_domain_count or LOCKSS_JOBS), %d effective"
     requested_jobs effective_jobs;
-  if degenerate then
+  if degenerate then begin
     note
       "DEGENERATE: fewer than 2 effective workers — speedups here measure \
        scheduling overhead, not parallelism, and the regression gate skips them.";
+    if !require_parallel then begin
+      note
+        "--require-parallel: this runner cannot exercise the parallel path; \
+         failing instead of emitting a degenerate artifact.";
+      gate_failed := true
+    end
+  end;
   (* A run-wide profiler collects per-worker busy time and GC pressure
      across the parallel phases; workers report through Runner, the
      profiler itself stays on this domain. *)
@@ -399,7 +430,7 @@ let run_parallel () =
   let table = Table.create [ "target"; "serial (s)"; "parallel (s)"; "speedup" ] in
   let entries =
     List.map
-      (fun (name, f) ->
+      (fun (name, cap, f) ->
         Experiments.Runner.set_jobs 1;
         let serial = Obs.Profiler.phase prof (name ^ " serial") (fun () -> wall f) in
         Experiments.Runner.set_jobs 0;
@@ -412,10 +443,11 @@ let run_parallel () =
             Printf.sprintf "%.2f" parallel;
             Printf.sprintf "%.2fx" speedup;
           ];
-        ( name,
+        ( (name, cap, speedup),
           Obs.Json.Assoc
             [
               ("target", Obs.Json.String name);
+              ("parallelism_cap", Obs.Json.Int cap);
               ("serial_s", Obs.Json.Float serial);
               ("parallel_s", Obs.Json.Float parallel);
               ("speedup", Obs.Json.Float speedup);
@@ -427,6 +459,45 @@ let run_parallel () =
   Obs.Profiler.sample_gc prof;
   Table.print table;
   Format.printf "%a@." Obs.Profiler.pp prof;
+  (* Absolute speedup floor, orthogonal to the baseline diff: each
+     target must reach [V * min(effective_jobs, cap)] — the parallelism
+     the machine and the workload jointly offer, discounted by the
+     acceptable per-core efficiency V. Meaningless with < 2 effective
+     workers, where --require-parallel has already failed the run. *)
+  (match !min_speedup with
+  | Some v when not degenerate ->
+    List.iter
+      (fun ((name, cap, speedup), _) ->
+        let required = v *. float_of_int (min effective_jobs cap) in
+        if not (speedup >= required) then begin
+          note "MIN-SPEEDUP FAILED: %s reached %.2fx, floor is %.2fx (%.2f x %d)"
+            name speedup required v (min effective_jobs cap);
+          gate_failed := true
+        end
+        else note "min-speedup ok: %s %.2fx >= %.2fx" name speedup required)
+      entries
+  | Some _ -> note "min-speedup skipped: degenerate single-core run"
+  | None -> ());
+  (* Per-slot utilisation and GC pressure across the parallel phases:
+     slot 0 is the coordinating domain, helpers keep their slot for the
+     whole process. [cpu_s] close to [busy_s] means the slot computed
+     rather than waited; [minor_words] is that domain's own allocation. *)
+  let domains_json =
+    Obs.Json.List
+      (List.map
+         (fun (d : Obs.Profiler.domain_stat) ->
+           Obs.Json.Assoc
+             [
+               ("name", Obs.Json.String (string_of_int d.Obs.Profiler.domain));
+               ("busy_s", Obs.Json.Float d.Obs.Profiler.busy_s);
+               ("cpu_s", Obs.Json.Float d.Obs.Profiler.cpu_s);
+               ("tasks", Obs.Json.Int d.Obs.Profiler.tasks);
+               ("minor_words", Obs.Json.Float d.Obs.Profiler.minor_words);
+               ("minor_collections", Obs.Json.Int d.Obs.Profiler.minor_collections);
+               ("major_collections", Obs.Json.Int d.Obs.Profiler.major_collections);
+             ])
+         (Obs.Profiler.domain_stats prof))
+  in
   emit_doc
     (Obs.Json.Assoc
        [
@@ -434,6 +505,7 @@ let run_parallel () =
          ("effective_jobs", Obs.Json.Int effective_jobs);
          ("degenerate", Obs.Json.Bool degenerate);
          ("targets", Obs.Json.List (List.map snd entries));
+         ("domains", domains_json);
        ])
 
 (* -- Population scale sweep --------------------------------------------- *)
@@ -490,6 +562,7 @@ type scale_point = {
   mutable sp_run_cpu_s : float;
   mutable sp_executed : int;
   mutable sp_best_cost : float;  (* best-chunk CPU seconds per event *)
+  mutable sp_minor_words : float;  (* run-phase allocation *)
 }
 
 let scale_build (peers, years) =
@@ -523,6 +596,7 @@ let scale_build (peers, years) =
     sp_run_cpu_s = 0.;
     sp_executed = 0;
     sp_best_cost = infinity;
+    sp_minor_words = 0.;
   }
 
 let scale_advance p ~chunk =
@@ -531,6 +605,9 @@ let scale_advance p ~chunk =
   in
   let before = executed () in
   let t = Sys.time () in
+  (* Minor words are exact and cheap to read; unlike timings they are
+     deterministic, so the words-per-event figure below is pinnable. *)
+  let mw0 = Gc.minor_words () in
   Lockss.Population.run p.sp_pop
     ~until:
       (Duration.of_years
@@ -539,6 +616,7 @@ let scale_advance p ~chunk =
   let after = executed () in
   p.sp_run_cpu_s <- p.sp_run_cpu_s +. dt;
   p.sp_executed <- after;
+  p.sp_minor_words <- p.sp_minor_words +. (Gc.minor_words () -. mw0);
   let delta = after - before in
   if delta > 0 && dt /. float_of_int delta < p.sp_best_cost then
     p.sp_best_cost <- dt /. float_of_int delta
@@ -579,11 +657,15 @@ let run_scale () =
     | [] -> []
   in
   let eps p = if p.sp_best_cost < infinity then 1. /. p.sp_best_cost else nan in
+  let wpe p =
+    if p.sp_executed > 0 then p.sp_minor_words /. float_of_int p.sp_executed
+    else nan
+  in
   let table =
     Table.create
       [
-        "peers"; "years"; "setup (s)"; "run (s)"; "events"; "events/s"; "live MB";
-        "words/replica";
+        "peers"; "years"; "setup (s)"; "run (s)"; "events"; "events/s";
+        "words/event"; "live MB"; "words/replica";
       ]
   in
   List.iter
@@ -597,6 +679,7 @@ let run_scale () =
           Printf.sprintf "%.2f" p.sp_run_cpu_s;
           string_of_int p.sp_executed;
           Printf.sprintf "%.0f" (eps p);
+          Printf.sprintf "%.0f" (wpe p);
           Printf.sprintf "%.1f" (float_of_int (p.sp_live_words * 8) /. 1e6);
           Printf.sprintf "%.0f"
             (float_of_int p.sp_live_words /. float_of_int replicas);
@@ -639,6 +722,7 @@ let run_scale () =
                       ("run_cpu_s", Obs.Json.Float p.sp_run_cpu_s);
                       ("executed", Obs.Json.Int p.sp_executed);
                       ("events_per_sec", Obs.Json.Float (eps p));
+                      ("words_per_event", Obs.Json.Float (wpe p));
                       ("live_words", Obs.Json.Int p.sp_live_words);
                     ])
                 points) );
@@ -924,6 +1008,7 @@ let run_diff_bench files =
       Printf.printf "== %s vs %s ==\n" baseline_path current_path;
       let report =
         Obs.Bench_gate.compare_json ~threshold_pct:!threshold
+          ~allow_degenerate_current:!allow_degenerate
           ~baseline:(load_json baseline_path) ~current:(load_json current_path) ()
       in
       Format.printf "%a@." Obs.Bench_gate.pp_report report;
@@ -931,10 +1016,11 @@ let run_diff_bench files =
     pairs;
   if !gate_failed then exit 1
 
-(* Pull the [--json FILE], [--compare FILE] and [--threshold PCT]
-   options out of the argument list before target dispatch; they only
-   affect the JSON-emitting targets (parallel, obs, check) and
-   [diff-bench]. *)
+(* Pull the option flags out of the argument list before target
+   dispatch: [--json FILE], [--compare FILE], [--threshold PCT] and
+   [--allow-degenerate] affect the JSON-emitting targets and
+   [diff-bench]; [--require-parallel] and [--min-speedup V] affect the
+   [parallel] target only. *)
 let rec extract_opts = function
   | [] -> []
   | "--json" :: path :: rest ->
@@ -960,8 +1046,22 @@ let rec extract_opts = function
       Printf.eprintf "invalid --threshold %S (need a non-negative percent)\n" pct;
       exit 1);
     extract_opts rest
-  | ("--json" | "--compare" | "--threshold" | "--points") :: [] ->
-    prerr_endline "--json/--compare/--threshold/--points require an argument";
+  | "--min-speedup" :: v :: rest ->
+    (match float_of_string_opt v with
+    | Some f when f > 0. -> min_speedup := Some f
+    | Some _ | None ->
+      Printf.eprintf "invalid --min-speedup %S (need a positive factor)\n" v;
+      exit 1);
+    extract_opts rest
+  | "--require-parallel" :: rest ->
+    require_parallel := true;
+    extract_opts rest
+  | "--allow-degenerate" :: rest ->
+    allow_degenerate := true;
+    extract_opts rest
+  | ("--json" | "--compare" | "--threshold" | "--points" | "--min-speedup") :: [] ->
+    prerr_endline
+      "--json/--compare/--threshold/--points/--min-speedup require an argument";
     exit 1
   | arg :: rest -> arg :: extract_opts rest
 

@@ -20,7 +20,11 @@ type event_id
 type cls
 
 (** [register_class name] allocates a fresh global class id. Call once
-    per class, at module-initialisation time. *)
+    per class, normally at module-initialisation time. Registration is
+    mutex-guarded, so a late registration racing engines on other
+    domains still yields a unique id and a consistent name table;
+    engines created before a registration grow their per-class counters
+    lazily on first use of the new id. *)
 val register_class : string -> cls
 
 (** [create ()] is an engine at time [0.] with no pending events. *)
@@ -30,7 +34,8 @@ val create : unit -> t
 val now : t -> float
 
 (** [schedule ?cls t ~at f] runs [f ()] at absolute time [at], which must
-    not precede [now t]. Returns a handle for cancellation. [cls]
+    not precede [now t] (NaN is rejected — it would corrupt the queue's
+    ordering). Returns a handle for cancellation. [cls]
     (default: an unlabeled class excluded from {!live_by_class}) tags
     the event for the per-class live counters. *)
 val schedule : ?cls:cls -> t -> at:float -> (unit -> unit) -> event_id

@@ -13,9 +13,11 @@ type report = {
   deltas : delta list;
   missing_tracked : string list;
   skipped : string list;
+  degenerate_current : string list;
   added : string list;
   degenerate_subtrees : string list;
   threshold_pct : float;
+  allow_degenerate_current : bool;
 }
 
 (* Members used to key list elements so the diff survives reordering. *)
@@ -78,6 +80,11 @@ let tracked_of_path path =
   | "overhead" -> Some (Higher_is_worse, Some 1.0)
   | "slowdown" -> Some (Higher_is_worse, Some 1.0)
   | "speedup" -> Some (Lower_is_worse, None)
+  (* Allocation per simulated event is near machine-independent (the
+     simulation is deterministic; only GC timing varies), so unlike raw
+     seconds it is safe to gate. No neutral: any growth past the
+     threshold is a genuine allocation regression. *)
+  | "words_per_event" -> Some (Higher_is_worse, None)
   | _ -> None
 
 let direction_of_path path = Option.map fst (tracked_of_path path)
@@ -104,29 +111,39 @@ let regresses ~threshold_pct ~direction ~neutral ~baseline ~current =
       let ref_ = match neutral with Some n -> Float.min baseline n | None -> baseline in
       current < ref_ -. (Float.abs ref_ *. frac)
 
-let compare_json ?(threshold_pct = default_threshold_pct) ~baseline ~current () =
+let compare_json ?(threshold_pct = default_threshold_pct)
+    ?(allow_degenerate_current = false) ~baseline ~current () =
   let base, base_deg = flatten_with_degenerate baseline in
   let cur, cur_deg = flatten_with_degenerate current in
-  let deg_prefixes = base_deg @ cur_deg in
-  let under_degenerate path =
+  let under prefixes path =
     List.exists
       (fun d -> d = "" || path = d || String.starts_with ~prefix:(d ^ ".") path)
-      deg_prefixes
+      prefixes
   in
+  (* A path under a degenerate prefix in the *baseline* never had a real
+     pin, so there is nothing to gate: skip. A path degenerate only in
+     the *current* artifact is the opposite situation — an armed pin
+     whose gate silently stopped measuring (e.g. a speedup baseline from
+     a multicore runner, re-run on one core). That used to read as
+     all-green; it is collected separately as [degenerate_current]. *)
+  let base_degenerate path = under base_deg path in
+  let cur_only_degenerate path = under cur_deg path && not (under base_deg path) in
   let cur_tbl = Hashtbl.create 64 in
   List.iter (fun (path, v) -> Hashtbl.replace cur_tbl path v) cur;
-  let deltas, missing_tracked, skipped =
+  let deltas, missing_tracked, skipped, degenerate_current =
     List.fold_left
-      (fun (deltas, missing, skipped) (path, b) ->
+      (fun (deltas, missing, skipped, deg_cur) (path, b) ->
         let tracked = tracked_of_path path in
-        let skip = tracked <> None && under_degenerate path in
+        let skip = tracked <> None && base_degenerate path in
+        let demoted = tracked <> None && (not skip) && cur_only_degenerate path in
+        let deg_cur = if demoted then path :: deg_cur else deg_cur in
         match Hashtbl.find_opt cur_tbl path with
         | Some c ->
           let pct = change_pct ~baseline:b ~current:c in
           let regressed =
             match tracked with
             | None -> false
-            | Some _ when skip -> false
+            | Some _ when skip || demoted -> false
             | Some (direction, neutral) ->
               regresses ~threshold_pct ~direction ~neutral ~baseline:b ~current:c
           in
@@ -140,12 +157,14 @@ let compare_json ?(threshold_pct = default_threshold_pct) ~baseline ~current () 
             }
             :: deltas,
             missing,
-            if skip then path :: skipped else skipped )
+            (if skip then path :: skipped else skipped),
+            deg_cur )
         | None ->
-          if tracked = None then (deltas, missing, skipped)
-          else if skip then (deltas, missing, path :: skipped)
-          else (deltas, path :: missing, skipped))
-      ([], [], []) base
+          if tracked = None then (deltas, missing, skipped, deg_cur)
+          else if skip then (deltas, missing, path :: skipped, deg_cur)
+          else if demoted then (deltas, missing, skipped, deg_cur)
+          else (deltas, path :: missing, skipped, deg_cur))
+      ([], [], [], []) base
   in
   let base_tbl = Hashtbl.create 64 in
   List.iter (fun (path, _) -> Hashtbl.replace base_tbl path ()) base;
@@ -154,20 +173,24 @@ let compare_json ?(threshold_pct = default_threshold_pct) ~baseline ~current () 
       (fun (path, _) -> if Hashtbl.mem base_tbl path then None else Some path)
       cur
   in
-  let degenerate_subtrees =
-    List.sort_uniq String.compare deg_prefixes
-  in
+  let degenerate_subtrees = List.sort_uniq String.compare (base_deg @ cur_deg) in
   {
     deltas = List.sort (fun a b -> compare a.path b.path) deltas;
     missing_tracked = List.rev missing_tracked;
     skipped = List.rev skipped;
+    degenerate_current = List.rev degenerate_current;
     added;
     degenerate_subtrees;
     threshold_pct;
+    allow_degenerate_current;
   }
 
 let regressions report = List.filter (fun d -> d.regressed) report.deltas
-let ok report = regressions report = [] && report.missing_tracked = []
+
+let ok report =
+  regressions report = []
+  && report.missing_tracked = []
+  && (report.allow_degenerate_current || report.degenerate_current = [])
 
 let direction_to_json = function
   | None -> Json.Null
@@ -194,6 +217,9 @@ let report_json report =
       ( "missing_tracked",
         Json.List (List.map (fun p -> Json.String p) report.missing_tracked) );
       ("skipped", Json.List (List.map (fun p -> Json.String p) report.skipped));
+      ( "degenerate_current",
+        Json.List (List.map (fun p -> Json.String p) report.degenerate_current) );
+      ("allow_degenerate_current", Json.Bool report.allow_degenerate_current);
       ( "degenerate_subtrees",
         Json.List (List.map (fun p -> Json.String p) report.degenerate_subtrees) );
       ("added", Json.List (List.map (fun p -> Json.String p) report.added));
@@ -203,6 +229,8 @@ let report_json report =
 let pp_report ppf report =
   let skipped_tbl = Hashtbl.create 8 in
   List.iter (fun p -> Hashtbl.replace skipped_tbl p ()) report.skipped;
+  let deg_cur_tbl = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace deg_cur_tbl p ()) report.degenerate_current;
   let tracked = List.filter (fun d -> d.direction <> None) report.deltas in
   Format.fprintf ppf "@[<v>";
   Format.fprintf ppf "tracked metrics (threshold %.0f%%):@," report.threshold_pct;
@@ -212,6 +240,9 @@ let pp_report ppf report =
         d.current d.change_pct
         (if d.regressed then "REGRESSED"
          else if Hashtbl.mem skipped_tbl d.path then "SKIPPED (degenerate)"
+         else if Hashtbl.mem deg_cur_tbl d.path then
+           if report.allow_degenerate_current then "DEGENERATE NOW [allowed]"
+           else "DEGENERATE NOW"
          else "ok"))
     tracked;
   if tracked = [] then Format.fprintf ppf "  (none)@,";
@@ -220,6 +251,13 @@ let pp_report ppf report =
       if not (List.exists (fun d -> d.path = path) report.deltas) then
         Format.fprintf ppf "  %-50s SKIPPED (degenerate)@," path)
     report.skipped;
+  List.iter
+    (fun path ->
+      if not (List.exists (fun d -> d.path = path) report.deltas) then
+        Format.fprintf ppf "  %-50s DEGENERATE NOW (pinned live in baseline)%s@,"
+          path
+          (if report.allow_degenerate_current then " [allowed]" else ""))
+    report.degenerate_current;
   List.iter
     (fun path -> Format.fprintf ppf "  %-50s MISSING (tracked in baseline)@," path)
     report.missing_tracked;

@@ -3,11 +3,13 @@
 
     Bench artifacts mix machine-dependent absolutes (mean seconds) with
     machine-independent ratios ([overhead], [speedup], [slowdown]).
-    Only the ratios are {e tracked}, and each tracked metric carries an
-    explicit bad direction: [overhead] and [slowdown] fail when they
-    grow, [speedup] when it shrinks. Absolute leaves are still diffed
-    and reported, but informationally — CI machines are too noisy to
-    gate wall-clock.
+    Only machine-independent leaves are {e tracked}, and each tracked
+    metric carries an explicit bad direction: [overhead], [slowdown]
+    and [words_per_event] (allocation per simulated event — the
+    simulation is deterministic, so this is as portable as a ratio)
+    fail when they grow, [speedup] when it shrinks. Absolute leaves are
+    still diffed and reported, but informationally — CI machines are
+    too noisy to gate wall-clock.
 
     Ratio metrics with a natural no-effect point also carry a {e
     neutral} (1.0 for [overhead] and [slowdown]). The gate's reference
@@ -29,10 +31,17 @@
     An object containing [("degenerate", true)] marks its whole subtree
     degenerate: the environment could not exercise what the tracked
     metrics under it measure (e.g. a parallel-speedup sweep on a 1-core
-    host). Tracked paths under a degenerate prefix — in either the
-    baseline or the current artifact — are excluded from both the
-    regression check and the missing-tracked check, and surfaced in
-    {!type-report}[.skipped] instead. *)
+    host). The two artifacts are treated asymmetrically. A tracked path
+    degenerate in the {e baseline} never had a real pin, so it is
+    excluded from the regression and missing-tracked checks and surfaced
+    in {!type-report}[.skipped]. A tracked path degenerate only in the
+    {e current} artifact is the reverse — a live pin whose gate stopped
+    measuring (a speedup baseline pinned on a multicore runner, re-run
+    on one core would otherwise pass all-green while gating nothing) —
+    and is a distinct failure, collected in
+    {!type-report}[.degenerate_current]; pass
+    [~allow_degenerate_current:true] to demote it to a warning when the
+    environment change is intentional. *)
 
 type direction = Higher_is_worse | Lower_is_worse
 
@@ -48,7 +57,12 @@ type delta = {
 type report = {
   deltas : delta list;  (** every shared numeric path, sorted *)
   missing_tracked : string list;  (** tracked in baseline, absent now *)
-  skipped : string list;  (** tracked, but under a degenerate prefix *)
+  skipped : string list;
+      (** tracked, but under a degenerate prefix in the baseline *)
+  degenerate_current : string list;
+      (** tracked and pinned live in the baseline, but under a
+          degenerate prefix only in the current artifact — fails {!ok}
+          unless [allow_degenerate_current] *)
   added : string list;  (** numeric in current, absent from baseline *)
   degenerate_subtrees : string list;
       (** sorted, deduped prefixes marked [degenerate:true] in either
@@ -56,6 +70,7 @@ type report = {
           verdict line enumerates them so an all-green gate that
           skipped its tracked metrics says so. *)
   threshold_pct : float;
+  allow_degenerate_current : bool;
 }
 
 (** [flatten json] is every numeric leaf as [(dotted-path, value)]. *)
@@ -68,14 +83,24 @@ val tracked_of_path : string -> (direction * float option) option
 (** Tracked direction for a flattened path, from its last segment. *)
 val direction_of_path : string -> direction option
 
-(** [compare_json ?threshold_pct ~baseline ~current ()] — threshold
-    defaults to 25 (percent). *)
+(** [compare_json ?threshold_pct ?allow_degenerate_current ~baseline
+    ~current ()] — threshold defaults to 25 (percent);
+    [allow_degenerate_current] (default [false]) demotes
+    {!type-report}[.degenerate_current] entries from failures to
+    warnings. *)
 val compare_json :
-  ?threshold_pct:float -> baseline:Json.t -> current:Json.t -> unit -> report
+  ?threshold_pct:float ->
+  ?allow_degenerate_current:bool ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  report
 
 val regressions : report -> delta list
 
-(** No regressed deltas and no missing tracked paths. *)
+(** No regressed deltas, no missing tracked paths, and — unless
+    [allow_degenerate_current] — no tracked path that went degenerate
+    while its baseline pin was live. *)
 val ok : report -> bool
 
 val report_json : report -> Json.t

@@ -50,7 +50,15 @@ let gc_to_json g =
       ("top_heap_words", Json.Int g.top_heap_words);
     ]
 
-type domain_stat = { domain : int; busy_s : float; tasks : int }
+type domain_stat = {
+  domain : int;
+  busy_s : float;
+  cpu_s : float;
+  tasks : int;
+  minor_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
 
 type t = {
   registry : Registry.t;
@@ -63,7 +71,8 @@ type t = {
 let create ?registry ?clock () =
   {
     registry = (match registry with Some r -> r | None -> Registry.create ());
-    clock = (match clock with Some c -> c | None -> Unix.gettimeofday);
+    clock =
+      (match clock with Some c -> c | None -> Repro_prelude.Monotonic.now_s);
     phases_rev = [];
     domains = Hashtbl.create 8;
     last_gc = None;
@@ -110,11 +119,32 @@ let sample_gc t =
   set "gc.major_collections" (float_of_int g.major_collections);
   set "gc.compactions" (float_of_int g.compactions)
 
-let note_domain t ~domain ~busy_s ~tasks =
+let note_domain t ~domain ?(cpu_s = 0.) ?(minor_words = 0.)
+    ?(minor_collections = 0) ?(major_collections = 0) ~busy_s ~tasks () =
   match Hashtbl.find_opt t.domains domain with
   | Some cell ->
-    cell := { domain; busy_s = !cell.busy_s +. busy_s; tasks = !cell.tasks + tasks }
-  | None -> Hashtbl.replace t.domains domain (ref { domain; busy_s; tasks })
+    cell :=
+      {
+        domain;
+        busy_s = !cell.busy_s +. busy_s;
+        cpu_s = !cell.cpu_s +. cpu_s;
+        tasks = !cell.tasks + tasks;
+        minor_words = !cell.minor_words +. minor_words;
+        minor_collections = !cell.minor_collections + minor_collections;
+        major_collections = !cell.major_collections + major_collections;
+      }
+  | None ->
+    Hashtbl.replace t.domains domain
+      (ref
+         {
+           domain;
+           busy_s;
+           cpu_s;
+           tasks;
+           minor_words;
+           minor_collections;
+           major_collections;
+         })
 
 let domain_stats t =
   Hashtbl.fold (fun _ cell acc -> !cell :: acc) t.domains []
@@ -136,7 +166,11 @@ let snapshot_json t =
                  [
                    ("domain", Json.Int d.domain);
                    ("busy_s", Json.Float d.busy_s);
+                   ("cpu_s", Json.Float d.cpu_s);
                    ("tasks", Json.Int d.tasks);
+                   ("minor_words", Json.Float d.minor_words);
+                   ("minor_collections", Json.Int d.minor_collections);
+                   ("major_collections", Json.Int d.major_collections);
                  ])
              (domain_stats t)) );
       ("gc", match t.last_gc with None -> Json.Null | Some g -> gc_to_json g);
@@ -155,8 +189,12 @@ let pp ppf t =
     Format.fprintf ppf "domains:@,";
     List.iter
       (fun d ->
-        Format.fprintf ppf "  domain %d: busy %8.3fs over %d tasks@," d.domain d.busy_s
-          d.tasks)
+        Format.fprintf ppf
+          "  domain %d: busy %8.3fs (cpu %8.3fs) over %d tasks, %.3gM minor \
+           words, %d minor / %d major collections@,"
+          d.domain d.busy_s d.cpu_s d.tasks
+          (d.minor_words /. 1e6)
+          d.minor_collections d.major_collections)
       stats);
   (match t.last_gc with
   | None -> ()

@@ -36,7 +36,8 @@ type t
 
 (** [create ?registry ?clock ()] — [registry] defaults to a fresh one;
     [clock] (seconds, monotonic preferred) defaults to
-    [Unix.gettimeofday] and exists so tests can drive time by hand. *)
+    {!Repro_prelude.Monotonic.now_s} and exists so tests can drive time
+    by hand. *)
 val create : ?registry:Registry.t -> ?clock:(unit -> float) -> unit -> t
 
 val registry : t -> Registry.t
@@ -60,11 +61,36 @@ val phase_seconds : t -> string -> float
 val sample_gc : t -> unit
 
 (** [note_domain t ~domain ~busy_s ~tasks] accumulates utilisation for
-    one worker domain (0 is the calling domain). Call from the
-    coordinating domain only — the profiler is not thread-safe. *)
-val note_domain : t -> domain:int -> busy_s:float -> tasks:int -> unit
+    one worker slot (0 is the calling domain; helpers keep their pool
+    slot for life, so a slot's history is one physical domain's). The
+    optional lanes record what the slot's GC did while busy: [cpu_s] is
+    thread CPU seconds (wall minus cpu ≈ time lost to waiting and to
+    stop-the-world collection), [minor_words] is words allocated in the
+    slot's minor heap and the collection counts are the slot's share of
+    minor/major cycles. All default to zero for callers that only track
+    wall-clock. Call from the coordinating domain only — the profiler is
+    not thread-safe. *)
+val note_domain :
+  t ->
+  domain:int ->
+  ?cpu_s:float ->
+  ?minor_words:float ->
+  ?minor_collections:int ->
+  ?major_collections:int ->
+  busy_s:float ->
+  tasks:int ->
+  unit ->
+  unit
 
-type domain_stat = { domain : int; busy_s : float; tasks : int }
+type domain_stat = {
+  domain : int;
+  busy_s : float;
+  cpu_s : float;
+  tasks : int;
+  minor_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
 
 (** Sorted by domain id. *)
 val domain_stats : t -> domain_stat list

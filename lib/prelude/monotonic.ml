@@ -1,0 +1,9 @@
+external now_s : unit -> (float[@unboxed])
+  = "repro_monotonic_now_s" "repro_monotonic_now_s_unboxed"
+[@@noalloc]
+
+external thread_cpu_s : unit -> (float[@unboxed])
+  = "repro_monotonic_thread_cpu_s" "repro_monotonic_thread_cpu_s_unboxed"
+[@@noalloc]
+
+let elapsed_s since = Float.max 0. (now_s () -. since)

@@ -1,0 +1,28 @@
+(** Monotonic wall clock.
+
+    [Unix.gettimeofday] jumps when NTP steps the system clock, which
+    poisons elapsed-time accounting (a worker's "busy seconds" can come
+    out negative across a step). This module reads
+    [clock_gettime(CLOCK_MONOTONIC)] through a one-line C stub — the
+    stdlib's Unix binding does not expose it — and falls back to the
+    realtime clock only on platforms without a monotonic source.
+
+    The absolute value is meaningless (seconds since an arbitrary
+    origin, typically boot); only differences between two reads are. *)
+
+(** [now_s ()] is the current monotonic time in seconds. Monotone
+    non-decreasing across reads within a process, on every platform with
+    [CLOCK_MONOTONIC]. *)
+val now_s : unit -> float
+
+(** [elapsed_s since] is [now_s () -. since], clamped to [0.] so clock
+    quirks can never produce a negative duration. *)
+val elapsed_s : float -> float
+
+(** [thread_cpu_s ()] is the CPU time consumed by the calling thread, in
+    seconds ([CLOCK_THREAD_CPUTIME_ID]). [Sys.time] charges the whole
+    process, so it cannot attribute CPU cost to one domain; this can.
+    Falls back to process CPU time on platforms without per-thread
+    clocks. Differences between two reads on the {e same} thread are
+    meaningful; the absolute value is not. *)
+val thread_cpu_s : unit -> float

@@ -1,0 +1,72 @@
+/* clock_gettime(CLOCK_MONOTONIC) as a float-returning, noalloc
+   primitive. The stdlib's Unix binding stops at gettimeofday, which
+   jumps under NTP steps; elapsed-time accounting needs a monotonic
+   source. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+CAMLprim double repro_monotonic_now_s_unboxed(value unit)
+{
+  static LARGE_INTEGER freq = {0};
+  (void)unit;
+  LARGE_INTEGER count;
+  if (freq.QuadPart == 0) QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return (double)count.QuadPart / (double)freq.QuadPart;
+}
+
+#else
+#include <time.h>
+
+CAMLprim double repro_monotonic_now_s_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+#endif
+    clock_gettime(CLOCK_REALTIME, &ts);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+#endif
+
+CAMLprim value repro_monotonic_now_s(value unit)
+{
+  return caml_copy_double(repro_monotonic_now_s_unboxed(unit));
+}
+
+/* CPU seconds consumed by the *calling thread* — [Sys.time] charges the
+   whole process, which is useless for per-domain accounting. */
+#ifdef _WIN32
+CAMLprim double repro_monotonic_thread_cpu_s_unboxed(value unit)
+{
+  FILETIME creation, exit, kernel, user;
+  ULARGE_INTEGER k, u;
+  (void)unit;
+  if (!GetThreadTimes(GetCurrentThread(), &creation, &exit, &kernel, &user))
+    return 0.0;
+  k.LowPart = kernel.dwLowDateTime; k.HighPart = kernel.dwHighDateTime;
+  u.LowPart = user.dwLowDateTime; u.HighPart = user.dwHighDateTime;
+  return ((double)k.QuadPart + (double)u.QuadPart) * 1e-7;
+}
+#else
+CAMLprim double repro_monotonic_thread_cpu_s_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+#endif
+  return (double)clock() / (double)CLOCKS_PER_SEC;
+}
+#endif
+
+CAMLprim value repro_monotonic_thread_cpu_s(value unit)
+{
+  return caml_copy_double(repro_monotonic_thread_cpu_s_unboxed(unit));
+}

@@ -153,6 +153,93 @@ let test_run_all_and_spread_identical () =
   Alcotest.(check (float 0.)) "spread mean effort" s.Scenario.mean.Lockss.Metrics.loyal_effort
     p.Scenario.mean.Lockss.Metrics.loyal_effort
 
+(* -- Pool behaviour: helpers persist across maps ----------------------- *)
+
+let test_pool_reuse_byte_identical () =
+  (* Helpers persist across maps; a sweep rendered through a freshly
+     warmed pool, and again through the same (now well-used) pool with
+     other-width maps in between, must produce the same bytes as a
+     serial run every time. *)
+  let reference = with_jobs 1 render_stoppage_tables in
+  for round = 1 to 3 do
+    (* Vary the interleaved map width so chunk striping differs between
+       rounds — the rendered bytes must not. *)
+    ignore (Runner.map ~jobs:(1 + round) (fun x -> x * x) (List.init (16 * round) Fun.id));
+    let rendered = with_jobs 4 render_stoppage_tables in
+    Alcotest.(check string)
+      (Printf.sprintf "round %d through warm pool" round)
+      reference rendered
+  done
+
+let test_chunked_claiming_determinism () =
+  (* The chunk size is [max 1 (n / (jobs * 4))]; every (n, jobs)
+     combination exercises a different striping, including chunk = 1
+     (n <= jobs*4), n not divisible by the chunk, and single-chunk
+     tails. All must agree with the serial map. *)
+  List.iter
+    (fun n ->
+      let items = List.init n (fun i -> i) in
+      let expected = List.map (fun x -> (x * 7) mod 13) items in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "n=%d jobs=%d" n jobs)
+            expected
+            (Runner.map ~jobs (fun x -> (x * 7) mod 13) items))
+        [ 1; 2; 3; 5; 8 ])
+    [ 1; 2; 3; 7; 16; 33; 100 ]
+
+let test_nested_map_through_warm_pool () =
+  (* Nested maps must stay serial on a pool that has already run
+     batches, and [both] must compose with maps before and after — the
+     parked helpers may not claim a nested batch recursively. *)
+  ignore (Runner.map ~jobs:3 succ (List.init 10 Fun.id));
+  let nested =
+    Runner.map ~jobs:3
+      (fun outer ->
+        let a, b =
+          Runner.both
+            (fun () -> Runner.map ~jobs:3 (fun i -> (outer * 100) + i) [ 0; 1 ])
+            (fun () -> outer * 1000)
+        in
+        (a, b))
+      [ 1; 2 ]
+  in
+  Alcotest.(check (list (pair (list int) int)))
+    "nested both+map through warm pool"
+    [ ([ 100; 101 ], 1000); ([ 200; 201 ], 2000) ]
+    nested;
+  ignore (Runner.map ~jobs:2 succ (List.init 5 Fun.id))
+
+let test_profiler_slots_stable () =
+  (* Slots are persistent pool positions: slot 0 is the caller, helpers
+     keep their id across batches, and [both] accounts through the same
+     slot space as [map] instead of a colliding private 0/1. *)
+  let prof = Obs.Profiler.create () in
+  Runner.set_profiler (Some prof);
+  Fun.protect
+    ~finally:(fun () -> Runner.set_profiler None)
+    (fun () ->
+      with_jobs 2 (fun () ->
+          ignore (Runner.map (fun x -> x * 2) (List.init 8 Fun.id));
+          ignore (Runner.both (fun () -> 1) (fun () -> 2))));
+  let stats = Obs.Profiler.domain_stats prof in
+  Alcotest.(check bool) "some slots recorded" true (stats <> []);
+  let total_tasks =
+    List.fold_left (fun acc d -> acc + d.Obs.Profiler.tasks) 0 stats
+  in
+  Alcotest.(check int) "8 map jobs + 2 both thunks" 10 total_tasks;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d busy_s sane" d.Obs.Profiler.domain)
+        true
+        (d.Obs.Profiler.busy_s >= 0. && d.Obs.Profiler.cpu_s >= 0.);
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d id sane" d.Obs.Profiler.domain)
+        true (d.Obs.Profiler.domain >= 0))
+    stats
+
 (* -- Wall-clock: parallel beats serial when cores allow ---------------- *)
 
 let test_parallel_faster_on_multicore () =
@@ -194,6 +281,13 @@ let () =
           quick "nested maps serial" test_map_nested_runs_serially;
           quick "both" test_both_pairs_results;
           quick "set_jobs validation" test_set_jobs_validation;
+        ] );
+      ( "pool",
+        [
+          quick "chunked claiming deterministic" test_chunked_claiming_determinism;
+          quick "nested map through warm pool" test_nested_map_through_warm_pool;
+          quick "profiler slots stable" test_profiler_slots_stable;
+          slow "pool reuse byte-identical" test_pool_reuse_byte_identical;
         ] );
       ( "determinism",
         [

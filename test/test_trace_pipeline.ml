@@ -572,15 +572,24 @@ let test_profiler_phases () =
 
 let test_profiler_domains_and_snapshot () =
   let prof = Obs.Profiler.create () in
-  Obs.Profiler.note_domain prof ~domain:1 ~busy_s:2. ~tasks:3;
-  Obs.Profiler.note_domain prof ~domain:0 ~busy_s:1. ~tasks:2;
-  Obs.Profiler.note_domain prof ~domain:1 ~busy_s:0.5 ~tasks:1;
+  Obs.Profiler.note_domain prof ~domain:1 ~busy_s:2. ~tasks:3 ();
+  Obs.Profiler.note_domain prof ~domain:0 ~busy_s:1. ~tasks:2 ();
+  Obs.Profiler.note_domain prof ~domain:1 ~cpu_s:0.4 ~minor_words:1000.
+    ~minor_collections:2 ~major_collections:1 ~busy_s:0.5 ~tasks:1 ();
   (match Obs.Profiler.domain_stats prof with
   | [ d0; d1 ] ->
     Alcotest.(check int) "sorted by id" 0 d0.Obs.Profiler.domain;
     Alcotest.(check (float 1e-9)) "domain 1 busy accumulates" 2.5
       d1.Obs.Profiler.busy_s;
-    Alcotest.(check int) "domain 1 tasks accumulate" 4 d1.Obs.Profiler.tasks
+    Alcotest.(check int) "domain 1 tasks accumulate" 4 d1.Obs.Profiler.tasks;
+    Alcotest.(check (float 1e-9)) "domain 1 cpu accumulates" 0.4
+      d1.Obs.Profiler.cpu_s;
+    Alcotest.(check (float 1e-9)) "domain 1 minor words accumulate" 1000.
+      d1.Obs.Profiler.minor_words;
+    Alcotest.(check int) "domain 1 minor collections" 2
+      d1.Obs.Profiler.minor_collections;
+    Alcotest.(check int) "domain 1 major collections" 1
+      d1.Obs.Profiler.major_collections
   | stats -> Alcotest.failf "expected 2 domains, got %d" (List.length stats));
   Obs.Profiler.sample_gc prof;
   let snapshot = Obs.Profiler.snapshot_json prof in
@@ -737,6 +746,20 @@ let test_gate_slowdown_tracked () =
     (Obs.Bench_gate.ok
        (Obs.Bench_gate.compare_json ~baseline:(doc 1.1) ~current:(doc 0.8) ()))
 
+let test_gate_words_per_event_tracked () =
+  (* Allocation per event is deterministic, so it gates with no neutral:
+     growth past the threshold fails, shrinking never does. *)
+  let doc v = Json.Assoc [ ("words_per_event", Json.Float v) ] in
+  Alcotest.(check bool) "within threshold passes" true
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 400.) ~current:(doc 450.) ()));
+  Alcotest.(check bool) "allocation bloat regresses" false
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 400.) ~current:(doc 600.) ()));
+  Alcotest.(check bool) "allocation reduction passes" true
+    (Obs.Bench_gate.ok
+       (Obs.Bench_gate.compare_json ~baseline:(doc 400.) ~current:(doc 150.) ()))
+
 let parallel_doc ~degenerate ~speedup =
   Json.Assoc
     ([ ("requested_jobs", Json.Int 4); ("effective_jobs", Json.Int 1) ]
@@ -754,22 +777,42 @@ let parallel_doc ~degenerate ~speedup =
       ])
 
 let test_gate_degenerate_skips_tracked () =
-  (* Current artifact marked degenerate: the speedup collapse is not a
-     regression, it is an environment that cannot parallelise. *)
+  (* Current artifact degenerate while the baseline pin was live: the
+     gate stopped measuring what it gates. That used to pass all-green;
+     it is now a distinct failure with its own report bucket... *)
   let report =
     Obs.Bench_gate.compare_json
       ~baseline:(parallel_doc ~degenerate:false ~speedup:2.0)
       ~current:(parallel_doc ~degenerate:true ~speedup:1.0)
       ()
   in
-  Alcotest.(check bool) "degenerate current skips the speedup gate" true
+  Alcotest.(check bool) "live pin gone degenerate fails the gate" false
     (Obs.Bench_gate.ok report);
-  Alcotest.(check bool) "skipped path reported" true
-    (List.mem "targets.stoppage sweep.speedup" report.Obs.Bench_gate.skipped);
+  Alcotest.(check (list string))
+    "degenerate_current names the path"
+    [ "targets.stoppage sweep.speedup" ]
+    report.Obs.Bench_gate.degenerate_current;
+  Alcotest.(check bool) "not conflated with baseline-degenerate skips" true
+    (report.Obs.Bench_gate.skipped = []);
+  Alcotest.(check bool) "not conflated with value regressions" true
+    (Obs.Bench_gate.regressions report = []);
+  (* ... and the opt-out demotes it to a warning for intentional
+     environment changes. *)
+  let allowed =
+    Obs.Bench_gate.compare_json ~allow_degenerate_current:true
+      ~baseline:(parallel_doc ~degenerate:false ~speedup:2.0)
+      ~current:(parallel_doc ~degenerate:true ~speedup:1.0)
+      ()
+  in
+  Alcotest.(check bool) "--allow-degenerate passes" true
+    (Obs.Bench_gate.ok allowed);
+  Alcotest.(check (list string))
+    "still surfaced when allowed"
+    [ "targets.stoppage sweep.speedup" ]
+    allowed.Obs.Bench_gate.degenerate_current;
   (* The degenerate subtree is enumerated (document root here, the
      [degenerate:true] member sits at top level) and named on the
-     verdict line — an all-green gate that measured nothing must say
-     so. *)
+     verdict line — a gate that measured nothing must say so. *)
   Alcotest.(check (list string))
     "degenerate subtree enumerated" [ "" ]
     report.Obs.Bench_gate.degenerate_subtrees;
@@ -863,6 +906,7 @@ let () =
           tc "neutral slackens lucky baselines" `Quick
             test_gate_neutral_slackens_lucky_baseline;
           tc "slowdown is tracked" `Quick test_gate_slowdown_tracked;
+          tc "words_per_event is tracked" `Quick test_gate_words_per_event_tracked;
           tc "degenerate prefixes skip the gate" `Quick
             test_gate_degenerate_skips_tracked;
         ] );
